@@ -1,0 +1,80 @@
+// Package repro_test holds the root benchmark harness: one Go benchmark
+// per experiment of DESIGN.md's paper↔experiment index (E1–E14). Each
+// benchmark drives the same code as `bipbench -e <id>`, so the numbers
+// printed by `go test -bench` regenerate the tables of EXPERIMENTS.md.
+package repro_test
+
+import (
+	"testing"
+
+	"bip/internal/bench"
+)
+
+func run(b *testing.B, f func() (*bench.Table, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		t, err := f()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(t.Rows) == 0 {
+			b.Fatal("empty experiment table")
+		}
+	}
+}
+
+func BenchmarkE1DFinderVsMonolithic(b *testing.B) {
+	run(b, func() (*bench.Table, error) { return bench.E1DFinderVsMonolithic(5) })
+}
+
+func BenchmarkE2GlueExpressiveness(b *testing.B) {
+	run(b, bench.E2Glue)
+}
+
+func BenchmarkE3LustreEmbedding(b *testing.B) {
+	run(b, func() (*bench.Table, error) { return bench.E3Lustre(200) })
+}
+
+func BenchmarkE4UnitDelay(b *testing.B) {
+	run(b, func() (*bench.Table, error) { return bench.E4UnitDelay(8) })
+}
+
+func BenchmarkE5Refinement(b *testing.B) {
+	run(b, bench.E5Refinement)
+}
+
+func BenchmarkE6Stability(b *testing.B) {
+	run(b, bench.E6Stability)
+}
+
+func BenchmarkE7CRP(b *testing.B) {
+	run(b, func() (*bench.Table, error) { return bench.E7CRP([]int{4, 6}, 60) })
+}
+
+func BenchmarkE8Engines(b *testing.B) {
+	run(b, func() (*bench.Table, error) { return bench.E8Engines([]int{1, 2, 4}, 400, 20000) })
+}
+
+func BenchmarkE9ArchCompose(b *testing.B) {
+	run(b, func() (*bench.Table, error) { return bench.E9Arch([]int{2, 3, 4}) })
+}
+
+func BenchmarkE10TimingAnomaly(b *testing.B) {
+	run(b, bench.E10Anomaly)
+}
+
+func BenchmarkE11Invariants(b *testing.B) {
+	run(b, bench.E11Invariants)
+}
+
+func BenchmarkE12Incremental(b *testing.B) {
+	run(b, func() (*bench.Table, error) { return bench.E12Incremental(6) })
+}
+
+func BenchmarkE13Flattening(b *testing.B) {
+	run(b, func() (*bench.Table, error) { return bench.E13Flattening([]int{1, 2, 3}) })
+}
+
+func BenchmarkE14Elevator(b *testing.B) {
+	run(b, bench.E14Elevator)
+}

@@ -1,0 +1,83 @@
+// Command bipbench regenerates the paper-reproduction experiments
+// (E1–E14 of DESIGN.md) and prints their tables; EXPERIMENTS.md records
+// a reference run.
+//
+// Usage:
+//
+//	bipbench            # run everything
+//	bipbench -e e1      # run one experiment
+//	bipbench -quick     # reduced sizes (CI-friendly)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"bip/internal/bench"
+)
+
+func main() {
+	exp := flag.String("e", "all", "experiment id (e1..e14) or all")
+	quick := flag.Bool("quick", false, "reduced problem sizes")
+	flag.Parse()
+	if err := run(*exp, *quick); err != nil {
+		fmt.Fprintln(os.Stderr, "bipbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, quick bool) error {
+	type driver struct {
+		id string
+		f  func() (*bench.Table, error)
+	}
+	rings := 5
+	enginePairs := []int{1, 2, 4, 8}
+	engineSteps, engineWork := 2000, 50000
+	crpSizes := []int{3, 5, 8}
+	crpCommits := 200
+	depths := []int{1, 2, 3, 4}
+	if quick {
+		rings = 4
+		enginePairs = []int{1, 2}
+		engineSteps, engineWork = 200, 5000
+		crpSizes = []int{3, 4}
+		crpCommits = 50
+		depths = []int{1, 2}
+	}
+	drivers := []driver{
+		{"e1", func() (*bench.Table, error) { return bench.E1DFinderVsMonolithic(rings) }},
+		{"e2", bench.E2Glue},
+		{"e3", func() (*bench.Table, error) { return bench.E3Lustre(500) }},
+		{"e4", func() (*bench.Table, error) { return bench.E4UnitDelay(8) }},
+		{"e5", bench.E5Refinement},
+		{"e6", bench.E6Stability},
+		{"e7", func() (*bench.Table, error) { return bench.E7CRP(crpSizes, crpCommits) }},
+		{"e8", func() (*bench.Table, error) { return bench.E8Engines(enginePairs, engineSteps, engineWork) }},
+		{"e9", func() (*bench.Table, error) { return bench.E9Arch([]int{2, 3, 4, 5}) }},
+		{"e10", bench.E10Anomaly},
+		{"e11", bench.E11Invariants},
+		{"e12", func() (*bench.Table, error) { return bench.E12Incremental(7) }},
+		{"e13", func() (*bench.Table, error) { return bench.E13Flattening(depths) }},
+		{"e14", bench.E14Elevator},
+	}
+	want := strings.ToLower(exp)
+	found := false
+	for _, d := range drivers {
+		if want != "all" && want != d.id {
+			continue
+		}
+		found = true
+		t, err := d.f()
+		if err != nil {
+			return fmt.Errorf("%s: %w", d.id, err)
+		}
+		fmt.Println(t.String())
+	}
+	if !found {
+		return fmt.Errorf("unknown experiment %q (want e1..e14 or all)", exp)
+	}
+	return nil
+}

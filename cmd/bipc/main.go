@@ -1,0 +1,76 @@
+// Command bipc is the front-end of the BIP textual language: it parses
+// and validates a .bip file, reports the model's structure, and can run
+// quick analyses (deadlock check, compositional verification).
+//
+// Usage:
+//
+//	bipc model.bip
+//	bipc -verify model.bip
+//	bipc -explore model.bip
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bip/internal/dsl"
+	"bip/internal/invariant"
+	"bip/internal/lts"
+)
+
+func main() {
+	verify := flag.Bool("verify", false, "run compositional verification")
+	explore := flag.Bool("explore", false, "run explicit-state exploration")
+	maxStates := flag.Int("max-states", 1<<20, "exploration bound")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: bipc [-verify] [-explore] file.bip")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *verify, *explore, *maxStates); err != nil {
+		fmt.Fprintln(os.Stderr, "bipc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string, verify, explore bool, maxStates int) error {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	sys, err := dsl.Parse(string(src))
+	if err != nil {
+		return fmt.Errorf("%s:%w", path, err)
+	}
+	fmt.Println(sys.Stats())
+	for _, a := range sys.Atoms {
+		fmt.Println(" ", a.String())
+	}
+	for _, in := range sys.Interactions {
+		fmt.Println("  interaction", in.String())
+	}
+	for _, p := range sys.Priorities {
+		fmt.Println("  priority", p.String())
+	}
+
+	if verify {
+		res, err := invariant.Verify(sys, invariant.Options{})
+		if err != nil {
+			return err
+		}
+		fmt.Println(invariant.FormatResult(res))
+	}
+	if explore {
+		l, err := lts.Explore(sys, lts.Options{MaxStates: maxStates})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("explored %d states, %d transitions (truncated=%v)\n",
+			l.NumStates(), l.NumTransitions(), l.Truncated())
+		if dls := l.Deadlocks(); len(dls) > 0 && !l.Truncated() {
+			fmt.Printf("deadlock reachable via %v\n", l.PathTo(dls[0]))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,115 @@
+// Command bipsim executes a BIP model — a built-in benchmark or a .bip
+// source file — on the single-threaded or multi-threaded engine and
+// prints the interaction trace.
+//
+// Usage:
+//
+//	bipsim -model philosophers -n 4 -steps 20 -seed 7
+//	bipsim -f model.bip -steps 50
+//	bipsim -model prodcons -mt -steps 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bip/internal/core"
+	"bip/internal/dsl"
+	"bip/internal/engine"
+	"bip/internal/models"
+)
+
+func main() {
+	model := flag.String("model", "", "built-in model name (see dfinder -h)")
+	file := flag.String("f", "", "BIP source file")
+	n := flag.Int("n", 4, "size parameter")
+	steps := flag.Int("steps", 20, "maximum steps")
+	seed := flag.Int64("seed", 1, "scheduler seed (random scheduler)")
+	first := flag.Bool("first", false, "use the deterministic first-enabled scheduler")
+	mt := flag.Bool("mt", false, "use the multi-threaded engine")
+	flag.Parse()
+	if err := run(*model, *file, *n, *steps, *seed, *first, *mt); err != nil {
+		fmt.Fprintln(os.Stderr, "bipsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(model, file string, n, steps int, seed int64, first, mt bool) error {
+	var sys *core.System
+	var err error
+	switch {
+	case file != "":
+		src, rerr := os.ReadFile(file)
+		if rerr != nil {
+			return rerr
+		}
+		sys, err = dsl.Parse(string(src))
+	case model != "":
+		sys, err = builtin(model, n)
+	default:
+		return fmt.Errorf("need -model or -f")
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Println(sys.Stats())
+
+	if mt {
+		res, err := engine.RunMT(sys, engine.MTOptions{MaxSteps: steps})
+		if err != nil {
+			return err
+		}
+		for i, l := range res.Labels {
+			fmt.Printf("%4d  %s\n", i+1, l)
+		}
+		if res.Deadlocked {
+			fmt.Println("-- deadlock --")
+		}
+		if _, err := engine.Replay(sys, res.Moves); err != nil {
+			return fmt.Errorf("MT linearization invalid: %w", err)
+		}
+		fmt.Println("MT linearization validated against reference semantics")
+		return nil
+	}
+
+	var sched engine.Scheduler = engine.NewRandomScheduler(seed)
+	if first {
+		sched = engine.FirstScheduler{}
+	}
+	res, err := engine.Run(sys, engine.Options{
+		MaxSteps:  steps,
+		Scheduler: sched,
+	})
+	if err != nil {
+		return err
+	}
+	for i, l := range res.Labels {
+		fmt.Printf("%4d  %s\n", i+1, l)
+	}
+	if res.Deadlocked {
+		fmt.Println("-- deadlock --")
+	}
+	return nil
+}
+
+func builtin(model string, n int) (*core.System, error) {
+	switch model {
+	case "philosophers":
+		return models.Philosophers(n)
+	case "philosophers2p":
+		return models.PhilosophersDeadlocking(n)
+	case "tokenring":
+		return models.TokenRing(n)
+	case "gasstation":
+		return models.GasStation(n, 2)
+	case "elevator":
+		return models.Elevator(n)
+	case "prodcons":
+		return models.ProducerConsumer(int64(n))
+	case "temperature":
+		return models.Temperature(0, int64(n), 2)
+	default:
+		return nil, fmt.Errorf("unknown model %q", model)
+	}
+}

@@ -1,0 +1,58 @@
+// Elevator: the requirement from the paper's introduction — "when the
+// cabin is moving all doors must be closed" — established by
+// construction (the door participates in every movement interaction) and
+// verified two ways. The unsafe variant shows the same checkers catching
+// the violation with a counterexample path.
+//
+// Run with: go run ./examples/elevator
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"bip/internal/core"
+	"bip/internal/invariant"
+	"bip/internal/lts"
+	"bip/internal/models"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "elevator:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	safe, err := models.Elevator(4)
+	if err != nil {
+		return err
+	}
+	unsafe, err := models.UnsafeElevator(4)
+	if err != nil {
+		return err
+	}
+	for _, sys := range []*core.System{safe, unsafe} {
+		fmt.Println("==", sys.Name, "==")
+		l, err := lts.Explore(sys, lts.Options{})
+		if err != nil {
+			return err
+		}
+		ok, _, path := l.CheckInvariant(func(st core.State) bool {
+			return !models.MovingWithDoorOpen(sys)(st)
+		})
+		if ok {
+			fmt.Printf("  requirement holds on all %d reachable states\n", l.NumStates())
+		} else {
+			fmt.Printf("  VIOLATION: cabin moves with door open after [%s]\n", strings.Join(path, " "))
+		}
+		vr, err := invariant.Verify(sys, invariant.Options{})
+		if err != nil {
+			return err
+		}
+		fmt.Println("  compositional:", invariant.FormatResult(vr))
+	}
+	return nil
+}

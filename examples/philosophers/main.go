@@ -1,0 +1,74 @@
+// Philosophers: the paper's flagship multiparty-interaction example,
+// executed three ways — reference semantics, and the three-layer
+// distributed S/R transformation under each conflict-resolution protocol
+// (centralized arbiter, token ring, dining-philosophers ordering). Every
+// distributed run's commit order is validated against the reference
+// semantics.
+//
+// Run with: go run ./examples/philosophers [-n 5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bip/internal/distributed"
+	"bip/internal/engine"
+	"bip/internal/invariant"
+	"bip/internal/models"
+)
+
+func main() {
+	n := flag.Int("n", 5, "number of philosophers")
+	flag.Parse()
+	if err := run(*n); err != nil {
+		fmt.Fprintln(os.Stderr, "philosophers:", err)
+		os.Exit(1)
+	}
+}
+
+func run(n int) error {
+	sys, err := models.Philosophers(n)
+	if err != nil {
+		return err
+	}
+	fmt.Println(sys.Stats())
+
+	// Correct by construction: prove deadlock-freedom compositionally.
+	vr, err := invariant.Verify(sys, invariant.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Println(invariant.FormatResult(vr))
+
+	// Reference run.
+	res, err := engine.Run(sys, engine.Options{
+		MaxSteps:  10,
+		Scheduler: engine.NewRandomScheduler(42),
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println("reference trace:", res.Labels)
+
+	// Distributed runs.
+	for _, crp := range []distributed.CRP{distributed.Centralized, distributed.TokenRing, distributed.Ordered} {
+		d, err := distributed.Deploy(sys, distributed.Config{
+			CRP: crp, Seed: 11, MaxCommits: 100, MaxMessages: 1 << 20,
+		})
+		if err != nil {
+			return err
+		}
+		stats, err := d.Run()
+		if err != nil {
+			return err
+		}
+		if _, err := distributed.ReplayLabels(sys, stats.Labels); err != nil {
+			return fmt.Errorf("%s: invalid commit order: %w", crp, err)
+		}
+		fmt.Printf("%-12s %4d commits, %6d messages (%.1f msg/commit), %3d aborts — order valid\n",
+			crp.String()+":", stats.Commits, stats.Messages, stats.MsgPerCommit, stats.Aborts)
+	}
+	return nil
+}

@@ -1,0 +1,202 @@
+// Package arch implements the paper's architecture concept (§5.5.2): an
+// architecture A(n)[C1…Cn] = gl(n)(C1…Cn, D(n)) is a glue operator plus
+// coordinating components that enforces a characteristic property over
+// the components it is applied to, while preserving their essential
+// properties (invariants, deadlock-freedom).
+//
+// Architectures are first-class values that can be composed with ⊕
+// (Compose): the composition enforces both characteristic properties
+// when the architectures do not contradict each other — experiment E9
+// checks this for a mutual-exclusion architecture composed with a
+// fixed-priority scheduling architecture.
+package arch
+
+import (
+	"fmt"
+
+	"bip/internal/behavior"
+	"bip/internal/core"
+	"bip/internal/expr"
+)
+
+// Architecture is a reusable glue pattern: coordinating components plus
+// interactions and priorities over the target components' ports.
+type Architecture struct {
+	Name         string
+	Coordinators []*behavior.Atom
+	Interactions []*core.Interaction
+	Priorities   []core.Priority
+}
+
+// Apply installs the architecture into a system under construction. The
+// target components must already be present.
+func (a *Architecture) Apply(b *core.SystemBuilder) *core.SystemBuilder {
+	for _, c := range a.Coordinators {
+		b.Add(c)
+	}
+	for _, in := range a.Interactions {
+		b.Interaction(in)
+	}
+	for _, p := range a.Priorities {
+		b.PriorityWhen(p.Low, p.High, p.When)
+	}
+	return b
+}
+
+// Compose is the ⊕ operation on architectures: the union of their
+// constraints. It fails on name clashes (coordinator or interaction),
+// which would make the union ill-formed; genuinely contradictory
+// compositions surface as deadlocks and are caught by verification — the
+// bottom of the architecture lattice.
+func Compose(a1, a2 *Architecture) (*Architecture, error) {
+	seenCoord := make(map[string]bool)
+	for _, c := range a1.Coordinators {
+		seenCoord[c.Name] = true
+	}
+	for _, c := range a2.Coordinators {
+		if seenCoord[c.Name] {
+			return nil, fmt.Errorf("arch: compose %s ⊕ %s: coordinator %q in both", a1.Name, a2.Name, c.Name)
+		}
+	}
+	seenInter := make(map[string]bool)
+	for _, in := range a1.Interactions {
+		seenInter[in.Name] = true
+	}
+	for _, in := range a2.Interactions {
+		if seenInter[in.Name] {
+			return nil, fmt.Errorf("arch: compose %s ⊕ %s: interaction %q in both", a1.Name, a2.Name, in.Name)
+		}
+	}
+	return &Architecture{
+		Name:         a1.Name + "⊕" + a2.Name,
+		Coordinators: append(append([]*behavior.Atom(nil), a1.Coordinators...), a2.Coordinators...),
+		Interactions: append(append([]*core.Interaction(nil), a1.Interactions...), a2.Interactions...),
+		Priorities:   append(append([]core.Priority(nil), a1.Priorities...), a2.Priorities...),
+	}, nil
+}
+
+// MutexClient names the ports through which a component takes and
+// releases the shared resource.
+type MutexClient struct {
+	Comp    string
+	Acquire string
+	Release string
+}
+
+// Mutex builds the token-based mutual-exclusion architecture: a
+// coordinator with a single token grants the resource to one client at a
+// time. Characteristic property: at most one client holds the resource.
+// Interaction names are "acq_<comp>" and "rel_<comp>".
+func Mutex(name string, clients []MutexClient) (*Architecture, error) {
+	if len(clients) == 0 {
+		return nil, fmt.Errorf("arch: mutex %s needs clients", name)
+	}
+	coord := behavior.NewBuilder(name).
+		Location("free", "taken").
+		Port("grant").
+		Port("back").
+		Transition("free", "grant", "taken").
+		Transition("taken", "back", "free").
+		MustBuild()
+	a := &Architecture{Name: name, Coordinators: []*behavior.Atom{coord}}
+	for _, c := range clients {
+		a.Interactions = append(a.Interactions,
+			&core.Interaction{
+				Name:  "acq_" + c.Comp,
+				Ports: []core.PortRef{core.P(c.Comp, c.Acquire), core.P(name, "grant")},
+			},
+			&core.Interaction{
+				Name:  "rel_" + c.Comp,
+				Ports: []core.PortRef{core.P(c.Comp, c.Release), core.P(name, "back")},
+			})
+	}
+	return a, nil
+}
+
+// FixedPriority builds the scheduling architecture: given interaction
+// names ordered from highest to lowest priority, it emits the priority
+// rules making earlier entries win conflicts. Characteristic property:
+// a lower-priority interaction never fires while a higher-priority one
+// is enabled.
+func FixedPriority(name string, orderedHighFirst []string) *Architecture {
+	a := &Architecture{Name: name}
+	for i := 0; i < len(orderedHighFirst); i++ {
+		for j := i + 1; j < len(orderedHighFirst); j++ {
+			a.Priorities = append(a.Priorities, core.Priority{
+				Low:  orderedHighFirst[j],
+				High: orderedHighFirst[i],
+			})
+		}
+	}
+	return a
+}
+
+// TMRReplica names a replica's output port and the variable it exports.
+type TMRReplica struct {
+	Comp string
+	Port string
+	Var  string
+}
+
+// TMR builds the triple-modular-redundancy architecture of §5.5.2: a
+// voter reads the three replicas' outputs in a fixed round and publishes
+// the majority value on its "deliver" port (variable "out").
+// Characteristic property: the delivered value equals the value produced
+// by at least two replicas, so a single faulty replica is masked.
+func TMR(name string, replicas [3]TMRReplica) (*Architecture, error) {
+	voter := behavior.NewBuilder(name).
+		Location("r0", "r1", "r2", "vote", "ready").
+		Int("a", 0).Int("b", 0).Int("c", 0).Int("out", 0).
+		Port("in0", "a").
+		Port("in1", "b").
+		Port("in2", "c").
+		Port("decide").
+		Port("deliver", "out").
+		Transition("r0", "in0", "r1").
+		Transition("r1", "in1", "r2").
+		Transition("r2", "in2", "vote").
+		TransitionG("vote", "decide", "ready", nil,
+			// Majority of three: if a==b or a==c then a else b.
+			expr.Set("out", expr.If(
+				expr.Or(expr.Eq(expr.V("a"), expr.V("b")), expr.Eq(expr.V("a"), expr.V("c"))),
+				expr.V("a"),
+				expr.V("b")))).
+		Transition("ready", "deliver", "r0").
+		MustBuild()
+	a := &Architecture{Name: name, Coordinators: []*behavior.Atom{voter}}
+	for i, r := range replicas {
+		a.Interactions = append(a.Interactions, &core.Interaction{
+			Name:  fmt.Sprintf("read%d_%s", i, name),
+			Ports: []core.PortRef{core.P(r.Comp, r.Port), core.P(name, fmt.Sprintf("in%d", i))},
+			Action: expr.Set(name+"."+string(rune('a'+i)),
+				expr.V(r.Comp+"."+r.Var)),
+		})
+	}
+	a.Interactions = append(a.Interactions, &core.Interaction{
+		Name:  "decide_" + name,
+		Ports: []core.PortRef{core.P(name, "decide")},
+	})
+	return a, nil
+}
+
+// AtMostOneAt returns the characteristic-property predicate of Mutex:
+// at most one of the listed components sits at its critical location.
+func AtMostOneAt(sys *core.System, critical map[string]string) func(core.State) bool {
+	type slot struct {
+		idx int
+		loc string
+	}
+	var slots []slot
+	for comp, loc := range critical {
+		slots = append(slots, slot{idx: sys.AtomIndex(comp), loc: loc})
+	}
+	return func(st core.State) bool {
+		n := 0
+		for _, s := range slots {
+			if s.idx >= 0 && st.Locs[s.idx] == s.loc {
+				n++
+			}
+		}
+		return n <= 1
+	}
+}

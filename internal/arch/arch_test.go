@@ -1,0 +1,269 @@
+package arch
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"bip/internal/behavior"
+	"bip/internal/core"
+	"bip/internal/engine"
+	"bip/internal/expr"
+	"bip/internal/lts"
+)
+
+// worker cycles idle → critical → idle through enter/leave ports.
+func worker() *behavior.Atom {
+	return behavior.NewBuilder("worker").
+		Location("idle", "critical").
+		Port("enter").
+		Port("leave").
+		Transition("idle", "enter", "critical").
+		Transition("critical", "leave", "idle").
+		MustBuild()
+}
+
+// buildWorkers returns a builder pre-loaded with n workers and the
+// client descriptors for Mutex.
+func buildWorkers(n int) (*core.SystemBuilder, []MutexClient, map[string]string) {
+	b := core.NewSystem("workers")
+	var clients []MutexClient
+	critical := make(map[string]string, n)
+	w := worker()
+	for i := 0; i < n; i++ {
+		name := "w" + strconv.Itoa(i)
+		b.AddAs(name, w)
+		clients = append(clients, MutexClient{Comp: name, Acquire: "enter", Release: "leave"})
+		critical[name] = "critical"
+	}
+	return b, clients, critical
+}
+
+func TestMutexEnforcesExclusion(t *testing.T) {
+	for _, n := range []int{2, 3, 4} {
+		b, clients, critical := buildWorkers(n)
+		mx, err := Mutex("mx", clients)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys, err := mx.Apply(b).Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := lts.Explore(sys, lts.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok, bad, _ := l.CheckInvariant(AtMostOneAt(sys, critical))
+		if !ok {
+			t.Fatalf("n=%d: mutual exclusion violated at state %d", n, bad)
+		}
+		// Preservation of essential properties: deadlock-freedom.
+		if free, err := l.DeadlockFree(); err != nil || !free {
+			t.Fatalf("n=%d: architecture must preserve deadlock-freedom: %v %v", n, free, err)
+		}
+	}
+}
+
+func TestWithoutArchitectureExclusionFails(t *testing.T) {
+	// Negative control: free-running workers violate the property.
+	b, _, critical := buildWorkers(2)
+	sys, err := b.
+		Singleton("w0", "enter").Singleton("w0", "leave").
+		Singleton("w1", "enter").Singleton("w1", "leave").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := lts.Explore(sys, lts.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _, _ := l.CheckInvariant(AtMostOneAt(sys, critical)); ok {
+		t.Fatal("without the architecture the exclusion property should fail")
+	}
+}
+
+func TestComposeMutexWithScheduler(t *testing.T) {
+	// E9: ⊕ of mutual exclusion and fixed-priority scheduling: both
+	// characteristic properties hold on the composed system.
+	b, clients, critical := buildWorkers(3)
+	mx, err := Mutex("mx", clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := FixedPriority("fp", []string{"acq_w0", "acq_w1", "acq_w2"})
+	both, err := Compose(mx, sched)
+	if err != nil {
+		t.Fatalf("⊕: %v", err)
+	}
+	sys, err := both.Apply(b).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := lts.Explore(sys, lts.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Property 1 (mutex).
+	if ok, bad, _ := l.CheckInvariant(AtMostOneAt(sys, critical)); !ok {
+		t.Fatalf("mutual exclusion violated at state %d", bad)
+	}
+	// Property 2 (scheduling): no state has an outgoing lower-priority
+	// acquire while a higher-priority acquire was enabled pre-priority.
+	for i := 0; i < l.NumStates(); i++ {
+		raw, err := sys.EnabledRaw(l.State(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rawSet := map[string]bool{}
+		for _, m := range raw {
+			rawSet[sys.Label(m)] = true
+		}
+		for _, e := range l.Edges(i) {
+			switch e.Label {
+			case "acq_w1":
+				if rawSet["acq_w0"] {
+					t.Fatalf("state %d: w1 acquired while w0 was ready", i)
+				}
+			case "acq_w2":
+				if rawSet["acq_w0"] || rawSet["acq_w1"] {
+					t.Fatalf("state %d: w2 acquired while a higher-priority worker was ready", i)
+				}
+			}
+		}
+	}
+	// Preservation: still deadlock-free.
+	if free, err := l.DeadlockFree(); err != nil || !free {
+		t.Fatalf("composition must preserve deadlock-freedom: %v %v", free, err)
+	}
+}
+
+func TestComposeRejectsClashes(t *testing.T) {
+	_, clients, _ := buildWorkers(2)
+	m1, err := Mutex("mx", clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Mutex("mx", clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compose(m1, m2); err == nil {
+		t.Fatal("coordinator clash must be rejected")
+	}
+	m3, err := Mutex("mx2", clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same interaction names (acq_w0 …) though different coordinator.
+	if _, err := Compose(m1, m3); err == nil {
+		t.Fatal("interaction clash must be rejected")
+	}
+}
+
+func TestMutexNeedsClients(t *testing.T) {
+	if _, err := Mutex("mx", nil); err == nil {
+		t.Fatal("empty client list must be rejected")
+	}
+}
+
+// replica produces a stream of values: correct ones produce round*2,
+// the faulty one produces garbage.
+func replica(faulty bool) *behavior.Atom {
+	update := expr.Set("v", expr.Add(expr.V("v"), expr.I(2)))
+	if faulty {
+		update = expr.Set("v", expr.I(-999))
+	}
+	return behavior.NewBuilder("rep").
+		Location("produce", "offer").
+		Int("v", 0).
+		Port("compute").
+		Port("out", "v").
+		TransitionG("produce", "compute", "offer", nil, update).
+		Transition("offer", "out", "produce").
+		MustBuild()
+}
+
+func TestTMRMasksSingleFault(t *testing.T) {
+	b := core.NewSystem("tmr")
+	b.AddAs("r0", replica(false))
+	b.AddAs("r1", replica(true)) // the faulty replica
+	b.AddAs("r2", replica(false))
+	for i := 0; i < 3; i++ {
+		b.Singleton("r"+strconv.Itoa(i), "compute")
+	}
+	tmr, err := TMR("voter", [3]TMRReplica{
+		{Comp: "r0", Port: "out", Var: "v"},
+		{Comp: "r1", Port: "out", Var: "v"},
+		{Comp: "r2", Port: "out", Var: "v"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Singleton("voter", "deliver")
+	sys, err := tmr.Apply(b).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run and check every delivered value is the correct (majority)
+	// one: the faulty replica's -999 never surfaces.
+	vi := sys.AtomIndex("voter")
+	var delivered []int64
+	_, err = engine.Run(sys, engine.Options{
+		MaxSteps: 400,
+		OnStep: func(_ int, label string, st core.State) {
+			if label == "voter.deliver" {
+				v, _ := st.Vars[vi].Get("out")
+				iv, _ := v.Int()
+				delivered = append(delivered, iv)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(delivered) == 0 {
+		t.Fatal("voter never delivered")
+	}
+	for i, v := range delivered {
+		want := int64(2 * (i + 1))
+		if v != want {
+			t.Fatalf("delivery %d = %d, want %d (fault not masked)", i, v, want)
+		}
+	}
+}
+
+func TestTMRAllCorrect(t *testing.T) {
+	b := core.NewSystem("tmr-ok")
+	for i := 0; i < 3; i++ {
+		b.AddAs("r"+strconv.Itoa(i), replica(false))
+		b.Singleton("r"+strconv.Itoa(i), "compute")
+	}
+	tmr, err := TMR("voter", [3]TMRReplica{
+		{Comp: "r0", Port: "out", Var: "v"},
+		{Comp: "r1", Port: "out", Var: "v"},
+		{Comp: "r2", Port: "out", Var: "v"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Singleton("voter", "deliver")
+	sys, err := tmr.Apply(b).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := engine.Run(sys, engine.Options{MaxSteps: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, l := range res.Labels {
+		if strings.HasPrefix(l, "decide_") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("voter never decided")
+	}
+}

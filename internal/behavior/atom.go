@@ -1,0 +1,312 @@
+// Package behavior implements atomic BIP components: automata extended
+// with data variables, whose transitions are labelled by ports, guarded by
+// expressions, and carry update actions. Atomic components are the
+// "Behavior" layer of BIP; their coordination (interactions, priorities)
+// lives in package core.
+package behavior
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"bip/internal/expr"
+)
+
+// VarDecl declares a component variable with its initial value.
+type VarDecl struct {
+	Name string
+	Init expr.Value
+}
+
+// Port is an interaction point of an atomic component. Vars lists the
+// component variables exported through the port: interaction guards may
+// read them and interaction data transfer may read and write them.
+type Port struct {
+	Name string
+	Vars []string
+}
+
+// Transition is a guarded, port-labelled control step. A transition with
+// guard nil is always enabled from its source location. Action (may be
+// nil) executes over the component's variables when the transition fires.
+type Transition struct {
+	From, To string
+	Port     string
+	Guard    expr.Expr
+	Action   expr.Stmt
+}
+
+// String renders the transition as source text.
+func (t Transition) String() string {
+	out := fmt.Sprintf("%s --%s--> %s", t.From, t.Port, t.To)
+	if t.Guard != nil {
+		out += " when " + t.Guard.String()
+	}
+	if t.Action != nil {
+		out += " do " + t.Action.String()
+	}
+	return out
+}
+
+// Atom is an atomic BIP component. Construct atoms with Builder, which
+// validates cross-references; a hand-built Atom can be checked with
+// Validate.
+type Atom struct {
+	Name        string
+	Locations   []string
+	Initial     string
+	Vars        []VarDecl
+	Ports       []Port
+	Transitions []Transition
+
+	// Invariants are the designer-asserted state predicates of the
+	// component, checked by the verification packages (they are claims,
+	// not assumptions).
+	Invariants []expr.Expr
+
+	portIdx map[string]int
+	locIdx  map[string]bool
+	varIdx  map[string]int
+}
+
+// Validate checks internal consistency and builds lookup indices. It must
+// be called (directly or via Builder.Build) before the atom is used.
+func (a *Atom) Validate() error {
+	if a.Name == "" {
+		return fmt.Errorf("atom: empty name")
+	}
+	if len(a.Locations) == 0 {
+		return fmt.Errorf("atom %s: no locations", a.Name)
+	}
+	a.locIdx = make(map[string]bool, len(a.Locations))
+	for _, l := range a.Locations {
+		if l == "" {
+			return fmt.Errorf("atom %s: empty location name", a.Name)
+		}
+		if a.locIdx[l] {
+			return fmt.Errorf("atom %s: duplicate location %q", a.Name, l)
+		}
+		a.locIdx[l] = true
+	}
+	if !a.locIdx[a.Initial] {
+		return fmt.Errorf("atom %s: initial location %q undeclared", a.Name, a.Initial)
+	}
+	a.varIdx = make(map[string]int, len(a.Vars))
+	for i, v := range a.Vars {
+		if v.Name == "" {
+			return fmt.Errorf("atom %s: empty variable name", a.Name)
+		}
+		if _, dup := a.varIdx[v.Name]; dup {
+			return fmt.Errorf("atom %s: duplicate variable %q", a.Name, v.Name)
+		}
+		if v.Init.Kind() == expr.KindInvalid {
+			return fmt.Errorf("atom %s: variable %q has no initial value", a.Name, v.Name)
+		}
+		a.varIdx[v.Name] = i
+	}
+	a.portIdx = make(map[string]int, len(a.Ports))
+	for i, p := range a.Ports {
+		if p.Name == "" {
+			return fmt.Errorf("atom %s: empty port name", a.Name)
+		}
+		if _, dup := a.portIdx[p.Name]; dup {
+			return fmt.Errorf("atom %s: duplicate port %q", a.Name, p.Name)
+		}
+		for _, v := range p.Vars {
+			if _, ok := a.varIdx[v]; !ok {
+				return fmt.Errorf("atom %s: port %q exports undeclared variable %q", a.Name, p.Name, v)
+			}
+		}
+		a.portIdx[p.Name] = i
+	}
+	for i, t := range a.Transitions {
+		if !a.locIdx[t.From] {
+			return fmt.Errorf("atom %s: transition %d: unknown source location %q", a.Name, i, t.From)
+		}
+		if !a.locIdx[t.To] {
+			return fmt.Errorf("atom %s: transition %d: unknown target location %q", a.Name, i, t.To)
+		}
+		if _, ok := a.portIdx[t.Port]; !ok {
+			return fmt.Errorf("atom %s: transition %d: unknown port %q", a.Name, i, t.Port)
+		}
+		for _, v := range expr.Vars(t.Guard) {
+			if _, ok := a.varIdx[v]; !ok {
+				return fmt.Errorf("atom %s: transition %d: guard reads undeclared variable %q", a.Name, i, v)
+			}
+		}
+		for _, v := range append(expr.Reads(t.Action), expr.Writes(t.Action)...) {
+			if _, ok := a.varIdx[v]; !ok {
+				return fmt.Errorf("atom %s: transition %d: action uses undeclared variable %q", a.Name, i, v)
+			}
+		}
+	}
+	for i, inv := range a.Invariants {
+		for _, v := range expr.Vars(inv) {
+			if _, ok := a.varIdx[v]; !ok {
+				return fmt.Errorf("atom %s: invariant %d reads undeclared variable %q", a.Name, i, v)
+			}
+		}
+	}
+	return nil
+}
+
+// HasPort reports whether the atom declares a port with the given name.
+func (a *Atom) HasPort(name string) bool {
+	_, ok := a.portIdx[name]
+	return ok
+}
+
+// PortByName returns the declared port. It reports false for unknown
+// names.
+func (a *Atom) PortByName(name string) (Port, bool) {
+	i, ok := a.portIdx[name]
+	if !ok {
+		return Port{}, false
+	}
+	return a.Ports[i], true
+}
+
+// HasLocation reports whether the atom declares the location.
+func (a *Atom) HasLocation(name string) bool { return a.locIdx[name] }
+
+// HasVar reports whether the atom declares the variable.
+func (a *Atom) HasVar(name string) bool {
+	_, ok := a.varIdx[name]
+	return ok
+}
+
+// InitialState returns a fresh state at the initial location with all
+// variables at their declared initial values.
+func (a *Atom) InitialState() State {
+	vars := make(expr.MapEnv, len(a.Vars))
+	for _, v := range a.Vars {
+		vars[v.Name] = v.Init
+	}
+	return State{Loc: a.Initial, Vars: vars}
+}
+
+// TransitionsOn returns the indices of transitions labelled by port that
+// leave location from. The result preserves declaration order.
+func (a *Atom) TransitionsOn(from, port string) []int {
+	var out []int
+	for i, t := range a.Transitions {
+		if t.From == from && t.Port == port {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Enabled returns the indices of transitions labelled by port that are
+// enabled in state s (source location matches and local guard holds).
+func (a *Atom) Enabled(s State, port string) ([]int, error) {
+	var out []int
+	for _, i := range a.TransitionsOn(s.Loc, port) {
+		ok, err := expr.EvalBool(a.Transitions[i].Guard, s.Vars)
+		if err != nil {
+			return nil, fmt.Errorf("atom %s: %w", a.Name, err)
+		}
+		if ok {
+			out = append(out, i)
+		}
+	}
+	return out, nil
+}
+
+// Exec fires transition index i from state s and returns the successor
+// state. The input state is not mutated.
+func (a *Atom) Exec(s State, i int) (State, error) {
+	if i < 0 || i >= len(a.Transitions) {
+		return State{}, fmt.Errorf("atom %s: transition index %d out of range", a.Name, i)
+	}
+	t := a.Transitions[i]
+	if t.From != s.Loc {
+		return State{}, fmt.Errorf("atom %s: transition %d starts at %q, state is at %q", a.Name, i, t.From, s.Loc)
+	}
+	next := State{Loc: t.To, Vars: s.Vars.Clone()}
+	if t.Action != nil {
+		if err := t.Action.Exec(next.Vars); err != nil {
+			return State{}, fmt.Errorf("atom %s: %w", a.Name, err)
+		}
+	}
+	return next, nil
+}
+
+// Rename returns a deep copy of the atom under a new name. Ports,
+// locations and variables keep their local names; only the component
+// identity changes. Used when instantiating an atom type several times.
+func (a *Atom) Rename(name string) *Atom {
+	cp := &Atom{
+		Name:        name,
+		Locations:   append([]string(nil), a.Locations...),
+		Initial:     a.Initial,
+		Vars:        append([]VarDecl(nil), a.Vars...),
+		Ports:       make([]Port, len(a.Ports)),
+		Transitions: append([]Transition(nil), a.Transitions...),
+		Invariants:  append([]expr.Expr(nil), a.Invariants...),
+	}
+	for i, p := range a.Ports {
+		cp.Ports[i] = Port{Name: p.Name, Vars: append([]string(nil), p.Vars...)}
+	}
+	// Re-validate to rebuild the indices of the copy.
+	if err := cp.Validate(); err != nil {
+		// The source atom was valid, so the copy must be; a failure here
+		// is a programming error in Rename itself.
+		panic(fmt.Sprintf("behavior: rename of valid atom failed validation: %v", err))
+	}
+	return cp
+}
+
+// String renders a compact description of the atom.
+func (a *Atom) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "atom %s: %d locations, %d vars, %d ports, %d transitions",
+		a.Name, len(a.Locations), len(a.Vars), len(a.Ports), len(a.Transitions))
+	return b.String()
+}
+
+// State is the dynamic state of an atom: a control location and a
+// valuation of its variables.
+type State struct {
+	Loc  string
+	Vars expr.MapEnv
+}
+
+// Clone returns a deep copy of the state.
+func (s State) Clone() State {
+	return State{Loc: s.Loc, Vars: s.Vars.Clone()}
+}
+
+// Key returns a canonical string encoding of the state, usable as a map
+// key during state-space exploration. Variables are sorted by name.
+func (s State) Key() string {
+	names := make([]string, 0, len(s.Vars))
+	for n := range s.Vars {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteString(s.Loc)
+	for _, n := range names {
+		b.WriteByte('|')
+		b.WriteString(n)
+		b.WriteByte('=')
+		b.WriteString(s.Vars[n].String())
+	}
+	return b.String()
+}
+
+// Equal reports whether two states have the same location and valuation.
+func (s State) Equal(o State) bool {
+	if s.Loc != o.Loc || len(s.Vars) != len(o.Vars) {
+		return false
+	}
+	for n, v := range s.Vars {
+		ov, ok := o.Vars[n]
+		if !ok || !v.Equal(ov) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,102 @@
+package behavior
+
+import (
+	"fmt"
+
+	"bip/internal/expr"
+)
+
+// Builder assembles an Atom with a fluent API. Errors are accumulated and
+// reported once by Build, so model construction code stays linear.
+type Builder struct {
+	atom Atom
+	errs []error
+}
+
+// NewBuilder starts building an atom with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{atom: Atom{Name: name}}
+}
+
+// Location declares one or more control locations. The first location
+// ever declared becomes the initial location unless Initial overrides it.
+func (b *Builder) Location(names ...string) *Builder {
+	for _, n := range names {
+		if len(b.atom.Locations) == 0 && b.atom.Initial == "" {
+			b.atom.Initial = n
+		}
+		b.atom.Locations = append(b.atom.Locations, n)
+	}
+	return b
+}
+
+// Initial sets the initial location explicitly.
+func (b *Builder) Initial(name string) *Builder {
+	b.atom.Initial = name
+	return b
+}
+
+// Int declares an integer variable with an initial value.
+func (b *Builder) Int(name string, init int64) *Builder {
+	b.atom.Vars = append(b.atom.Vars, VarDecl{Name: name, Init: expr.IntVal(init)})
+	return b
+}
+
+// Bool declares a boolean variable with an initial value.
+func (b *Builder) Bool(name string, init bool) *Builder {
+	b.atom.Vars = append(b.atom.Vars, VarDecl{Name: name, Init: expr.BoolVal(init)})
+	return b
+}
+
+// Port declares a port exporting the listed variables.
+func (b *Builder) Port(name string, exported ...string) *Builder {
+	b.atom.Ports = append(b.atom.Ports, Port{Name: name, Vars: exported})
+	return b
+}
+
+// Transition adds an unguarded transition with no action.
+func (b *Builder) Transition(from, port, to string) *Builder {
+	return b.TransitionG(from, port, to, nil, nil)
+}
+
+// TransitionG adds a transition with an optional guard and action (either
+// may be nil).
+func (b *Builder) TransitionG(from, port, to string, guard expr.Expr, action expr.Stmt) *Builder {
+	b.atom.Transitions = append(b.atom.Transitions, Transition{
+		From: from, To: to, Port: port, Guard: guard, Action: action,
+	})
+	return b
+}
+
+// Invariant records a designer-asserted state predicate.
+func (b *Builder) Invariant(e expr.Expr) *Builder {
+	b.atom.Invariants = append(b.atom.Invariants, e)
+	return b
+}
+
+// Build validates and returns the atom.
+func (b *Builder) Build() (*Atom, error) {
+	if len(b.errs) > 0 {
+		return nil, fmt.Errorf("atom %s: %v", b.atom.Name, b.errs[0])
+	}
+	a := b.atom // copy; the builder can be reused for variants
+	a.Locations = append([]string(nil), b.atom.Locations...)
+	a.Vars = append([]VarDecl(nil), b.atom.Vars...)
+	a.Ports = append([]Port(nil), b.atom.Ports...)
+	a.Transitions = append([]Transition(nil), b.atom.Transitions...)
+	a.Invariants = append([]expr.Expr(nil), b.atom.Invariants...)
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	return &a, nil
+}
+
+// MustBuild is Build for static models known to be valid; it panics on
+// error and is intended for package-level model constructors and tests.
+func (b *Builder) MustBuild() *Atom {
+	a, err := b.Build()
+	if err != nil {
+		panic(fmt.Sprintf("behavior: %v", err))
+	}
+	return a
+}

@@ -1,0 +1,185 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperiments smoke-runs every driver at reduced scale and checks
+// the headline verdict embedded in each table. This is the repository's
+// end-to-end test of the paper reproduction.
+func TestAllExperiments(t *testing.T) {
+	t.Run("E1", func(t *testing.T) {
+		tb, err := E1DFinderVsMonolithic(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range tb.Rows {
+			if !strings.Contains(r[7], "agree") {
+				t.Fatalf("E1 row %v: verifiers disagree", r)
+			}
+		}
+	})
+	t.Run("E2", func(t *testing.T) {
+		tb, err := E2Glue()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tb.Rows[0][1] != "0" || tb.Rows[0][2] != "true" {
+			t.Fatalf("E2: separation failed: %v", tb.Rows[0])
+		}
+	})
+	t.Run("E3", func(t *testing.T) {
+		tb, err := E3Lustre(50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tb.Rows[0][4] != "true" {
+			t.Fatalf("E3: embedding mismatch: %v", tb.Rows[0])
+		}
+		if tb.Rows[0][0] != tb.Rows[0][1] {
+			t.Fatalf("E3: not structure-preserving: %v", tb.Rows[0])
+		}
+	})
+	t.Run("E4", func(t *testing.T) {
+		tb, err := E4UnitDelay(5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range tb.Rows {
+			if r[3] != "ok" {
+				t.Fatalf("E4 row %v: simulation diverged", r)
+			}
+		}
+	})
+	t.Run("E5", func(t *testing.T) {
+		tb, err := E5Refinement()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tb.Rows[0][2] != "true" || tb.Rows[0][3] != "true" {
+			t.Fatalf("E5: refinement broke equivalence: %v", tb.Rows[0])
+		}
+	})
+	t.Run("E6", func(t *testing.T) {
+		tb, err := E6Stability()
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := tb.Rows[0]
+		if r[0] != "true" {
+			t.Fatalf("E6: original not deadlock-free: %v", r)
+		}
+		if r[1] == "0" {
+			t.Fatalf("E6: naive refinement should deadlock: %v", r)
+		}
+		if r[2] == "0" {
+			t.Fatalf("E6: reservation protocol stalled: %v", r)
+		}
+	})
+	t.Run("E7", func(t *testing.T) {
+		tb, err := E7CRP([]int{4}, 40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tb.Rows) != 3 {
+			t.Fatalf("E7: want 3 CRP rows, got %d", len(tb.Rows))
+		}
+		for _, r := range tb.Rows {
+			if r[6] != "true" {
+				t.Fatalf("E7 row %v: invalid commit order", r)
+			}
+		}
+	})
+	t.Run("E8", func(t *testing.T) {
+		tb, err := E8Engines([]int{1, 2}, 100, 5000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range tb.Rows {
+			if r[5] != "true" {
+				t.Fatalf("E8 row %v: MT order invalid", r)
+			}
+		}
+	})
+	t.Run("E9", func(t *testing.T) {
+		tb, err := E9Arch([]int{2, 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range tb.Rows {
+			if r[2] != "true" || r[3] != "true" || r[4] != "true" {
+				t.Fatalf("E9 row %v: property violated", r)
+			}
+		}
+	})
+	t.Run("E10", func(t *testing.T) {
+		tb, err := E10Anomaly()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tb.Rows[0][3] != "true" || tb.Rows[0][4] != "true" {
+			t.Fatalf("E10: anomaly or robustness check failed: %v", tb.Rows[0])
+		}
+	})
+	t.Run("E11", func(t *testing.T) {
+		tb, err := E11Invariants()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range tb.Rows {
+			if r[2] != "true" {
+				t.Fatalf("E11 row %v: invariant violated", r)
+			}
+		}
+	})
+	t.Run("E12", func(t *testing.T) {
+		tb, err := E12Incremental(5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range tb.Rows {
+			if r[2] != "deadlock-free" {
+				t.Fatalf("E12 row %v: proof failed", r)
+			}
+		}
+	})
+	t.Run("E13", func(t *testing.T) {
+		tb, err := E13Flattening([]int{1, 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range tb.Rows {
+			if r[2] != "true" {
+				t.Fatalf("E13 row %v: flattening not bisimilar", r)
+			}
+		}
+	})
+	t.Run("E14", func(t *testing.T) {
+		tb, err := E14Elevator()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tb.Rows[0][2] != "true" {
+			t.Fatalf("E14: safe elevator violates requirement: %v", tb.Rows[0])
+		}
+		if tb.Rows[1][2] != "false" {
+			t.Fatalf("E14: unsafe elevator should violate requirement: %v", tb.Rows[1])
+		}
+	})
+}
+
+func TestTableString(t *testing.T) {
+	tb := &Table{
+		ID: "EX", Title: "demo",
+		Headers: []string{"a", "long-header"},
+		Rows:    [][]string{{"xxxxx", "y"}},
+		Notes:   []string{"a note"},
+	}
+	out := tb.String()
+	for _, want := range []string{"EX", "demo", "long-header", "xxxxx", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table output %q missing %q", out, want)
+		}
+	}
+}

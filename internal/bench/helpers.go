@@ -1,0 +1,205 @@
+package bench
+
+import (
+	"strconv"
+	"time"
+
+	"bip/internal/arch"
+	"bip/internal/behavior"
+	"bip/internal/core"
+	"bip/internal/expr"
+	"bip/internal/lts"
+)
+
+// behaviorPing is the two-port ping atom used by the refinement
+// experiments.
+func behaviorPing() *behavior.Atom {
+	return behavior.NewBuilder("ping").
+		Location("i", "j").
+		Port("hit").Port("back").
+		Transition("i", "hit", "j").
+		Transition("j", "back", "i").
+		MustBuild()
+}
+
+// workerAtom performs `work` interpreter iterations per synchronization:
+// the "quantum of computation" of the engine benchmark.
+func workerAtom(work int) *behavior.Atom {
+	return behavior.NewBuilder("worker").
+		Location("s").
+		Int("x", 0).
+		Port("step", "x").
+		TransitionG("s", "step", "s", nil,
+			expr.Repeat{Times: work, Body: expr.Set("x", expr.Add(expr.V("x"), expr.I(1)))}).
+		MustBuild()
+}
+
+// stabilityWitness is the Fig. 5.4-bottom instance shared by E6 and the
+// refine package tests: a is never enabled (C1's part is unreachable),
+// b loops forever.
+func stabilityWitness() (*core.System, error) {
+	c1, err := behavior.NewBuilder("C1").
+		Location("s1", "u1", "t1").
+		Port("pa").
+		Transition("u1", "pa", "t1").
+		Build()
+	if err != nil {
+		return nil, err
+	}
+	c2, err := behavior.NewBuilder("C2").
+		Location("s2").
+		Port("pa").Port("pb").
+		Transition("s2", "pa", "s2").
+		Transition("s2", "pb", "s2").
+		Build()
+	if err != nil {
+		return nil, err
+	}
+	c3, err := behavior.NewBuilder("C3").
+		Location("s3").
+		Port("pb").
+		Transition("s3", "pb", "s3").
+		Build()
+	if err != nil {
+		return nil, err
+	}
+	return core.NewSystem("fig54bottom").
+		Add(c1).Add(c2).Add(c3).
+		Connect("a", core.P("C1", "pa"), core.P("C2", "pa")).
+		Connect("b", core.P("C2", "pb"), core.P("C3", "pb")).
+		Build()
+}
+
+// nestedVsFlat builds a chain of ping pairs nested `depth` composites
+// deep, and its flat equivalent, for E13.
+func nestedVsFlat(depth int) (*core.System, *core.System, error) {
+	ping := behaviorPing()
+	leafPair := func(i int) *core.Composite {
+		si := strconv.Itoa(i)
+		return core.NewComposite("pair"+si).
+			Atom("l", ping).
+			Atom("r", ping).
+			Connect("hit"+si, core.P("l", "hit"), core.P("r", "hit")).
+			Connect("back"+si, core.P("l", "back"), core.P("r", "back")).
+			Build()
+	}
+	// Nested: pair0 ⊂ wrap1 ⊂ wrap2 ⊂ … ⊂ root, one extra pair per level.
+	inner := core.Component(leafPair(0))
+	for d := 1; d < depth; d++ {
+		inner = core.NewComposite("wrap" + strconv.Itoa(d)).
+			Sub(inner).
+			Sub(leafPair(d)).
+			Build()
+	}
+	nested, err := core.Flatten(core.NewComposite("sys").Sub(inner).Build())
+	if err != nil {
+		return nil, nil, err
+	}
+	// Flat: all pairs side by side.
+	fb := core.NewSystem("flat")
+	for i := 0; i < depth; i++ {
+		si := strconv.Itoa(i)
+		fb.AddAs("l"+si, ping).AddAs("r"+si, ping)
+		fb.Connect("hit"+si, core.P("l"+si, "hit"), core.P("r"+si, "hit"))
+		fb.Connect("back"+si, core.P("l"+si, "back"), core.P("r"+si, "back"))
+	}
+	flat, err := fb.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	return nested, flat, nil
+}
+
+// E9Arch reproduces the §5.5.2 property-enforcement-and-composability
+// experiment: Mutex ⊕ FixedPriority on n workers satisfies both
+// characteristic properties and preserves deadlock-freedom.
+func E9Arch(sizes []int) (*Table, error) {
+	t := &Table{
+		ID:      "E9",
+		Title:   "architecture composition ⊕: mutual exclusion ⊕ fixed-priority scheduling",
+		Headers: []string{"workers", "states", "mutex holds", "priority holds", "deadlock-free", "time"},
+	}
+	for _, n := range sizes {
+		start := time.Now()
+		b := core.NewSystem("workers")
+		var clients []arch.MutexClient
+		critical := make(map[string]string, n)
+		var acqOrder []string
+		w := behavior.NewBuilder("worker").
+			Location("idle", "critical").
+			Port("enter").
+			Port("leave").
+			Transition("idle", "enter", "critical").
+			Transition("critical", "leave", "idle").
+			MustBuild()
+		for i := 0; i < n; i++ {
+			name := "w" + strconv.Itoa(i)
+			b.AddAs(name, w)
+			clients = append(clients, arch.MutexClient{Comp: name, Acquire: "enter", Release: "leave"})
+			critical[name] = "critical"
+			acqOrder = append(acqOrder, "acq_"+name)
+		}
+		mx, err := arch.Mutex("mx", clients)
+		if err != nil {
+			return nil, err
+		}
+		both, err := arch.Compose(mx, arch.FixedPriority("fp", acqOrder))
+		if err != nil {
+			return nil, err
+		}
+		sys, err := both.Apply(b).Build()
+		if err != nil {
+			return nil, err
+		}
+		l, err := lts.Explore(sys, lts.Options{})
+		if err != nil {
+			return nil, err
+		}
+		mutexOK, _, _ := l.CheckInvariant(arch.AtMostOneAt(sys, critical))
+		prioOK, err := priorityRespected(sys, l, acqOrder)
+		if err != nil {
+			return nil, err
+		}
+		free, err := l.DeadlockFree()
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			strconv.Itoa(n),
+			strconv.Itoa(l.NumStates()),
+			strconv.FormatBool(mutexOK),
+			strconv.FormatBool(prioOK),
+			strconv.FormatBool(free),
+			ms(time.Since(start)),
+		})
+	}
+	return t, nil
+}
+
+// priorityRespected checks the FixedPriority characteristic property on
+// the explored state space: no edge fires a lower-priority acquire while
+// a higher one was enabled pre-priority.
+func priorityRespected(sys *core.System, l *lts.LTS, acqHighFirst []string) (bool, error) {
+	rank := make(map[string]int, len(acqHighFirst))
+	for i, n := range acqHighFirst {
+		rank[n] = i
+	}
+	for i := 0; i < l.NumStates(); i++ {
+		raw, err := sys.EnabledRaw(l.State(i))
+		if err != nil {
+			return false, err
+		}
+		best := len(acqHighFirst)
+		for _, m := range raw {
+			if r, ok := rank[sys.Label(m)]; ok && r < best {
+				best = r
+			}
+		}
+		for _, e := range l.Edges(i) {
+			if r, ok := rank[e.Label]; ok && r > best {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}

@@ -1,0 +1,233 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"bip/internal/behavior"
+	"bip/internal/expr"
+)
+
+// SystemBuilder assembles a flat System with a fluent API.
+type SystemBuilder struct {
+	sys  System
+	errs []error
+}
+
+// NewSystem starts building a system.
+func NewSystem(name string) *SystemBuilder {
+	return &SystemBuilder{sys: System{Name: name}}
+}
+
+// Add installs a component instance under its own name.
+func (b *SystemBuilder) Add(a *behavior.Atom) *SystemBuilder {
+	b.sys.Atoms = append(b.sys.Atoms, a)
+	return b
+}
+
+// AddAs installs a renamed copy of an atom, allowing one atom type to be
+// instantiated several times.
+func (b *SystemBuilder) AddAs(name string, a *behavior.Atom) *SystemBuilder {
+	b.sys.Atoms = append(b.sys.Atoms, a.Rename(name))
+	return b
+}
+
+// Connect adds a rendezvous interaction over the given ports with no
+// guard or data transfer.
+func (b *SystemBuilder) Connect(name string, ports ...PortRef) *SystemBuilder {
+	return b.ConnectGD(name, nil, nil, ports...)
+}
+
+// ConnectGD adds an interaction with a guard and a data-transfer action
+// (either may be nil).
+func (b *SystemBuilder) ConnectGD(name string, guard expr.Expr, action expr.Stmt, ports ...PortRef) *SystemBuilder {
+	b.sys.Interactions = append(b.sys.Interactions, &Interaction{
+		Name: name, Ports: ports, Guard: guard, Action: action,
+	})
+	return b
+}
+
+// Interaction adds a pre-built interaction.
+func (b *SystemBuilder) Interaction(in *Interaction) *SystemBuilder {
+	b.sys.Interactions = append(b.sys.Interactions, in)
+	return b
+}
+
+// Singleton adds a unary interaction exposing an internal step of one
+// component. Its name is "comp.port".
+func (b *SystemBuilder) Singleton(comp, port string) *SystemBuilder {
+	return b.Connect(comp+"."+port, P(comp, port))
+}
+
+// Priority adds the rule low < high (low suppressed while high enabled).
+func (b *SystemBuilder) Priority(low, high string) *SystemBuilder {
+	b.sys.Priorities = append(b.sys.Priorities, Priority{Low: low, High: high})
+	return b
+}
+
+// PriorityWhen adds a conditional priority rule.
+func (b *SystemBuilder) PriorityWhen(low, high string, when expr.Expr) *SystemBuilder {
+	b.sys.Priorities = append(b.sys.Priorities, Priority{Low: low, High: high, When: when})
+	return b
+}
+
+// Connector expands a connector into its feasible interactions and the
+// maximal-progress priorities among them.
+func (b *SystemBuilder) Connector(c Connector) *SystemBuilder {
+	inters, prios, err := c.Expand()
+	if err != nil {
+		b.errs = append(b.errs, err)
+		return b
+	}
+	b.sys.Interactions = append(b.sys.Interactions, inters...)
+	b.sys.Priorities = append(b.sys.Priorities, prios...)
+	return b
+}
+
+// Build validates and returns the system.
+func (b *SystemBuilder) Build() (*System, error) {
+	if len(b.errs) > 0 {
+		return nil, fmt.Errorf("system %s: %v", b.sys.Name, b.errs[0])
+	}
+	sys := b.sys
+	sys.Atoms = append([]*behavior.Atom(nil), b.sys.Atoms...)
+	sys.Interactions = append([]*Interaction(nil), b.sys.Interactions...)
+	sys.Priorities = append([]Priority(nil), b.sys.Priorities...)
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	return &sys, nil
+}
+
+// MustBuild is Build for static models; it panics on error.
+func (b *SystemBuilder) MustBuild() *System {
+	s, err := b.Build()
+	if err != nil {
+		panic(fmt.Sprintf("core: %v", err))
+	}
+	return s
+}
+
+// ConnectorEnd is one endpoint of a connector. Trigger endpoints can
+// initiate an interaction without the others (broadcast); non-trigger
+// endpoints (synchrons) participate only if included.
+type ConnectorEnd struct {
+	Ref     PortRef
+	Trigger bool
+}
+
+// Sync returns a synchron endpoint.
+func Sync(comp, port string) ConnectorEnd { return ConnectorEnd{Ref: P(comp, port)} }
+
+// Trig returns a trigger endpoint.
+func Trig(comp, port string) ConnectorEnd {
+	return ConnectorEnd{Ref: P(comp, port), Trigger: true}
+}
+
+// Connector is BIP's structured glue: a named set of endpoints which
+// expands into feasible interactions.
+//
+//   - No triggers: strong synchronization — a single interaction with all
+//     endpoints (rendezvous).
+//   - With triggers: every subset of endpoints containing at least one
+//     trigger is feasible (broadcast), and Expand also emits the
+//     maximal-progress priorities (a < b whenever a ⊂ b), which is how
+//     BIP obtains the usual "receivers that are ready must listen"
+//     broadcast semantics.
+type Connector struct {
+	Name string
+	Ends []ConnectorEnd
+}
+
+// Rendezvous builds a trigger-free connector.
+func Rendezvous(name string, refs ...PortRef) Connector {
+	ends := make([]ConnectorEnd, len(refs))
+	for i, r := range refs {
+		ends[i] = ConnectorEnd{Ref: r}
+	}
+	return Connector{Name: name, Ends: ends}
+}
+
+// Broadcast builds a connector with one trigger (the sender) and any
+// number of synchron receivers.
+func Broadcast(name string, sender PortRef, receivers ...PortRef) Connector {
+	ends := make([]ConnectorEnd, 0, len(receivers)+1)
+	ends = append(ends, ConnectorEnd{Ref: sender, Trigger: true})
+	for _, r := range receivers {
+		ends = append(ends, ConnectorEnd{Ref: r})
+	}
+	return Connector{Name: name, Ends: ends}
+}
+
+// Expand returns the connector's feasible interactions and the
+// maximal-progress priorities among them.
+func (c Connector) Expand() ([]*Interaction, []Priority, error) {
+	if c.Name == "" {
+		return nil, nil, fmt.Errorf("connector: empty name")
+	}
+	if len(c.Ends) == 0 {
+		return nil, nil, fmt.Errorf("connector %s: no endpoints", c.Name)
+	}
+	if len(c.Ends) > 16 {
+		return nil, nil, fmt.Errorf("connector %s: too many endpoints (%d)", c.Name, len(c.Ends))
+	}
+	hasTrigger := false
+	for _, e := range c.Ends {
+		if e.Trigger {
+			hasTrigger = true
+			break
+		}
+	}
+	if !hasTrigger {
+		refs := make([]PortRef, len(c.Ends))
+		for i, e := range c.Ends {
+			refs[i] = e.Ref
+		}
+		return []*Interaction{{Name: c.Name, Ports: refs}}, nil, nil
+	}
+
+	// Enumerate subsets containing at least one trigger.
+	type subset struct {
+		mask int
+		in   *Interaction
+	}
+	var subsets []subset
+	n := len(c.Ends)
+	for mask := 1; mask < 1<<n; mask++ {
+		trig := false
+		var refs []PortRef
+		var parts []string
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) == 0 {
+				continue
+			}
+			if c.Ends[i].Trigger {
+				trig = true
+			}
+			refs = append(refs, c.Ends[i].Ref)
+			parts = append(parts, c.Ends[i].Ref.String())
+		}
+		if !trig {
+			continue
+		}
+		sort.Strings(parts)
+		subsets = append(subsets, subset{
+			mask: mask,
+			in:   &Interaction{Name: c.Name + "#" + strings.Join(parts, "+"), Ports: refs},
+		})
+	}
+	inters := make([]*Interaction, len(subsets))
+	for i, s := range subsets {
+		inters[i] = s.in
+	}
+	var prios []Priority
+	for _, a := range subsets {
+		for _, b := range subsets {
+			if a.mask != b.mask && a.mask&b.mask == a.mask {
+				prios = append(prios, Priority{Low: a.in.Name, High: b.in.Name})
+			}
+		}
+	}
+	return inters, prios, nil
+}

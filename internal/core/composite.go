@@ -1,0 +1,264 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"bip/internal/behavior"
+	"bip/internal/expr"
+)
+
+// Component is a node of a hierarchical BIP model: either an Instance
+// (leaf atom) or a Composite. Hierarchical models are flattened to a
+// System before analysis or execution; the paper's incrementality and
+// flattening requirements (§5.3.2) say — and experiment E13 checks — that
+// this transformation preserves behaviour up to interaction renaming.
+type Component interface {
+	// ComponentName returns the instance name of the node within its
+	// parent.
+	ComponentName() string
+	// ExportedPort resolves an exported port name to the leaf-level
+	// reference relative to this node (path segments joined by '/').
+	ExportedPort(name string) (PortRef, error)
+}
+
+// Instance is a leaf component: a named atom.
+type Instance struct {
+	Name string
+	Atom *behavior.Atom
+}
+
+var _ Component = (*Instance)(nil)
+
+// ComponentName implements Component.
+func (i *Instance) ComponentName() string { return i.Name }
+
+// ExportedPort implements Component: every port of the atom is exported.
+// The returned reference is relative to the instance itself (empty Comp),
+// so that resolve can build the correct path.
+func (i *Instance) ExportedPort(name string) (PortRef, error) {
+	if !i.Atom.HasPort(name) {
+		return PortRef{}, fmt.Errorf("instance %s: no port %q", i.Name, name)
+	}
+	return PortRef{Port: name}, nil
+}
+
+// Export re-exports a sub-component port under a new name at the
+// composite boundary.
+type Export struct {
+	Name string  // name visible to the parent
+	Of   PortRef // Comp = sub-component name, Port = its (exported) port
+}
+
+// Composite is an internal node: sub-components glued by interactions and
+// priorities, with an explicit export interface. Interaction port
+// references use sub-component names; referencing a sub-composite means
+// referencing one of its exports.
+type Composite struct {
+	Name         string
+	Subs         []Component
+	Interactions []*Interaction
+	Priorities   []Priority
+	Exports      []Export
+}
+
+var _ Component = (*Composite)(nil)
+
+// ComponentName implements Component.
+func (c *Composite) ComponentName() string { return c.Name }
+
+// ExportedPort implements Component.
+func (c *Composite) ExportedPort(name string) (PortRef, error) {
+	for _, e := range c.Exports {
+		if e.Name != name {
+			continue
+		}
+		inner, err := c.resolve(e.Of)
+		if err != nil {
+			return PortRef{}, fmt.Errorf("composite %s: export %q: %w", c.Name, name, err)
+		}
+		return inner, nil
+	}
+	return PortRef{}, fmt.Errorf("composite %s: no export %q", c.Name, name)
+}
+
+// sub returns the named direct sub-component.
+func (c *Composite) sub(name string) (Component, error) {
+	for _, s := range c.Subs {
+		if s.ComponentName() == name {
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("composite %s: no sub-component %q", c.Name, name)
+}
+
+// resolve maps a reference relative to this composite ("sub.port", where
+// port may be an export of a sub-composite) to a leaf-level reference with
+// a '/'-joined path.
+func (c *Composite) resolve(ref PortRef) (PortRef, error) {
+	s, err := c.sub(ref.Comp)
+	if err != nil {
+		return PortRef{}, err
+	}
+	inner, err := s.ExportedPort(ref.Port)
+	if err != nil {
+		return PortRef{}, err
+	}
+	comp := ref.Comp
+	if inner.Comp != "" {
+		comp = ref.Comp + "/" + inner.Comp
+	}
+	return PortRef{Comp: comp, Port: inner.Port}, nil
+}
+
+// Flatten elaborates a hierarchical component into a flat System. Leaf
+// atoms are renamed to their '/'-joined paths; interactions of nested
+// composites are renamed likewise, so priorities stay within their
+// composite of origin (BIP's layered application of glue).
+func Flatten(root Component) (*System, error) {
+	b := NewSystem(root.ComponentName())
+	if err := flattenInto(b, root, ""); err != nil {
+		return nil, err
+	}
+	return b.Build()
+}
+
+func flattenInto(b *SystemBuilder, node Component, path string) error {
+	switch n := node.(type) {
+	case *Instance:
+		if n.Atom == nil {
+			return fmt.Errorf("instance %s: nil atom", n.Name)
+		}
+		name := n.Name
+		if path != "" {
+			name = path
+		}
+		b.AddAs(name, n.Atom)
+		return nil
+	case *Composite:
+		for _, s := range n.Subs {
+			childPath := s.ComponentName()
+			if path != "" {
+				childPath = path + "/" + s.ComponentName()
+			}
+			if err := flattenInto(b, s, childPath); err != nil {
+				return err
+			}
+		}
+		prefix := ""
+		if path != "" {
+			prefix = path + "/"
+		}
+		for _, in := range n.Interactions {
+			flat, err := flattenInteraction(n, in, path)
+			if err != nil {
+				return err
+			}
+			b.Interaction(flat)
+		}
+		for _, p := range n.Priorities {
+			b.sys.Priorities = append(b.sys.Priorities, Priority{
+				Low:  prefix + p.Low,
+				High: prefix + p.High,
+				When: expr.Rename(p.When, func(v string) string { return renameQualified(n, v, path) }),
+			})
+		}
+		return nil
+	default:
+		return fmt.Errorf("flatten: unknown component type %T", node)
+	}
+}
+
+// flattenInteraction rewrites an interaction declared inside composite n
+// (at the given path) into leaf-level references and renames the
+// qualified variables of its guard and action accordingly.
+func flattenInteraction(n *Composite, in *Interaction, path string) (*Interaction, error) {
+	prefix := ""
+	if path != "" {
+		prefix = path + "/"
+	}
+	flat := &Interaction{Name: prefix + in.Name}
+	for _, pr := range in.Ports {
+		leaf, err := n.resolve(pr)
+		if err != nil {
+			return nil, fmt.Errorf("interaction %q: %w", in.Name, err)
+		}
+		flat.Ports = append(flat.Ports, PortRef{Comp: prefix + leaf.Comp, Port: leaf.Port})
+	}
+	ren := func(v string) string { return renameQualified(n, v, path) }
+	flat.Guard = expr.Rename(in.Guard, ren)
+	flat.Action = expr.RenameStmt(in.Action, ren)
+	return flat, nil
+}
+
+// renameQualified rewrites "sub.var" (or "sub/deeper.var") so that the
+// first path segment, which names a direct sub-component of n, is resolved
+// against the flattening path. Variables of sub-composites are referenced
+// through the leaf path of the component that owns them, so only the
+// prefix changes.
+func renameQualified(n *Composite, v string, path string) string {
+	prefix := ""
+	if path != "" {
+		prefix = path + "/"
+	}
+	dot := strings.LastIndexByte(v, '.')
+	if dot <= 0 {
+		return v
+	}
+	comp := v[:dot]
+	// Direct sub-instance or a path already rooted at a sub of n: both
+	// become prefix + comp.
+	return prefix + comp + v[dot:]
+}
+
+// NewComposite builds a composite node.
+func NewComposite(name string) *CompositeBuilder {
+	return &CompositeBuilder{c: Composite{Name: name}}
+}
+
+// CompositeBuilder assembles a Composite with a fluent API mirroring
+// SystemBuilder.
+type CompositeBuilder struct {
+	c Composite
+}
+
+// Sub adds a sub-component.
+func (b *CompositeBuilder) Sub(c Component) *CompositeBuilder {
+	b.c.Subs = append(b.c.Subs, c)
+	return b
+}
+
+// Atom adds a leaf instance wrapping a (renamed copy of an) atom.
+func (b *CompositeBuilder) Atom(name string, a *behavior.Atom) *CompositeBuilder {
+	return b.Sub(&Instance{Name: name, Atom: a.Rename(name)})
+}
+
+// Connect adds a rendezvous interaction over sub-component ports.
+func (b *CompositeBuilder) Connect(name string, ports ...PortRef) *CompositeBuilder {
+	b.c.Interactions = append(b.c.Interactions, &Interaction{Name: name, Ports: ports})
+	return b
+}
+
+// ConnectGD adds an interaction with guard and data transfer.
+func (b *CompositeBuilder) ConnectGD(name string, guard expr.Expr, action expr.Stmt, ports ...PortRef) *CompositeBuilder {
+	b.c.Interactions = append(b.c.Interactions, &Interaction{Name: name, Ports: ports, Guard: guard, Action: action})
+	return b
+}
+
+// Priority adds a priority rule between this composite's interactions.
+func (b *CompositeBuilder) Priority(low, high string) *CompositeBuilder {
+	b.c.Priorities = append(b.c.Priorities, Priority{Low: low, High: high})
+	return b
+}
+
+// Export re-exports a sub-component port.
+func (b *CompositeBuilder) Export(name string, of PortRef) *CompositeBuilder {
+	b.c.Exports = append(b.c.Exports, Export{Name: name, Of: of})
+	return b
+}
+
+// Build returns the composite.
+func (b *CompositeBuilder) Build() *Composite {
+	c := b.c
+	return &c
+}

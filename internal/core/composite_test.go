@@ -1,0 +1,217 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"bip/internal/behavior"
+	"bip/internal/expr"
+)
+
+// cell is a tiny one-location atom with a value and in/out ports.
+func cell(t *testing.T) *behavior.Atom {
+	t.Helper()
+	a, err := behavior.NewBuilder("cell").
+		Location("s").
+		Int("v", 0).
+		Port("in", "v").
+		Port("out", "v").
+		Transition("s", "in", "s").
+		Transition("s", "out", "s").
+		Build()
+	if err != nil {
+		t.Fatalf("build cell: %v", err)
+	}
+	return a
+}
+
+func TestFlattenLeafInstance(t *testing.T) {
+	sys, err := Flatten(&Instance{Name: "solo", Atom: cell(t)})
+	if err != nil {
+		t.Fatalf("Flatten: %v", err)
+	}
+	if len(sys.Atoms) != 1 || sys.Atoms[0].Name != "solo" {
+		t.Fatalf("atoms = %v", sys.Atoms)
+	}
+}
+
+func TestFlattenNestedComposite(t *testing.T) {
+	c := cell(t)
+	inner := NewComposite("inner").
+		Atom("b", c).
+		Atom("cc", c).
+		ConnectGD("pass", nil, expr.Set("cc.v", expr.V("b.v")), P("b", "out"), P("cc", "in")).
+		Export("feed", P("b", "in")).
+		Build()
+	root := NewComposite("root").
+		Atom("a", c).
+		Sub(inner).
+		ConnectGD("top", nil, expr.Set("inner/b.v", expr.V("a.v")), P("a", "out"), P("inner", "feed")).
+		Build()
+
+	sys, err := Flatten(root)
+	if err != nil {
+		t.Fatalf("Flatten: %v", err)
+	}
+	wantAtoms := map[string]bool{"a": true, "inner/b": true, "inner/cc": true}
+	for _, a := range sys.Atoms {
+		if !wantAtoms[a.Name] {
+			t.Fatalf("unexpected atom %q", a.Name)
+		}
+		delete(wantAtoms, a.Name)
+	}
+	if len(wantAtoms) != 0 {
+		t.Fatalf("missing atoms: %v", wantAtoms)
+	}
+
+	// Interactions: root-level "top" and nested "inner/pass".
+	if sys.InteractionIndex("top") < 0 {
+		t.Fatalf("missing interaction top: %v", sys.InteractionNames())
+	}
+	if sys.InteractionIndex("inner/pass") < 0 {
+		t.Fatalf("missing interaction inner/pass: %v", sys.InteractionNames())
+	}
+
+	// Semantics: a.v=7 flows through top to inner/b then via pass to
+	// inner/cc.
+	st := sys.Initial()
+	_ = st.Vars[sys.AtomIndex("a")].Set("v", expr.IntVal(7))
+	moves, err := sys.Enabled(st)
+	if err != nil {
+		t.Fatalf("Enabled: %v", err)
+	}
+	var top, pass *Move
+	for i := range moves {
+		switch sys.Label(moves[i]) {
+		case "top":
+			top = &moves[i]
+		case "inner/pass":
+			pass = &moves[i]
+		}
+	}
+	if top == nil || pass == nil {
+		t.Fatalf("expected both interactions enabled, got %v", movesLabels(sys, moves))
+	}
+	st, err = sys.Exec(st, *top)
+	if err != nil {
+		t.Fatalf("Exec top: %v", err)
+	}
+	if v, _ := st.Vars[sys.AtomIndex("inner/b")].Get("v"); !v.Equal(expr.IntVal(7)) {
+		t.Fatalf("inner/b.v = %v after top, want 7", v)
+	}
+	moves, _ = sys.Enabled(st)
+	for _, m := range moves {
+		if sys.Label(m) == "inner/pass" {
+			st, err = sys.Exec(st, m)
+			if err != nil {
+				t.Fatalf("Exec pass: %v", err)
+			}
+		}
+	}
+	if v, _ := st.Vars[sys.AtomIndex("inner/cc")].Get("v"); !v.Equal(expr.IntVal(7)) {
+		t.Fatalf("inner/cc.v = %v after pass, want 7", v)
+	}
+}
+
+func TestFlattenPriorities(t *testing.T) {
+	c := cell(t)
+	inner := NewComposite("inner").
+		Atom("x", c).
+		Connect("i1", P("x", "in")).
+		Connect("i2", P("x", "out")).
+		Priority("i1", "i2").
+		Build()
+	sys, err := Flatten(NewComposite("root").Sub(inner).Build())
+	if err != nil {
+		t.Fatalf("Flatten: %v", err)
+	}
+	if len(sys.Priorities) != 1 {
+		t.Fatalf("priorities = %v", sys.Priorities)
+	}
+	if sys.Priorities[0].Low != "inner/i1" || sys.Priorities[0].High != "inner/i2" {
+		t.Fatalf("priority = %v, want inner/i1 < inner/i2", sys.Priorities[0])
+	}
+	moves, _ := sys.Enabled(sys.Initial())
+	if len(moves) != 1 || sys.Label(moves[0]) != "inner/i2" {
+		t.Fatalf("moves = %v, want only inner/i2", movesLabels(sys, moves))
+	}
+}
+
+func TestFlattenErrors(t *testing.T) {
+	c := cell(t)
+	tests := []struct {
+		name string
+		comp Component
+		want string
+	}{
+		{"nil atom", &Instance{Name: "x"}, "nil atom"},
+		{"unknown sub", NewComposite("r").
+			Atom("a", c).
+			Connect("i", P("ghost", "in")).Build(), "no sub-component"},
+		{"unknown export", NewComposite("r").
+			Sub(NewComposite("inner").Atom("a", c).Build()).
+			Connect("i", P("inner", "nope")).Build(), "no export"},
+		{"unknown port on instance", NewComposite("r").
+			Atom("a", c).
+			Connect("i", P("a", "nope")).Build(), "no port"},
+		{"export of unknown sub", NewComposite("r").
+			Sub(NewComposite("inner").
+				Atom("a", c).
+				Export("e", P("ghost", "in")).Build()).
+			Connect("i", P("inner", "e")).Build(), "no sub-component"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Flatten(tt.comp)
+			if err == nil {
+				t.Fatalf("Flatten succeeded, want error with %q", tt.want)
+			}
+			if !strings.Contains(err.Error(), tt.want) {
+				t.Fatalf("error = %q, want substring %q", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestDeepNestingExports(t *testing.T) {
+	c := cell(t)
+	lvl2 := NewComposite("l2").
+		Atom("leaf", c).
+		Export("deep", P("leaf", "in")).
+		Build()
+	lvl1 := NewComposite("l1").
+		Sub(lvl2).
+		Export("mid", P("l2", "deep")).
+		Build()
+	root := NewComposite("root").
+		Atom("a", c).
+		Sub(lvl1).
+		Connect("link", P("a", "out"), P("l1", "mid")).
+		Build()
+	sys, err := Flatten(root)
+	if err != nil {
+		t.Fatalf("Flatten: %v", err)
+	}
+	idx := sys.InteractionIndex("link")
+	if idx < 0 {
+		t.Fatalf("missing link: %v", sys.InteractionNames())
+	}
+	in := sys.Interactions[idx]
+	found := false
+	for _, p := range in.Ports {
+		if p.Comp == "l1/l2/leaf" && p.Port == "in" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("link ports = %v, want l1/l2/leaf.in", in.Ports)
+	}
+}
+
+func TestSortedQualifiedVars(t *testing.T) {
+	sys := pairSystem(t)
+	vars := sys.sortedQualifiedVars()
+	if len(vars) != 2 || vars[0] != "l.n" || vars[1] != "r.n" {
+		t.Fatalf("sortedQualifiedVars = %v", vars)
+	}
+}

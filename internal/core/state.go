@@ -1,0 +1,294 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"bip/internal/behavior"
+	"bip/internal/expr"
+)
+
+// State is a global system state: per-component control locations and
+// variable valuations, indexed like System.Atoms.
+type State struct {
+	Locs []string
+	Vars []expr.MapEnv
+}
+
+// Initial returns the system's initial state.
+func (s *System) Initial() State {
+	st := State{Locs: make([]string, len(s.Atoms)), Vars: make([]expr.MapEnv, len(s.Atoms))}
+	for i, a := range s.Atoms {
+		local := a.InitialState()
+		st.Locs[i] = local.Loc
+		st.Vars[i] = local.Vars
+	}
+	return st
+}
+
+// Clone returns a deep copy of the state.
+func (st State) Clone() State {
+	out := State{Locs: append([]string(nil), st.Locs...), Vars: make([]expr.MapEnv, len(st.Vars))}
+	for i, v := range st.Vars {
+		out.Vars[i] = v.Clone()
+	}
+	return out
+}
+
+// Local returns the behaviour-level state of component i.
+func (st State) Local(i int) behavior.State {
+	return behavior.State{Loc: st.Locs[i], Vars: st.Vars[i]}
+}
+
+// Key returns a canonical encoding of the state usable as a map key.
+func (st State) Key() string {
+	var b strings.Builder
+	for i := range st.Locs {
+		if i > 0 {
+			b.WriteByte('#')
+		}
+		b.WriteString(st.Local(i).Key())
+	}
+	return b.String()
+}
+
+// Equal reports whether two states coincide.
+func (st State) Equal(o State) bool {
+	if len(st.Locs) != len(o.Locs) {
+		return false
+	}
+	for i := range st.Locs {
+		if !st.Local(i).Equal(o.Local(i)) {
+			return false
+		}
+	}
+	return true
+}
+
+// qualEnv exposes a State as an expr.Env with qualified variable names
+// ("comp.var"). When restrict is non-nil, only the listed names are
+// readable/writable — used to enforce that interaction code touches only
+// port-exported variables.
+type qualEnv struct {
+	sys      *System
+	st       *State
+	restrict map[string]bool
+}
+
+var _ expr.Env = (*qualEnv)(nil)
+
+func (q *qualEnv) Get(name string) (expr.Value, bool) {
+	if q.restrict != nil && !q.restrict[name] {
+		return expr.Value{}, false
+	}
+	ai, v, err := q.sys.splitQualified(name)
+	if err != nil {
+		return expr.Value{}, false
+	}
+	return q.st.Vars[ai].Get(v)
+}
+
+func (q *qualEnv) Set(name string, val expr.Value) error {
+	if q.restrict != nil && !q.restrict[name] {
+		return fmt.Errorf("variable %q not accessible in this interaction", name)
+	}
+	ai, v, err := q.sys.splitQualified(name)
+	if err != nil {
+		return err
+	}
+	return q.st.Vars[ai].Set(v, val)
+}
+
+// QualEnv returns a read/write view of st with qualified names, spanning
+// every variable of every component. It is used by state predicates
+// (invariant checks, priority conditions) and by tests.
+func (s *System) QualEnv(st *State) expr.Env {
+	return &qualEnv{sys: s, st: st}
+}
+
+// exportedScope computes the set of qualified names the interaction's
+// guard and action may access.
+func (s *System) exportedScope(in *Interaction) map[string]bool {
+	scope := make(map[string]bool)
+	for _, pr := range in.Ports {
+		a := s.Atoms[s.atomIdx[pr.Comp]]
+		if port, ok := a.PortByName(pr.Port); ok {
+			for _, v := range port.Vars {
+				scope[pr.Comp+"."+v] = true
+			}
+		}
+	}
+	return scope
+}
+
+// Move is one way an interaction can fire from a state: the interaction
+// index plus, for each of its ports (in declaration order), the chosen
+// local transition index in the owning atom.
+type Move struct {
+	Interaction int
+	Choices     []int
+}
+
+// Label returns the interaction name of the move.
+func (s *System) Label(m Move) string { return s.Interactions[m.Interaction].Name }
+
+// enabledOneInteraction collects the moves of interaction index ii at st.
+// Priorities are not applied here.
+func (s *System) enabledOneInteraction(st State, ii int) ([]Move, error) {
+	in := s.Interactions[ii]
+	// Per-port enabled local transitions.
+	options := make([][]int, len(in.Ports))
+	for pi, pr := range in.Ports {
+		ai := s.atomIdx[pr.Comp]
+		en, err := s.Atoms[ai].Enabled(st.Local(ai), pr.Port)
+		if err != nil {
+			return nil, fmt.Errorf("interaction %q: %w", in.Name, err)
+		}
+		if len(en) == 0 {
+			return nil, nil
+		}
+		options[pi] = en
+	}
+	// Interaction guard over exported variables.
+	if in.Guard != nil {
+		env := &qualEnv{sys: s, st: &st, restrict: s.exportedScope(in)}
+		ok, err := expr.EvalBool(in.Guard, env)
+		if err != nil {
+			return nil, fmt.Errorf("interaction %q: %w", in.Name, err)
+		}
+		if !ok {
+			return nil, nil
+		}
+	}
+	// Cartesian product of per-port choices.
+	var moves []Move
+	choice := make([]int, len(options))
+	var rec func(int)
+	rec = func(pi int) {
+		if pi == len(options) {
+			moves = append(moves, Move{Interaction: ii, Choices: append([]int(nil), choice...)})
+			return
+		}
+		for _, t := range options[pi] {
+			choice[pi] = t
+			rec(pi + 1)
+		}
+	}
+	rec(0)
+	return moves, nil
+}
+
+// EnabledRaw returns every enabled move at st, before priority filtering.
+func (s *System) EnabledRaw(st State) ([]Move, error) {
+	var out []Move
+	for ii := range s.Interactions {
+		ms, err := s.enabledOneInteraction(st, ii)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ms...)
+	}
+	return out, nil
+}
+
+// Enabled returns the moves allowed at st: enabled interactions that are
+// maximal with respect to the priority rules (a move is suppressed when a
+// rule Low < High applies, High is enabled at st, and the rule's condition
+// holds). This is the BIP glue semantics: interactions restricted by
+// priorities.
+func (s *System) Enabled(st State) ([]Move, error) {
+	raw, err := s.EnabledRaw(st)
+	if err != nil {
+		return nil, err
+	}
+	if len(s.Priorities) == 0 || len(raw) == 0 {
+		return raw, nil
+	}
+	enabledInter := make(map[int]bool, len(raw))
+	for _, m := range raw {
+		enabledInter[m.Interaction] = true
+	}
+	env := &qualEnv{sys: s, st: &st}
+	out := raw[:0]
+	for _, m := range raw {
+		dominated := false
+		for _, rp := range s.higher[m.Interaction] {
+			if !enabledInter[rp.high] {
+				continue
+			}
+			ok, err := expr.EvalBool(rp.when, env)
+			if err != nil {
+				return nil, fmt.Errorf("priority %s < %s: %w",
+					s.Interactions[m.Interaction].Name, s.Interactions[rp.high].Name, err)
+			}
+			if ok {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, m)
+		}
+	}
+	return append([]Move(nil), out...), nil
+}
+
+// Exec fires move m from st and returns the successor state. Execution
+// order follows BIP semantics: the interaction's data transfer runs first
+// over the exported variables, then each participant fires its chosen
+// local transition. The input state is not mutated.
+func (s *System) Exec(st State, m Move) (State, error) {
+	if m.Interaction < 0 || m.Interaction >= len(s.Interactions) {
+		return State{}, fmt.Errorf("system %s: move references interaction %d out of range", s.Name, m.Interaction)
+	}
+	in := s.Interactions[m.Interaction]
+	if len(m.Choices) != len(in.Ports) {
+		return State{}, fmt.Errorf("system %s: move for %q has %d choices, want %d",
+			s.Name, in.Name, len(m.Choices), len(in.Ports))
+	}
+	// Copy-on-write: only the participants' variable stores can change,
+	// so non-participant maps are shared with the predecessor state.
+	// States are treated as immutable once produced (exploration and
+	// engines never write into a state they did not just create).
+	next := State{
+		Locs: append([]string(nil), st.Locs...),
+		Vars: append([]expr.MapEnv(nil), st.Vars...),
+	}
+	for _, pr := range in.Ports {
+		ai := s.atomIdx[pr.Comp]
+		next.Vars[ai] = st.Vars[ai].Clone()
+	}
+	if in.Action != nil {
+		env := &qualEnv{sys: s, st: &next, restrict: s.exportedScope(in)}
+		if err := in.Action.Exec(env); err != nil {
+			return State{}, fmt.Errorf("interaction %q: %w", in.Name, err)
+		}
+	}
+	for pi, pr := range in.Ports {
+		ai := s.atomIdx[pr.Comp]
+		local, err := s.Atoms[ai].Exec(next.Local(ai), m.Choices[pi])
+		if err != nil {
+			return State{}, fmt.Errorf("interaction %q: %w", in.Name, err)
+		}
+		next.Locs[ai] = local.Loc
+		next.Vars[ai] = local.Vars
+	}
+	return next, nil
+}
+
+// CheckInvariants evaluates every atom-level invariant at st and returns
+// the first violated one, if any.
+func (s *System) CheckInvariants(st State) error {
+	for i, a := range s.Atoms {
+		for _, inv := range a.Invariants {
+			ok, err := expr.EvalBool(inv, st.Vars[i])
+			if err != nil {
+				return fmt.Errorf("component %s invariant %s: %w", a.Name, inv, err)
+			}
+			if !ok {
+				return fmt.Errorf("component %s violates invariant %s at %s", a.Name, inv, st.Local(i).Key())
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,574 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"bip/internal/behavior"
+	"bip/internal/expr"
+)
+
+// pingAtom: two locations, alternates ping/pong, counts pings.
+func pingAtom(t *testing.T) *behavior.Atom {
+	t.Helper()
+	a, err := behavior.NewBuilder("ping").
+		Location("a", "b").
+		Int("n", 0).
+		Port("hit", "n").
+		Port("back").
+		TransitionG("a", "hit", "b", nil, expr.Set("n", expr.Add(expr.V("n"), expr.I(1)))).
+		Transition("b", "back", "a").
+		Build()
+	if err != nil {
+		t.Fatalf("build ping: %v", err)
+	}
+	return a
+}
+
+// pairSystem: two pings synchronized on hit and on back.
+func pairSystem(t *testing.T) *System {
+	t.Helper()
+	a := pingAtom(t)
+	sys, err := NewSystem("pair").
+		AddAs("l", a).
+		AddAs("r", a).
+		Connect("hit", P("l", "hit"), P("r", "hit")).
+		Connect("back", P("l", "back"), P("r", "back")).
+		Build()
+	if err != nil {
+		t.Fatalf("build pair: %v", err)
+	}
+	return sys
+}
+
+func TestRendezvousSemantics(t *testing.T) {
+	sys := pairSystem(t)
+	st := sys.Initial()
+
+	moves, err := sys.Enabled(st)
+	if err != nil {
+		t.Fatalf("Enabled: %v", err)
+	}
+	if len(moves) != 1 || sys.Label(moves[0]) != "hit" {
+		t.Fatalf("initial moves = %v, want only hit", moves)
+	}
+
+	st2, err := sys.Exec(st, moves[0])
+	if err != nil {
+		t.Fatalf("Exec: %v", err)
+	}
+	if st2.Locs[0] != "b" || st2.Locs[1] != "b" {
+		t.Fatalf("locations after hit = %v, want [b b]", st2.Locs)
+	}
+	for i := 0; i < 2; i++ {
+		if v, _ := st2.Vars[i].Get("n"); !v.Equal(expr.IntVal(1)) {
+			t.Fatalf("component %d n = %v, want 1", i, v)
+		}
+	}
+	// Input state untouched.
+	if st.Locs[0] != "a" {
+		t.Fatal("Exec mutated its input state")
+	}
+
+	moves2, _ := sys.Enabled(st2)
+	if len(moves2) != 1 || sys.Label(moves2[0]) != "back" {
+		t.Fatalf("moves after hit = %v, want only back", moves2)
+	}
+}
+
+func TestInteractionGuardAndDataTransfer(t *testing.T) {
+	// Producer exports v, consumer imports into w; transfer guarded by
+	// v < 3.
+	prod, err := behavior.NewBuilder("prod").
+		Location("p").
+		Int("v", 0).
+		Port("out", "v").
+		TransitionG("p", "out", "p", nil, expr.Set("v", expr.Add(expr.V("v"), expr.I(1)))).
+		Build()
+	if err != nil {
+		t.Fatalf("build prod: %v", err)
+	}
+	cons, err := behavior.NewBuilder("cons").
+		Location("c").
+		Int("w", -1).
+		Port("in", "w").
+		Transition("c", "in", "c").
+		Build()
+	if err != nil {
+		t.Fatalf("build cons: %v", err)
+	}
+	sys, err := NewSystem("pc").
+		Add(prod).Add(cons).
+		ConnectGD("xfer",
+			expr.Lt(expr.V("prod.v"), expr.I(3)),
+			expr.Set("cons.w", expr.V("prod.v")),
+			P("prod", "out"), P("cons", "in")).
+		Build()
+	if err != nil {
+		t.Fatalf("build pc: %v", err)
+	}
+
+	st := sys.Initial()
+	for i := 0; i < 3; i++ {
+		moves, err := sys.Enabled(st)
+		if err != nil {
+			t.Fatalf("Enabled step %d: %v", i, err)
+		}
+		if len(moves) != 1 {
+			t.Fatalf("step %d: moves = %v", i, moves)
+		}
+		st, err = sys.Exec(st, moves[0])
+		if err != nil {
+			t.Fatalf("Exec step %d: %v", i, err)
+		}
+		// Transfer happens before the local action increments v, so w
+		// receives the pre-increment value.
+		if w, _ := st.Vars[1].Get("w"); !w.Equal(expr.IntVal(int64(i))) {
+			t.Fatalf("step %d: w = %v, want %d", i, w, i)
+		}
+	}
+	// v reached 3: the guard closes the interaction.
+	moves, _ := sys.Enabled(st)
+	if len(moves) != 0 {
+		t.Fatalf("guard should disable xfer at v=3, got %v", moves)
+	}
+}
+
+func TestPriorityFiltering(t *testing.T) {
+	// One component can fire lo or hi; priority suppresses lo.
+	a, err := behavior.NewBuilder("a").
+		Location("s", "t").
+		Port("lo").
+		Port("hi").
+		Transition("s", "lo", "t").
+		Transition("s", "hi", "t").
+		Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	sys, err := NewSystem("prio").
+		Add(a).
+		Singleton("a", "lo").
+		Singleton("a", "hi").
+		Priority("a.lo", "a.hi").
+		Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	moves, err := sys.Enabled(sys.Initial())
+	if err != nil {
+		t.Fatalf("Enabled: %v", err)
+	}
+	if len(moves) != 1 || sys.Label(moves[0]) != "a.hi" {
+		t.Fatalf("moves = %v, want only a.hi", movesLabels(sys, moves))
+	}
+	// Raw enabledness still sees both.
+	raw, _ := sys.EnabledRaw(sys.Initial())
+	if len(raw) != 2 {
+		t.Fatalf("raw moves = %v, want 2", movesLabels(sys, raw))
+	}
+}
+
+func TestConditionalPriority(t *testing.T) {
+	a, err := behavior.NewBuilder("a").
+		Location("s").
+		Int("x", 0).
+		Port("lo").
+		Port("hi").
+		TransitionG("s", "lo", "s", nil, expr.Set("x", expr.Add(expr.V("x"), expr.I(1)))).
+		Transition("s", "hi", "s").
+		Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	sys, err := NewSystem("cprio").
+		Add(a).
+		Singleton("a", "lo").
+		Singleton("a", "hi").
+		PriorityWhen("a.lo", "a.hi", expr.Ge(expr.V("a.x"), expr.I(2))).
+		Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	st := sys.Initial()
+	// x=0: condition false, both moves allowed.
+	moves, _ := sys.Enabled(st)
+	if len(moves) != 2 {
+		t.Fatalf("x=0: moves = %v, want 2", movesLabels(sys, moves))
+	}
+	// Fire lo twice to reach x=2.
+	for i := 0; i < 2; i++ {
+		for _, m := range moves {
+			if sys.Label(m) == "a.lo" {
+				var err error
+				st, err = sys.Exec(st, m)
+				if err != nil {
+					t.Fatalf("Exec: %v", err)
+				}
+			}
+		}
+		moves, _ = sys.Enabled(st)
+	}
+	if len(moves) != 1 || sys.Label(moves[0]) != "a.hi" {
+		t.Fatalf("x=2: moves = %v, want only a.hi", movesLabels(sys, moves))
+	}
+}
+
+func TestNondeterministicChoices(t *testing.T) {
+	// Component with two transitions on the same port; the partner has
+	// one: the interaction yields two moves (cartesian product).
+	nd, err := behavior.NewBuilder("nd").
+		Location("s", "u", "v").
+		Port("go").
+		Transition("s", "go", "u").
+		Transition("s", "go", "v").
+		Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	one, err := behavior.NewBuilder("one").
+		Location("s").
+		Port("go").
+		Transition("s", "go", "s").
+		Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	sys, err := NewSystem("nd").
+		Add(nd).Add(one).
+		Connect("go", P("nd", "go"), P("one", "go")).
+		Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	moves, err := sys.Enabled(sys.Initial())
+	if err != nil {
+		t.Fatalf("Enabled: %v", err)
+	}
+	if len(moves) != 2 {
+		t.Fatalf("moves = %d, want 2 (choice of nd transition)", len(moves))
+	}
+	targets := map[string]bool{}
+	for _, m := range moves {
+		st, err := sys.Exec(sys.Initial(), m)
+		if err != nil {
+			t.Fatalf("Exec: %v", err)
+		}
+		targets[st.Locs[0]] = true
+	}
+	if !targets["u"] || !targets["v"] {
+		t.Fatalf("targets = %v, want both u and v reachable", targets)
+	}
+}
+
+func TestSystemValidationErrors(t *testing.T) {
+	a := pingAtom(t)
+	tests := []struct {
+		name  string
+		build func() (*System, error)
+		want  string
+	}{
+		{"dup component", func() (*System, error) {
+			return NewSystem("s").AddAs("x", a).AddAs("x", a).Build()
+		}, "duplicate component"},
+		{"unknown component", func() (*System, error) {
+			return NewSystem("s").AddAs("x", a).Connect("i", P("ghost", "hit")).Build()
+		}, "unknown component"},
+		{"unknown port", func() (*System, error) {
+			return NewSystem("s").AddAs("x", a).Connect("i", P("x", "ghost")).Build()
+		}, "unknown port"},
+		{"component twice", func() (*System, error) {
+			return NewSystem("s").AddAs("x", a).Connect("i", P("x", "hit"), P("x", "back")).Build()
+		}, "twice"},
+		{"empty interaction", func() (*System, error) {
+			return NewSystem("s").AddAs("x", a).Connect("i").Build()
+		}, "no ports"},
+		{"dup interaction", func() (*System, error) {
+			return NewSystem("s").AddAs("x", a).
+				Connect("i", P("x", "hit")).Connect("i", P("x", "back")).Build()
+		}, "duplicate interaction"},
+		{"guard not exported", func() (*System, error) {
+			return NewSystem("s").AddAs("x", a).
+				ConnectGD("i", expr.Gt(expr.V("x.zzz"), expr.I(0)), nil, P("x", "hit")).Build()
+		}, "not exported"},
+		{"action not exported", func() (*System, error) {
+			// back exports nothing, so x.n is out of scope.
+			return NewSystem("s").AddAs("x", a).
+				ConnectGD("i", nil, expr.Set("x.n", expr.I(1)), P("x", "back")).Build()
+		}, "not exported"},
+		{"priority unknown", func() (*System, error) {
+			return NewSystem("s").AddAs("x", a).Singleton("x", "hit").
+				Priority("x.hit", "ghost").Build()
+		}, "unknown interaction"},
+		{"priority reflexive", func() (*System, error) {
+			return NewSystem("s").AddAs("x", a).Singleton("x", "hit").
+				Priority("x.hit", "x.hit").Build()
+		}, "reflexive"},
+		{"empty name", func() (*System, error) {
+			return NewSystem("").Build()
+		}, "empty name"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := tt.build()
+			if err == nil {
+				t.Fatalf("Build succeeded, want error with %q", tt.want)
+			}
+			if !strings.Contains(err.Error(), tt.want) {
+				t.Fatalf("error = %q, want substring %q", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestConnectorRendezvous(t *testing.T) {
+	c := Rendezvous("r", P("a", "p"), P("b", "q"))
+	inters, prios, err := c.Expand()
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	if len(inters) != 1 || len(prios) != 0 {
+		t.Fatalf("rendezvous expand = %d inters, %d prios", len(inters), len(prios))
+	}
+	if inters[0].Name != "r" || len(inters[0].Ports) != 2 {
+		t.Fatalf("interaction = %v", inters[0])
+	}
+}
+
+func TestConnectorBroadcast(t *testing.T) {
+	c := Broadcast("b", P("s", "snd"), P("r1", "rcv"), P("r2", "rcv"))
+	inters, prios, err := c.Expand()
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	// Subsets containing the trigger: {s}, {s,r1}, {s,r2}, {s,r1,r2}.
+	if len(inters) != 4 {
+		t.Fatalf("broadcast expand = %d interactions, want 4", len(inters))
+	}
+	// Strict subset pairs among those 4: {s}<{s,r1},{s}<{s,r2},{s}<{s,r1,r2},
+	// {s,r1}<{s,r1,r2},{s,r2}<{s,r1,r2} = 5.
+	if len(prios) != 5 {
+		t.Fatalf("broadcast maximal-progress priorities = %d, want 5", len(prios))
+	}
+}
+
+func TestBroadcastMaximalProgressSemantics(t *testing.T) {
+	send, err := behavior.NewBuilder("send").
+		Location("s").Port("snd").Transition("s", "snd", "s").Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	recv, err := behavior.NewBuilder("recv").
+		Location("idle", "busy").
+		Port("rcv").
+		Port("rest").
+		Transition("idle", "rcv", "busy").
+		Transition("busy", "rest", "idle").
+		Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	sys, err := NewSystem("bcast").
+		Add(send).
+		AddAs("r1", recv).
+		AddAs("r2", recv).
+		Connector(Broadcast("b", P("send", "snd"), P("r1", "rcv"), P("r2", "rcv"))).
+		Singleton("r1", "rest").
+		Singleton("r2", "rest").
+		Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+
+	// Initially both receivers ready: only the maximal interaction fires.
+	moves, err := sys.Enabled(sys.Initial())
+	if err != nil {
+		t.Fatalf("Enabled: %v", err)
+	}
+	if len(moves) != 1 {
+		t.Fatalf("initial moves = %v, want the single maximal broadcast", movesLabels(sys, moves))
+	}
+	if got := sys.Label(moves[0]); !strings.Contains(got, "r1.rcv") || !strings.Contains(got, "r2.rcv") {
+		t.Fatalf("maximal broadcast = %q, should include both receivers", got)
+	}
+
+	// After the broadcast, receivers are busy: sender may fire alone,
+	// receivers may rest.
+	st, err := sys.Exec(sys.Initial(), moves[0])
+	if err != nil {
+		t.Fatalf("Exec: %v", err)
+	}
+	moves2, _ := sys.Enabled(st)
+	labels := movesLabels(sys, moves2)
+	foundAlone := false
+	for _, l := range labels {
+		if l == "b#send.snd" {
+			foundAlone = true
+		}
+	}
+	if !foundAlone {
+		t.Fatalf("after broadcast, sender-alone should be enabled; moves = %v", labels)
+	}
+}
+
+func TestClosePriorities(t *testing.T) {
+	a, err := behavior.NewBuilder("a").
+		Location("s").
+		Port("p1").Port("p2").Port("p3").
+		Transition("s", "p1", "s").
+		Transition("s", "p2", "s").
+		Transition("s", "p3", "s").
+		Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	sys, err := NewSystem("chain").
+		Add(a).
+		Singleton("a", "p1").Singleton("a", "p2").Singleton("a", "p3").
+		Priority("a.p1", "a.p2").
+		Priority("a.p2", "a.p3").
+		Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	if err := sys.ClosePriorities(); err != nil {
+		t.Fatalf("ClosePriorities: %v", err)
+	}
+	// Closure adds p1 < p3.
+	found := false
+	for _, p := range sys.Priorities {
+		if p.Low == "a.p1" && p.High == "a.p3" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("closure missing a.p1 < a.p3: %v", sys.Priorities)
+	}
+	moves, _ := sys.Enabled(sys.Initial())
+	if len(moves) != 1 || sys.Label(moves[0]) != "a.p3" {
+		t.Fatalf("moves = %v, want only a.p3", movesLabels(sys, moves))
+	}
+
+	// A cycle must be rejected.
+	sys2, err := NewSystem("cycle").
+		Add(a).
+		Singleton("a", "p1").Singleton("a", "p2").
+		Priority("a.p1", "a.p2").
+		Priority("a.p2", "a.p1").
+		Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	if err := sys2.ClosePriorities(); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("ClosePriorities on a cycle = %v, want cycle error", err)
+	}
+}
+
+func TestQualEnvRestriction(t *testing.T) {
+	sys := pairSystem(t)
+	st := sys.Initial()
+	// The full view reads any variable.
+	env := sys.QualEnv(&st)
+	if v, ok := env.Get("l.n"); !ok || !v.Equal(expr.IntVal(0)) {
+		t.Fatalf("QualEnv Get(l.n) = %v, %v", v, ok)
+	}
+	if _, ok := env.Get("l.zzz"); ok {
+		t.Fatal("unknown var should not resolve")
+	}
+	if _, ok := env.Get("nodot"); ok {
+		t.Fatal("unqualified name should not resolve")
+	}
+	if err := env.Set("l.n", expr.IntVal(9)); err != nil {
+		t.Fatalf("Set: %v", err)
+	}
+	if v, _ := st.Vars[0].Get("n"); !v.Equal(expr.IntVal(9)) {
+		t.Fatalf("Set did not write through: %v", v)
+	}
+	if err := env.Set("bad", expr.IntVal(1)); err == nil {
+		t.Fatal("Set of malformed name should fail")
+	}
+}
+
+func TestCheckInvariants(t *testing.T) {
+	a, err := behavior.NewBuilder("inv").
+		Location("s").
+		Int("x", 0).
+		Port("p", "x").
+		TransitionG("s", "p", "s", nil, expr.Set("x", expr.Sub(expr.V("x"), expr.I(1)))).
+		Invariant(expr.Ge(expr.V("x"), expr.I(0))).
+		Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	sys, err := NewSystem("inv").Add(a).Singleton("inv", "p").Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	st := sys.Initial()
+	if err := sys.CheckInvariants(st); err != nil {
+		t.Fatalf("initial state should satisfy invariant: %v", err)
+	}
+	moves, _ := sys.Enabled(st)
+	st2, _ := sys.Exec(st, moves[0])
+	if err := sys.CheckInvariants(st2); err == nil {
+		t.Fatal("x=-1 should violate the invariant")
+	}
+}
+
+func TestStateKeyEqualClone(t *testing.T) {
+	sys := pairSystem(t)
+	st := sys.Initial()
+	cp := st.Clone()
+	if !st.Equal(cp) || st.Key() != cp.Key() {
+		t.Fatal("clone should equal original")
+	}
+	_ = cp.Vars[0].Set("n", expr.IntVal(5))
+	if st.Equal(cp) || st.Key() == cp.Key() {
+		t.Fatal("divergent clone should differ")
+	}
+	if st.Equal(State{}) {
+		t.Fatal("different arity should not be equal")
+	}
+}
+
+func TestExecErrors(t *testing.T) {
+	sys := pairSystem(t)
+	st := sys.Initial()
+	if _, err := sys.Exec(st, Move{Interaction: 99}); err == nil {
+		t.Fatal("out-of-range interaction should fail")
+	}
+	if _, err := sys.Exec(st, Move{Interaction: 0, Choices: []int{0}}); err == nil {
+		t.Fatal("wrong choice arity should fail")
+	}
+}
+
+func TestInteractionStringAndParticipants(t *testing.T) {
+	in := &Interaction{
+		Name:   "x",
+		Ports:  []PortRef{P("a", "p"), P("b", "q")},
+		Guard:  expr.Gt(expr.V("a.v"), expr.I(0)),
+		Action: expr.Set("b.w", expr.V("a.v")),
+	}
+	s := in.String()
+	for _, want := range []string{"a.p", "b.q", "when", "do"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q missing %q", s, want)
+		}
+	}
+	parts := in.Participants()
+	if len(parts) != 2 || parts[0] != "a" || parts[1] != "b" {
+		t.Fatalf("Participants = %v", parts)
+	}
+	pr := Priority{Low: "x", High: "y", When: expr.B(true)}
+	if got := pr.String(); !strings.Contains(got, "x < y") {
+		t.Fatalf("Priority.String = %q", got)
+	}
+}
+
+func movesLabels(s *System, ms []Move) []string {
+	out := make([]string, len(ms))
+	for i, m := range ms {
+		out[i] = s.Label(m)
+	}
+	return out
+}

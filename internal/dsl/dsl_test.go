@@ -1,0 +1,222 @@
+package dsl
+
+import (
+	"strings"
+	"testing"
+
+	"bip/internal/engine"
+	"bip/internal/lts"
+)
+
+const pairSrc = `
+system pair
+# a ping-pong pair with a bounded counter
+atom Ping {
+  var n: int = 0
+  port hit(n), back
+  location a, b
+  init a
+  from a to b on hit when n < 10 do n := n + 1
+  from b to a on back
+  invariant n >= 0
+}
+instance l : Ping
+instance r : Ping
+connector hit = l.hit + r.hit when l.n < 10 do r.n := l.n
+connector back = l.back + r.back
+`
+
+func TestParsePair(t *testing.T) {
+	sys, err := Parse(pairSrc)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if sys.Name != "pair" || len(sys.Atoms) != 2 || len(sys.Interactions) != 2 {
+		t.Fatalf("parsed shape wrong: %s", sys.Stats())
+	}
+	res, err := engine.Run(sys, engine.Options{MaxSteps: 30, CheckInvariants: true})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.Steps == 0 {
+		t.Fatal("parsed system does not execute")
+	}
+}
+
+func TestParseBroadcastConnector(t *testing.T) {
+	src := `
+system bc
+atom S { port snd
+  location s
+  from s to s on snd }
+atom R { port rcv
+  location i
+  from i to i on rcv }
+instance s : S
+instance r1 : R
+instance r2 : R
+connector b = s.snd' + r1.rcv + r2.rcv
+`
+	sys, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	// Trigger connector expands into 4 interactions with maximal
+	// progress priorities.
+	if len(sys.Interactions) != 4 {
+		t.Fatalf("interactions = %d, want 4", len(sys.Interactions))
+	}
+	if len(sys.Priorities) != 5 {
+		t.Fatalf("priorities = %d, want 5", len(sys.Priorities))
+	}
+	l, err := lts.Explore(sys, lts.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.NumStates() != 1 {
+		t.Fatalf("states = %d", l.NumStates())
+	}
+}
+
+func TestParsePriorities(t *testing.T) {
+	src := `
+system prio
+atom A { port lo, hi
+  location s
+  from s to s on lo
+  from s to s on hi }
+instance a : A
+connector l = a.lo
+connector h = a.hi
+priority l < h when a.lo == a.lo
+`
+	// The when clause references variables; a.lo is a port not a var, so
+	// this must fail validation.
+	if _, err := Parse(src); err == nil {
+		t.Fatal("priority condition over non-variables must fail")
+	}
+	srcOK := strings.Replace(src, " when a.lo == a.lo", "", 1)
+	sys, err := Parse(srcOK)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	moves, err := sys.Enabled(sys.Initial())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(moves) != 1 || sys.Label(moves[0]) != "h" {
+		t.Fatalf("priority not applied: %d moves", len(moves))
+	}
+}
+
+func TestParseStatementsAndExpressions(t *testing.T) {
+	src := `
+system s
+atom A {
+  var x: int = -3
+  var p: bool = true
+  port step(x, p)
+  location l
+  from l to l on step when (x + 2) * 3 <= 100 && !(x == 4) || false do
+    if p { x := x * 2 - 1 } else { x := 0 - x; p := true }
+}
+instance a : A
+connector st = a.step
+`
+	sys, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	res, err := engine.Run(sys, engine.Options{MaxSteps: 5})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.Steps != 5 {
+		t.Fatalf("steps = %d", res.Steps)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"no system", `atom A {}`, `expected "system"`},
+		{"bad char", "system s\natom A { port p location l from l to l on p }\ninstance a : A\nconnector c = a.p\n$", "unexpected character"},
+		{"unknown type", "system s\ninstance a : Missing", "unknown atom type"},
+		{"redefined atom", "system s\natom A { location l }\natom A { location l }", "redefined"},
+		{"bad init", "system s\natom A { var x: float = 1 location l }", "unknown type"},
+		{"bad int", "system s\natom A { var x: int = true location l }", "expected integer"},
+		{"bad bool", "system s\natom A { var x: bool = 7 location l }", "expected true/false"},
+		{"trigger with do", `
+system s
+atom A { var x: int = 0
+  port p(x)
+  location l
+  from l to l on p }
+instance a : A
+instance b : A
+connector c = a.p' + b.p do b.x := a.x`, "cannot carry when/do"},
+		{"garbage in atom", "system s\natom A { banana }", "unexpected"},
+		{"missing expr", "system s\natom A { location l port p from l to l on p when }", "expected expression"},
+		{"unknown port in connector", `
+system s
+atom A { location l port p from l to l on p }
+instance a : A
+connector c = a.ghost`, "unknown port"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Parse(tt.src)
+			if err == nil {
+				t.Fatalf("Parse succeeded, want error with %q", tt.want)
+			}
+			if !strings.Contains(err.Error(), tt.want) {
+				t.Fatalf("error = %q, want substring %q", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestSyntaxErrorPosition(t *testing.T) {
+	_, err := Parse("system s\n  ?")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	se, ok := err.(*SyntaxError)
+	if !ok {
+		t.Fatalf("error type %T, want *SyntaxError", err)
+	}
+	if se.Line != 2 || se.Col != 3 {
+		t.Fatalf("position = %d:%d, want 2:3", se.Line, se.Col)
+	}
+}
+
+func TestCommentsAndNegatives(t *testing.T) {
+	src := `
+system s  // line comment
+atom A {
+  var x: int = -5   # hash comment
+  location l
+  port p(x)
+  from l to l on p do x := -x
+}
+instance a : A
+connector c = a.p
+`
+	sys, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	st := sys.Initial()
+	moves, _ := sys.Enabled(st)
+	st2, err := sys.Exec(st, moves[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := st2.Vars[0].Get("x")
+	if iv, _ := v.Int(); iv != 5 {
+		t.Fatalf("x = %d, want 5", iv)
+	}
+}

@@ -1,0 +1,124 @@
+// Package dsl implements the textual BIP language: a lexer, a
+// recursive-descent parser and an elaborator producing core systems.
+// It is the concrete syntax of the "single host component language"
+// (§5.4); cmd/bipc is its front-end.
+//
+// Example:
+//
+//	system pair
+//	atom Ping {
+//	  var n: int = 0
+//	  port hit(n), back
+//	  location a, b
+//	  init a
+//	  from a to b on hit when n < 10 do n := n + 1
+//	  from b to a on back
+//	}
+//	instance l : Ping
+//	instance r : Ping
+//	connector hit = l.hit + r.hit
+//	connector back = l.back + r.back
+//	priority back < hit
+package dsl
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexical tokens.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota + 1
+	tokIdent
+	tokInt
+	tokPunct // single/double character symbols
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+	col  int
+}
+
+// SyntaxError reports a lexing or parsing failure with its position.
+type SyntaxError struct {
+	Line, Col int
+	Msg       string
+}
+
+// Error implements error.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+// lex tokenizes src. Comments run from '#' or "//" to end of line.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line, col := 1, 1
+	i := 0
+	n := len(src)
+	advance := func(k int) {
+		for j := 0; j < k; j++ {
+			if src[i+j] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+		}
+		i += k
+	}
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			advance(1)
+		case c == '#':
+			for i < n && src[i] != '\n' {
+				advance(1)
+			}
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				advance(1)
+			}
+		case unicode.IsLetter(rune(c)) || c == '_':
+			start := i
+			startCol := col
+			for i < n && (unicode.IsLetter(rune(src[i])) || unicode.IsDigit(rune(src[i])) || src[i] == '_') {
+				advance(1)
+			}
+			toks = append(toks, token{kind: tokIdent, text: src[start:i], line: line, col: startCol})
+		case unicode.IsDigit(rune(c)):
+			start := i
+			startCol := col
+			for i < n && unicode.IsDigit(rune(src[i])) {
+				advance(1)
+			}
+			toks = append(toks, token{kind: tokInt, text: src[start:i], line: line, col: startCol})
+		default:
+			two := ""
+			if i+1 < n {
+				two = src[i : i+2]
+			}
+			startCol := col
+			switch two {
+			case ":=", "==", "!=", "<=", ">=", "&&", "||":
+				toks = append(toks, token{kind: tokPunct, text: two, line: line, col: startCol})
+				advance(2)
+				continue
+			}
+			if strings.ContainsRune("+-*/%<>=!(){},.;:'", rune(c)) {
+				toks = append(toks, token{kind: tokPunct, text: string(c), line: line, col: startCol})
+				advance(1)
+				continue
+			}
+			return nil, &SyntaxError{Line: line, Col: col, Msg: fmt.Sprintf("unexpected character %q", c)}
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, text: "", line: line, col: col})
+	return toks, nil
+}

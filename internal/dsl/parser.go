@@ -1,0 +1,601 @@
+package dsl
+
+import (
+	"fmt"
+	"strconv"
+
+	"bip/internal/behavior"
+	"bip/internal/core"
+	"bip/internal/expr"
+)
+
+// Parse compiles DSL source into a validated core system.
+func Parse(src string) (*core.System, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	sys, err := p.system()
+	if err != nil {
+		return nil, err
+	}
+	return sys, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) atEOF() bool { return p.peek().kind == tokEOF }
+func (p *parser) errf(t token, format string, args ...any) error {
+	return &SyntaxError{Line: t.line, Col: t.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) expectIdent() (token, error) {
+	t := p.next()
+	if t.kind != tokIdent {
+		return t, p.errf(t, "expected identifier, got %q", t.text)
+	}
+	return t, nil
+}
+
+func (p *parser) expect(text string) error {
+	t := p.next()
+	if t.text != text {
+		return p.errf(t, "expected %q, got %q", text, t.text)
+	}
+	return nil
+}
+
+// accept consumes the token when it matches.
+func (p *parser) accept(text string) bool {
+	if p.peek().text == text {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// keyword reports whether the next token is the given keyword (without
+// consuming).
+func (p *parser) at(text string) bool { return p.peek().text == text }
+
+// system parses the whole compilation unit.
+func (p *parser) system() (*core.System, error) {
+	if err := p.expect("system"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	b := core.NewSystem(name.text)
+	atoms := make(map[string]*behavior.Atom)
+	for !p.atEOF() {
+		t := p.peek()
+		switch t.text {
+		case "atom":
+			a, err := p.atom()
+			if err != nil {
+				return nil, err
+			}
+			if _, dup := atoms[a.Name]; dup {
+				return nil, p.errf(t, "atom type %q redefined", a.Name)
+			}
+			atoms[a.Name] = a
+		case "instance":
+			p.next()
+			inst, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(":"); err != nil {
+				return nil, err
+			}
+			typ, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			a, ok := atoms[typ.text]
+			if !ok {
+				return nil, p.errf(typ, "unknown atom type %q", typ.text)
+			}
+			b.AddAs(inst.text, a)
+		case "connector":
+			if err := p.connector(b); err != nil {
+				return nil, err
+			}
+		case "priority":
+			p.next()
+			lo, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("<"); err != nil {
+				return nil, err
+			}
+			hi, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			var when expr.Expr
+			if p.accept("when") {
+				when, err = p.expr()
+				if err != nil {
+					return nil, err
+				}
+			}
+			b.PriorityWhen(lo.text, hi.text, when)
+		default:
+			return nil, p.errf(t, "expected atom/instance/connector/priority, got %q", t.text)
+		}
+	}
+	return b.Build()
+}
+
+// atom parses an atom type declaration.
+func (p *parser) atom() (*behavior.Atom, error) {
+	p.next() // "atom"
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	nb := behavior.NewBuilder(name.text)
+	sawInit := false
+	for !p.accept("}") {
+		t := p.peek()
+		switch t.text {
+		case "var":
+			p.next()
+			v, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(":"); err != nil {
+				return nil, err
+			}
+			typ, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("="); err != nil {
+				return nil, err
+			}
+			switch typ.text {
+			case "int":
+				neg := p.accept("-")
+				val := p.next()
+				if val.kind != tokInt {
+					return nil, p.errf(val, "expected integer initializer")
+				}
+				iv, err := strconv.ParseInt(val.text, 10, 64)
+				if err != nil {
+					return nil, p.errf(val, "bad integer %q", val.text)
+				}
+				if neg {
+					iv = -iv
+				}
+				nb.Int(v.text, iv)
+			case "bool":
+				val := p.next()
+				switch val.text {
+				case "true":
+					nb.Bool(v.text, true)
+				case "false":
+					nb.Bool(v.text, false)
+				default:
+					return nil, p.errf(val, "expected true/false initializer")
+				}
+			default:
+				return nil, p.errf(typ, "unknown type %q (want int or bool)", typ.text)
+			}
+		case "port":
+			p.next()
+			for {
+				pn, err := p.expectIdent()
+				if err != nil {
+					return nil, err
+				}
+				var exported []string
+				if p.accept("(") {
+					for {
+						vn, err := p.expectIdent()
+						if err != nil {
+							return nil, err
+						}
+						exported = append(exported, vn.text)
+						if !p.accept(",") {
+							break
+						}
+					}
+					if err := p.expect(")"); err != nil {
+						return nil, err
+					}
+				}
+				nb.Port(pn.text, exported...)
+				if !p.accept(",") {
+					break
+				}
+			}
+		case "location":
+			p.next()
+			for {
+				ln, err := p.expectIdent()
+				if err != nil {
+					return nil, err
+				}
+				nb.Location(ln.text)
+				if !p.accept(",") {
+					break
+				}
+			}
+		case "init":
+			p.next()
+			ln, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			nb.Initial(ln.text)
+			sawInit = true
+		case "from":
+			p.next()
+			from, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("to"); err != nil {
+				return nil, err
+			}
+			to, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("on"); err != nil {
+				return nil, err
+			}
+			port, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			var guard expr.Expr
+			if p.accept("when") {
+				guard, err = p.expr()
+				if err != nil {
+					return nil, err
+				}
+			}
+			var action expr.Stmt
+			if p.accept("do") {
+				action, err = p.stmts()
+				if err != nil {
+					return nil, err
+				}
+			}
+			nb.TransitionG(from.text, port.text, to.text, guard, action)
+		case "invariant":
+			p.next()
+			inv, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			nb.Invariant(inv)
+		default:
+			return nil, p.errf(t, "unexpected %q in atom body", t.text)
+		}
+	}
+	_ = sawInit // the first location is the default initial location
+	return nb.Build()
+}
+
+// connector parses a connector declaration and installs its expansion.
+func (p *parser) connector(b *core.SystemBuilder) error {
+	p.next() // "connector"
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	if err := p.expect("="); err != nil {
+		return err
+	}
+	var ends []core.ConnectorEnd
+	hasTrigger := false
+	for {
+		comp, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		if err := p.expect("."); err != nil {
+			return err
+		}
+		port, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		end := core.ConnectorEnd{Ref: core.P(comp.text, port.text)}
+		if p.accept("'") {
+			end.Trigger = true
+			hasTrigger = true
+		}
+		ends = append(ends, end)
+		if !p.accept("+") {
+			break
+		}
+	}
+	var guard expr.Expr
+	var action expr.Stmt
+	if p.accept("when") {
+		guard, err = p.expr()
+		if err != nil {
+			return err
+		}
+	}
+	if p.accept("do") {
+		action, err = p.stmts()
+		if err != nil {
+			return err
+		}
+	}
+	if hasTrigger {
+		if guard != nil || action != nil {
+			return p.errf(name, "connector %s: trigger connectors cannot carry when/do", name.text)
+		}
+		b.Connector(core.Connector{Name: name.text, Ends: ends})
+		return nil
+	}
+	refs := make([]core.PortRef, len(ends))
+	for i, e := range ends {
+		refs[i] = e.Ref
+	}
+	b.ConnectGD(name.text, guard, action, refs...)
+	return nil
+}
+
+// stmts parses a ';'-separated statement list.
+func (p *parser) stmts() (expr.Stmt, error) {
+	var out []expr.Stmt
+	for {
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+		if !p.accept(";") {
+			break
+		}
+	}
+	return expr.Do(out...), nil
+}
+
+func (p *parser) stmt() (expr.Stmt, error) {
+	if p.at("if") {
+		p.next()
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("{"); err != nil {
+			return nil, err
+		}
+		then, err := p.stmts()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("}"); err != nil {
+			return nil, err
+		}
+		var els expr.Stmt
+		if p.accept("else") {
+			if err := p.expect("{"); err != nil {
+				return nil, err
+			}
+			els, err = p.stmts()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("}"); err != nil {
+				return nil, err
+			}
+		}
+		return expr.When(cond, then, els), nil
+	}
+	lv, err := p.qualifiedName()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(":="); err != nil {
+		return nil, err
+	}
+	rhs, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	return expr.Set(lv, rhs), nil
+}
+
+// qualifiedName parses IDENT or IDENT.IDENT.
+func (p *parser) qualifiedName() (string, error) {
+	id, err := p.expectIdent()
+	if err != nil {
+		return "", err
+	}
+	name := id.text
+	if p.accept(".") {
+		id2, err := p.expectIdent()
+		if err != nil {
+			return "", err
+		}
+		name += "." + id2.text
+	}
+	return name, nil
+}
+
+// Expression parsing: precedence climbing.
+
+func (p *parser) expr() (expr.Expr, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (expr.Expr, error) {
+	lhs, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept("||") {
+		rhs, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		lhs = expr.Or(lhs, rhs)
+	}
+	return lhs, nil
+}
+
+func (p *parser) andExpr() (expr.Expr, error) {
+	lhs, err := p.cmpExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept("&&") {
+		rhs, err := p.cmpExpr()
+		if err != nil {
+			return nil, err
+		}
+		lhs = expr.And(lhs, rhs)
+	}
+	return lhs, nil
+}
+
+func (p *parser) cmpExpr() (expr.Expr, error) {
+	lhs, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	ops := map[string]func(a, b expr.Expr) expr.Expr{
+		"==": expr.Eq, "!=": expr.Ne, "<": expr.Lt, "<=": expr.Le, ">": expr.Gt, ">=": expr.Ge,
+	}
+	if f, ok := ops[p.peek().text]; ok {
+		p.next()
+		rhs, err := p.addExpr()
+		if err != nil {
+			return nil, err
+		}
+		return f(lhs, rhs), nil
+	}
+	return lhs, nil
+}
+
+func (p *parser) addExpr() (expr.Expr, error) {
+	lhs, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept("+"):
+			rhs, err := p.mulExpr()
+			if err != nil {
+				return nil, err
+			}
+			lhs = expr.Add(lhs, rhs)
+		case p.accept("-"):
+			rhs, err := p.mulExpr()
+			if err != nil {
+				return nil, err
+			}
+			lhs = expr.Sub(lhs, rhs)
+		default:
+			return lhs, nil
+		}
+	}
+}
+
+func (p *parser) mulExpr() (expr.Expr, error) {
+	lhs, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept("*"):
+			rhs, err := p.unary()
+			if err != nil {
+				return nil, err
+			}
+			lhs = expr.Mul(lhs, rhs)
+		case p.accept("/"):
+			rhs, err := p.unary()
+			if err != nil {
+				return nil, err
+			}
+			lhs = expr.Div(lhs, rhs)
+		case p.accept("%"):
+			rhs, err := p.unary()
+			if err != nil {
+				return nil, err
+			}
+			lhs = expr.Mod(lhs, rhs)
+		default:
+			return lhs, nil
+		}
+	}
+}
+
+func (p *parser) unary() (expr.Expr, error) {
+	switch {
+	case p.accept("!"):
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return expr.Not(x), nil
+	case p.accept("-"):
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return expr.Neg(x), nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (expr.Expr, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokInt:
+		p.next()
+		iv, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errf(t, "bad integer %q", t.text)
+		}
+		return expr.I(iv), nil
+	case t.text == "true":
+		p.next()
+		return expr.B(true), nil
+	case t.text == "false":
+		p.next()
+		return expr.B(false), nil
+	case t.text == "(":
+		p.next()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.kind == tokIdent:
+		name, err := p.qualifiedName()
+		if err != nil {
+			return nil, err
+		}
+		return expr.V(name), nil
+	default:
+		return nil, p.errf(t, "expected expression, got %q", t.text)
+	}
+}

@@ -1,0 +1,325 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"bip/internal/behavior"
+	"bip/internal/core"
+	"bip/internal/expr"
+)
+
+// MTOptions configures the multi-threaded engine.
+type MTOptions struct {
+	// MaxSteps bounds the number of committed interactions; 0 means the
+	// default of 10_000.
+	MaxSteps int
+}
+
+// MTResult reports a multi-threaded run. Moves is the committed
+// linearization: replaying it through the core semantics must succeed
+// (see Replay), which is the engine's correctness witness.
+type MTResult struct {
+	Steps      int
+	Deadlocked bool
+	Moves      []core.Move
+	Labels     []string
+}
+
+// offer is what a component goroutine reports to the engine: its enabled
+// transitions per port and a snapshot of its variables.
+type offer struct {
+	comp    int
+	enabled map[string][]int
+	vars    expr.MapEnv
+}
+
+// command is what the engine sends back: fire transition trans with the
+// (possibly updated) variable values, or stop.
+type command struct {
+	stop    bool
+	trans   int
+	updates expr.MapEnv
+}
+
+// RunMT executes sys with the multi-threaded engine: one goroutine per
+// component, coordinated by the engine goroutine (this function).
+// Interactions with pairwise-disjoint participants are committed in the
+// same round and their component-local actions execute concurrently —
+// this is where the multi-threaded engine gains over the single-threaded
+// one when components perform real computation (experiment E8).
+//
+// Priorities are honoured among the interactions evaluable in a round,
+// matching the BIP multi-threaded engine's partial-state semantics.
+func RunMT(sys *core.System, opts MTOptions) (*MTResult, error) {
+	maxSteps := opts.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = 10_000
+	}
+	n := len(sys.Atoms)
+	offers := make(chan offer) // rendezvous with component goroutines
+	cmds := make([]chan command, n)
+	errs := make(chan error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		cmds[i] = make(chan command, 1)
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			if err := componentLoop(sys.Atoms[ci], ci, offers, cmds[ci]); err != nil {
+				errs <- err
+			}
+		}(i)
+	}
+	res, runErr := coordinate(sys, offers, cmds, maxSteps)
+	// Shut every component down and wait.
+	for i := 0; i < n; i++ {
+		cmds[i] <- command{stop: true}
+	}
+	// Drain offers so components blocked on sending can see stop.
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	for {
+		select {
+		case <-offers:
+		case err := <-errs:
+			if runErr == nil {
+				runErr = err
+			}
+		case <-done:
+			if runErr != nil {
+				return nil, runErr
+			}
+			return res, nil
+		}
+	}
+}
+
+// componentLoop is the body of one component goroutine: offer, await
+// command, execute, repeat.
+func componentLoop(atom *behavior.Atom, ci int, offers chan<- offer, cmds <-chan command) error {
+	st := atom.InitialState()
+	for {
+		en := make(map[string][]int, len(atom.Ports))
+		for _, p := range atom.Ports {
+			ts, err := atom.Enabled(st, p.Name)
+			if err != nil {
+				return fmt.Errorf("component %s: %w", atom.Name, err)
+			}
+			if len(ts) > 0 {
+				en[p.Name] = ts
+			}
+		}
+		// Offer current capabilities; the command may arrive before the
+		// offer is consumed (stop case), so watch both.
+		select {
+		case offers <- offer{comp: ci, enabled: en, vars: st.Vars.Clone()}:
+		case c := <-cmds:
+			if c.stop {
+				return nil
+			}
+			return fmt.Errorf("component %s: execute before offer", atom.Name)
+		}
+		c := <-cmds
+		if c.stop {
+			return nil
+		}
+		// Apply the engine's variable updates (interaction data
+		// transfer results), then fire the local transition. The local
+		// action runs here, inside the component's own goroutine —
+		// concurrently with other components' actions.
+		for k, v := range c.updates {
+			if err := st.Vars.Set(k, v); err != nil {
+				return fmt.Errorf("component %s: %w", atom.Name, err)
+			}
+		}
+		next, err := atom.Exec(st, c.trans)
+		if err != nil {
+			return fmt.Errorf("component %s: %w", atom.Name, err)
+		}
+		st = next
+	}
+}
+
+// coordinate is the engine proper: it gathers offers, selects a maximal
+// set of non-conflicting enabled interactions, and commits them.
+func coordinate(sys *core.System, offers <-chan offer, cmds []chan command, maxSteps int) (*MTResult, error) {
+	n := len(sys.Atoms)
+	current := make([]*offer, n)
+	ready := 0
+	res := &MTResult{}
+
+	for res.Steps < maxSteps {
+		// Wait for offers until every component is ready. (Partial-state
+		// engines can fire earlier; waiting for quiescence keeps
+		// priority evaluation faithful while still committing disjoint
+		// interactions concurrently.)
+		for ready < n {
+			o := <-offers
+			if current[o.comp] == nil {
+				ready++
+			}
+			oc := o
+			current[o.comp] = &oc
+		}
+		moves, err := evaluable(sys, current)
+		if err != nil {
+			return nil, err
+		}
+		if len(moves) == 0 {
+			res.Deadlocked = true
+			return res, nil
+		}
+		// Greedy maximal set of participant-disjoint moves, in move
+		// order (deterministic).
+		busy := make([]bool, n)
+		var batch []core.Move
+		for _, m := range moves {
+			conflict := false
+			for _, pr := range sys.Interactions[m.Interaction].Ports {
+				if busy[sys.AtomIndex(pr.Comp)] {
+					conflict = true
+					break
+				}
+			}
+			if conflict {
+				continue
+			}
+			for _, pr := range sys.Interactions[m.Interaction].Ports {
+				busy[sys.AtomIndex(pr.Comp)] = true
+			}
+			batch = append(batch, m)
+			if res.Steps+len(batch) >= maxSteps {
+				break
+			}
+		}
+		for _, m := range batch {
+			if err := commit(sys, m, current, cmds); err != nil {
+				return nil, err
+			}
+			for _, pr := range sys.Interactions[m.Interaction].Ports {
+				ci := sys.AtomIndex(pr.Comp)
+				current[ci] = nil
+				ready--
+			}
+			res.Moves = append(res.Moves, m)
+			res.Labels = append(res.Labels, sys.Label(m))
+			res.Steps++
+		}
+	}
+	return res, nil
+}
+
+// evaluable computes the moves enabled according to the current offers,
+// with priorities applied.
+func evaluable(sys *core.System, current []*offer) ([]core.Move, error) {
+	env := offerEnv(sys, current)
+	var moves []core.Move
+	enabledInter := make(map[int]bool)
+	for ii, in := range sys.Interactions {
+		options := make([][]int, len(in.Ports))
+		ok := true
+		for pi, pr := range in.Ports {
+			o := current[sys.AtomIndex(pr.Comp)]
+			if o == nil || len(o.enabled[pr.Port]) == 0 {
+				ok = false
+				break
+			}
+			options[pi] = o.enabled[pr.Port]
+		}
+		if !ok {
+			continue
+		}
+		if in.Guard != nil {
+			g, err := expr.EvalBool(in.Guard, env)
+			if err != nil {
+				return nil, fmt.Errorf("engine: interaction %q: %w", in.Name, err)
+			}
+			if !g {
+				continue
+			}
+		}
+		enabledInter[ii] = true
+		choice := make([]int, len(options))
+		var rec func(int)
+		rec = func(pi int) {
+			if pi == len(options) {
+				moves = append(moves, core.Move{Interaction: ii, Choices: append([]int(nil), choice...)})
+				return
+			}
+			for _, t := range options[pi] {
+				choice[pi] = t
+				rec(pi + 1)
+			}
+		}
+		rec(0)
+	}
+	// Priority filtering over the evaluable set.
+	var out []core.Move
+	for _, m := range moves {
+		dominated := false
+		for _, p := range sys.Priorities {
+			if sys.InteractionIndex(p.Low) != m.Interaction || !enabledInter[sys.InteractionIndex(p.High)] {
+				continue
+			}
+			cond, err := expr.EvalBool(p.When, env)
+			if err != nil {
+				return nil, fmt.Errorf("engine: priority %s: %w", p, err)
+			}
+			if cond {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, m)
+		}
+	}
+	return out, nil
+}
+
+// commit executes one interaction: data transfer on the offered
+// snapshots, then an execute command to each participant.
+func commit(sys *core.System, m core.Move, current []*offer, cmds []chan command) error {
+	in := sys.Interactions[m.Interaction]
+	env := offerEnv(sys, current)
+	if in.Action != nil {
+		if err := in.Action.Exec(env); err != nil {
+			return fmt.Errorf("engine: interaction %q: %w", in.Name, err)
+		}
+	}
+	for pi, pr := range in.Ports {
+		ci := sys.AtomIndex(pr.Comp)
+		updates := make(expr.MapEnv)
+		prefix := pr.Comp + "."
+		for k, v := range env {
+			if len(k) > len(prefix) && k[:len(prefix)] == prefix {
+				old, _ := current[ci].vars.Get(k[len(prefix):])
+				if !old.Equal(v) {
+					updates[k[len(prefix):]] = v
+				}
+			}
+		}
+		cmds[ci] <- command{trans: m.Choices[pi], updates: updates}
+	}
+	return nil
+}
+
+// offerEnv builds a qualified-name environment from the offered variable
+// snapshots.
+func offerEnv(sys *core.System, current []*offer) expr.MapEnv {
+	env := make(expr.MapEnv)
+	for ci, o := range current {
+		if o == nil {
+			continue
+		}
+		name := sys.Atoms[ci].Name
+		for k, v := range o.vars {
+			env[name+"."+k] = v
+		}
+	}
+	return env
+}

@@ -1,0 +1,140 @@
+// Package expr provides the expression and action language used by BIP
+// component behaviour: typed values (integers and booleans), environments,
+// side-effect-free expressions for guards, and statements for transition
+// actions and interaction data transfer.
+//
+// The language is deliberately small: it is the data substrate of the
+// single host component language advocated by the paper, not a general
+// purpose programming language.
+package expr
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Kind identifies the runtime type of a Value.
+type Kind int
+
+// Value kinds. KindInvalid is the zero value so that an uninitialized
+// Value is detectably broken rather than silently an integer.
+const (
+	KindInvalid Kind = iota
+	KindInt
+	KindBool
+)
+
+// String returns a human-readable name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindInt:
+		return "int"
+	case KindBool:
+		return "bool"
+	default:
+		return "invalid"
+	}
+}
+
+// Value is an immutable runtime value: either an integer or a boolean.
+type Value struct {
+	kind Kind
+	i    int64
+	b    bool
+}
+
+// IntVal returns an integer value.
+func IntVal(i int64) Value { return Value{kind: KindInt, i: i} }
+
+// BoolVal returns a boolean value.
+func BoolVal(b bool) Value { return Value{kind: KindBool, b: b} }
+
+// Kind reports the kind of the value.
+func (v Value) Kind() Kind { return v.kind }
+
+// Int returns the integer payload. It reports false if the value is not an
+// integer.
+func (v Value) Int() (int64, bool) { return v.i, v.kind == KindInt }
+
+// Bool returns the boolean payload. It reports false if the value is not a
+// boolean.
+func (v Value) Bool() (bool, bool) { return v.b, v.kind == KindBool }
+
+// Equal reports whether two values have the same kind and payload.
+func (v Value) Equal(o Value) bool {
+	if v.kind != o.kind {
+		return false
+	}
+	switch v.kind {
+	case KindInt:
+		return v.i == o.i
+	case KindBool:
+		return v.b == o.b
+	default:
+		return true
+	}
+}
+
+// String renders the value as source text.
+func (v Value) String() string {
+	switch v.kind {
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindBool:
+		return strconv.FormatBool(v.b)
+	default:
+		return "<invalid>"
+	}
+}
+
+// Env is the variable store expressions evaluate against.
+type Env interface {
+	// Get returns the value bound to name, reporting whether it exists.
+	Get(name string) (Value, bool)
+	// Set rebinds name. Implementations may reject unknown names or
+	// kind-changing assignments.
+	Set(name string, v Value) error
+}
+
+// MapEnv is a simple map-backed Env. Set accepts any name and allows kind
+// changes; stricter stores are implemented by the behaviour package.
+type MapEnv map[string]Value
+
+var _ Env = MapEnv(nil)
+
+// Get implements Env.
+func (m MapEnv) Get(name string) (Value, bool) {
+	v, ok := m[name]
+	return v, ok
+}
+
+// Set implements Env.
+func (m MapEnv) Set(name string, v Value) error {
+	m[name] = v
+	return nil
+}
+
+// Clone returns a deep copy of the environment.
+func (m MapEnv) Clone() MapEnv {
+	out := make(MapEnv, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// EvalError describes a runtime evaluation failure with its source
+// expression or statement rendered as text.
+type EvalError struct {
+	Where string // source text of the failing node
+	Msg   string
+}
+
+// Error implements error.
+func (e *EvalError) Error() string {
+	return fmt.Sprintf("eval %s: %s", e.Where, e.Msg)
+}
+
+func evalErr(where fmt.Stringer, format string, args ...any) error {
+	return &EvalError{Where: where.String(), Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,105 @@
+package glue
+
+import (
+	"testing"
+
+	"bip/internal/lts"
+)
+
+func TestBroadcastSystemShape(t *testing.T) {
+	sys, err := BroadcastSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Connector expansion: 4 broadcast interactions + 4 toggles.
+	if got := len(sys.Interactions); got != 8 {
+		t.Fatalf("interactions = %d, want 8", got)
+	}
+	l, err := lts.Explore(sys, lts.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 readiness combinations of the receivers.
+	if l.NumStates() != 4 {
+		t.Fatalf("states = %d, want 4", l.NumStates())
+	}
+	// Maximality: in the both-ready initial state, the only send is the
+	// full broadcast.
+	sends := 0
+	for _, e := range l.Edges(0) {
+		lab, _ := CanonicalRelabel(sys)(e.Label)
+		if lab == "R1.rcv+R2.rcv+S.snd" {
+			sends++
+		}
+		if lab == "S.snd" || lab == "R1.rcv+S.snd" || lab == "R2.rcv+S.snd" {
+			t.Fatalf("non-maximal send %q enabled in both-ready state", lab)
+		}
+	}
+	if sends != 1 {
+		t.Fatalf("maximal broadcast count = %d, want 1", sends)
+	}
+}
+
+func TestInteractionOnlySystemMask(t *testing.T) {
+	// Mask 0: no glue at all — only toggles.
+	sys, err := InteractionOnlySystem(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(sys.Interactions); got != 4 {
+		t.Fatalf("interactions = %d, want 4 toggles", got)
+	}
+	// Full mask: all 7 subsets.
+	sys7, err := InteractionOnlySystem(127)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(sys7.Interactions); got != 11 {
+		t.Fatalf("interactions = %d, want 7 + 4 toggles", got)
+	}
+	if _, err := InteractionOnlySystem(-1); err == nil {
+		t.Fatal("negative mask must fail")
+	}
+	if _, err := InteractionOnlySystem(200); err == nil {
+		t.Fatal("oversized mask must fail")
+	}
+}
+
+func TestSeparation(t *testing.T) {
+	// E2: no interaction-only glue reproduces broadcast-with-priorities.
+	res, err := CheckSeparation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Candidates != 128 {
+		t.Fatalf("candidates = %d, want 128", res.Candidates)
+	}
+	if len(res.Equivalent) != 0 {
+		t.Fatalf("interaction-only glues %v claimed equivalent to broadcast — the separation theorem is violated", res.Equivalent)
+	}
+}
+
+func TestPriorityGlueMatches(t *testing.T) {
+	ok, err := PriorityGlueMatches()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("the broadcast system must be bisimilar to itself under canonical labels")
+	}
+}
+
+func TestCanonicalRelabelPassThrough(t *testing.T) {
+	sys, err := BroadcastSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := CanonicalRelabel(sys)
+	if l, ok := r("unrelated"); !ok || l != "unrelated" {
+		t.Fatalf("unknown labels must pass through, got %q %v", l, ok)
+	}
+	// A toggle singleton maps to its port-set name.
+	if l, ok := r("R1.work"); !ok || l != "R1.work" {
+		t.Fatalf("R1.work → %q %v", l, ok)
+	}
+}

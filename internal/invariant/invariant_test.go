@@ -1,0 +1,217 @@
+package invariant
+
+import (
+	"testing"
+
+	"bip/internal/behavior"
+	"bip/internal/core"
+	"bip/internal/models"
+)
+
+func TestPhilosophersProvedDeadlockFree(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 8} {
+		sys, err := models.Philosophers(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Verify(sys, Options{})
+		if err != nil {
+			t.Fatalf("Verify(%d): %v", n, err)
+		}
+		if !res.DeadlockFree {
+			t.Fatalf("philosophers-%d: compositional proof failed: %s", n, FormatResult(res))
+		}
+		if len(res.Traps) == 0 {
+			t.Fatalf("philosophers-%d: no interaction invariants found", n)
+		}
+	}
+}
+
+func TestTwoPhasePhilosophersNotProved(t *testing.T) {
+	sys, err := models.PhilosophersDeadlocking(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Verify(sys, Options{})
+	if err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if res.DeadlockFree {
+		t.Fatal("two-phase philosophers deadlock; the verifier must not prove them deadlock-free")
+	}
+	// Soundness check: the candidate corresponds to the real deadlock —
+	// every philosopher holding its left fork.
+	for comp, loc := range res.Candidate {
+		if len(comp) >= 4 && comp[:4] == "phil" && loc != "hasLeft" {
+			// Some other candidate is acceptable (the method is an
+			// abstraction), but at minimum a candidate must exist.
+			t.Logf("candidate: %s@%s", comp, loc)
+		}
+	}
+	if len(res.Candidate) == 0 {
+		t.Fatal("inconclusive result must carry a candidate deadlock")
+	}
+}
+
+func TestGasStationProved(t *testing.T) {
+	sys, err := models.GasStation(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Verify(sys, Options{})
+	if err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if !res.DeadlockFree {
+		t.Fatalf("gas station should be proved deadlock-free: %s", FormatResult(res))
+	}
+}
+
+func TestTokenRingProved(t *testing.T) {
+	sys, err := models.TokenRing(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Verify(sys, Options{})
+	if err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if !res.DeadlockFree {
+		t.Fatalf("token ring should be proved deadlock-free: %s", FormatResult(res))
+	}
+}
+
+// A system that genuinely deadlocks with no data guards: two components
+// that each take one step and stop.
+func TestRealDeadlockDetected(t *testing.T) {
+	oneShot := behavior.NewBuilder("x").
+		Location("s", "t").
+		Port("p").
+		Transition("s", "p", "t").
+		MustBuild()
+	sys := core.NewSystem("stopper").
+		AddAs("a", oneShot).
+		AddAs("b", oneShot).
+		Connect("step", core.P("a", "p"), core.P("b", "p")).
+		MustBuild()
+	res, err := Verify(sys, Options{})
+	if err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if res.DeadlockFree {
+		t.Fatal("stopper reaches a terminal state; must not be proved deadlock-free")
+	}
+	if res.Candidate["a"] != "t" || res.Candidate["b"] != "t" {
+		t.Fatalf("candidate = %v, want both at t", res.Candidate)
+	}
+}
+
+func TestGuardedModelInconclusive(t *testing.T) {
+	// GCD's liveness depends on data guards, which the abstraction
+	// ignores: the verifier must be conservative (inconclusive), not
+	// wrongly conclusive.
+	sys, err := models.GCD(6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Verify(sys, Options{})
+	if err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if res.DeadlockFree {
+		t.Fatal("guard-dependent model must be inconclusive")
+	}
+}
+
+func TestTrapReuseIncremental(t *testing.T) {
+	// Verify philosophers-5, then re-verify reusing its traps: the
+	// reused traps must be revalidated and the proof must still close.
+	sys, err := models.Philosophers(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res1, err := Verify(sys, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res1.DeadlockFree {
+		t.Fatalf("base proof failed: %s", FormatResult(res1))
+	}
+	res2, err := Verify(sys, Options{ReuseTraps: res1.Traps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.DeadlockFree {
+		t.Fatalf("proof with reused traps failed: %s", FormatResult(res2))
+	}
+
+	// Reuse traps from a smaller system (different place names do not
+	// resolve): must be skipped gracefully, not crash.
+	small, err := models.Philosophers(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resSmall, err := Verify(small, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res3, err := Verify(sys, Options{ReuseTraps: resSmall.Traps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res3.DeadlockFree {
+		t.Fatalf("proof with partially-applicable traps failed: %s", FormatResult(res3))
+	}
+}
+
+func TestTrapsAreActualTraps(t *testing.T) {
+	sys, err := models.Philosophers(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := buildAnalysis(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traps, err := a.enumerateTraps(50, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traps) == 0 {
+		t.Fatal("no traps found")
+	}
+	for _, trap := range traps {
+		if !a.isTrap(trap) {
+			t.Fatalf("enumerated set is not a trap: %v", a.placeRefs(trap))
+		}
+		if !a.isMarked(trap) {
+			t.Fatalf("enumerated trap is not initially marked: %v", a.placeRefs(trap))
+		}
+	}
+}
+
+func TestFormatResult(t *testing.T) {
+	sys, err := models.Philosophers(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Verify(sys, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatResult(res)
+	if out == "" {
+		t.Fatal("empty format")
+	}
+	res2 := &Result{System: "x", Candidate: map[string]string{"a": "s"}}
+	if FormatResult(res2) == "" {
+		t.Fatal("empty format for inconclusive")
+	}
+}
+
+func TestPlaceRefString(t *testing.T) {
+	p := PlaceRef{Comp: "phil0", Loc: "eating"}
+	if p.String() != "phil0@eating" {
+		t.Fatalf("String = %q", p.String())
+	}
+}

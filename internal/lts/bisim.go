@@ -1,0 +1,275 @@
+package lts
+
+import (
+	"sort"
+	"strings"
+)
+
+// Relabel maps transition labels for comparison purposes. Returning
+// ("", false) marks the label as silent (unobservable); returning
+// (l, true) observes the transition as l. Identity is the nil map
+// behaviour of Observe.
+type Relabel func(label string) (string, bool)
+
+// Identity observes every label as itself.
+func Identity(label string) (string, bool) { return label, true }
+
+// Hide returns a Relabel that silences the listed labels and observes all
+// others unchanged.
+func Hide(hidden ...string) Relabel {
+	set := make(map[string]bool, len(hidden))
+	for _, h := range hidden {
+		set[h] = true
+	}
+	return func(label string) (string, bool) {
+		if set[label] {
+			return "", false
+		}
+		return label, true
+	}
+}
+
+// MapLabels returns a Relabel applying the given mapping; labels mapped to
+// "" become silent and unmapped labels stay unchanged.
+func MapLabels(m map[string]string) Relabel {
+	return func(label string) (string, bool) {
+		if to, ok := m[label]; ok {
+			if to == "" {
+				return "", false
+			}
+			return to, true
+		}
+		return label, true
+	}
+}
+
+// Bisimilar decides strong bisimilarity of the initial states of a and b,
+// after applying the respective relabelings (silent labels are compared as
+// the distinguished label "τ" — strong bisimulation still observes them;
+// use ObsTraceIncluded for weak comparisons).
+func Bisimilar(a, b *LTS, ra, rb Relabel) bool {
+	if ra == nil {
+		ra = Identity
+	}
+	if rb == nil {
+		rb = Identity
+	}
+	// Disjoint union; partition refinement (naive O(n·m·iters), fine for
+	// the model sizes compared here).
+	n := a.NumStates() + b.NumStates()
+	off := a.NumStates()
+	label := func(l *LTS, r Relabel, e Edge) string {
+		if to, ok := r(e.Label); ok {
+			return to
+		}
+		return "τ"
+	}
+	type edge struct {
+		to  int
+		lab string
+	}
+	adj := make([][]edge, n)
+	for i := 0; i < a.NumStates(); i++ {
+		for _, e := range a.Edges(i) {
+			adj[i] = append(adj[i], edge{to: e.To, lab: label(a, ra, e)})
+		}
+	}
+	for i := 0; i < b.NumStates(); i++ {
+		for _, e := range b.Edges(i) {
+			adj[off+i] = append(adj[off+i], edge{to: off + e.To, lab: label(b, rb, e)})
+		}
+	}
+
+	block := make([]int, n) // all zero: one initial block
+	for {
+		// Signature: sorted distinct (label, target block) pairs.
+		sigs := make([]string, n)
+		for i := 0; i < n; i++ {
+			pairs := make([]string, 0, len(adj[i]))
+			for _, e := range adj[i] {
+				pairs = append(pairs, e.lab+"→"+itoa(block[e.to]))
+			}
+			sort.Strings(pairs)
+			pairs = dedup(pairs)
+			sigs[i] = itoa(block[i]) + "|" + strings.Join(pairs, ";")
+		}
+		next := make(map[string]int)
+		changed := false
+		for i := 0; i < n; i++ {
+			id, ok := next[sigs[i]]
+			if !ok {
+				id = len(next)
+				next[sigs[i]] = id
+			}
+			if id != block[i] {
+				changed = true
+			}
+			block[i] = id
+		}
+		if !changed {
+			break
+		}
+	}
+	return block[0] == block[off]
+}
+
+func dedup(sorted []string) []string {
+	out := sorted[:0]
+	for i, s := range sorted {
+		if i == 0 || s != sorted[i-1] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func itoa(i int) string {
+	var buf [12]byte
+	pos := len(buf)
+	if i == 0 {
+		return "0"
+	}
+	for i > 0 {
+		pos--
+		buf[pos] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(buf[pos:])
+}
+
+// obsDFA is the determinization of an LTS under a Relabel: states are
+// silent-closed sets of LTS states, transitions carry observable labels.
+type obsDFA struct {
+	// trans[node][label] = successor node
+	trans []map[string]int
+	// canDeadlock[node] reports whether the closure contains a state with
+	// no outgoing transitions at all (used for refinement condition 2).
+	canDeadlock []bool
+	init        int
+}
+
+// buildObsDFA determinizes l modulo r.
+func buildObsDFA(l *LTS, r Relabel) *obsDFA {
+	if r == nil {
+		r = Identity
+	}
+	closure := func(set []int) []int {
+		seen := make(map[int]bool, len(set))
+		stack := append([]int(nil), set...)
+		for _, s := range set {
+			seen[s] = true
+		}
+		for len(stack) > 0 {
+			s := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, e := range l.Edges(s) {
+				if _, ok := r(e.Label); ok {
+					continue
+				}
+				if !seen[e.To] {
+					seen[e.To] = true
+					stack = append(stack, e.To)
+				}
+			}
+		}
+		out := make([]int, 0, len(seen))
+		for s := range seen {
+			out = append(out, s)
+		}
+		sort.Ints(out)
+		return out
+	}
+	key := func(set []int) string {
+		parts := make([]string, len(set))
+		for i, s := range set {
+			parts[i] = itoa(s)
+		}
+		return strings.Join(parts, ",")
+	}
+
+	d := &obsDFA{}
+	index := make(map[string]int)
+	var sets [][]int
+	add := func(set []int) int {
+		k := key(set)
+		if id, ok := index[k]; ok {
+			return id
+		}
+		id := len(sets)
+		index[k] = id
+		sets = append(sets, set)
+		d.trans = append(d.trans, nil)
+		dead := false
+		for _, s := range set {
+			if len(l.Edges(s)) == 0 {
+				dead = true
+			}
+		}
+		d.canDeadlock = append(d.canDeadlock, dead)
+		return id
+	}
+	d.init = add(closure([]int{0}))
+	for head := 0; head < len(sets); head++ {
+		byLabel := make(map[string][]int)
+		for _, s := range sets[head] {
+			for _, e := range l.Edges(s) {
+				if lab, ok := r(e.Label); ok {
+					byLabel[lab] = append(byLabel[lab], e.To)
+				}
+			}
+		}
+		d.trans[head] = make(map[string]int, len(byLabel))
+		for lab, targets := range byLabel {
+			d.trans[head][lab] = add(closure(targets))
+		}
+	}
+	return d
+}
+
+// ObsTraceIncluded reports whether every observable trace of a (modulo
+// ra) is an observable trace of b (modulo rb). On failure it returns a
+// shortest distinguishing trace. This is the trace-inclusion half of the
+// paper's refinement relation ≥ (§5.5.3, condition 1).
+func ObsTraceIncluded(a, b *LTS, ra, rb Relabel) (bool, []string) {
+	da := buildObsDFA(a, ra)
+	db := buildObsDFA(b, rb)
+	type pair struct{ x, y int }
+	seen := map[pair]bool{{da.init, db.init}: true}
+	type node struct {
+		p     pair
+		trace []string
+	}
+	queue := []node{{p: pair{da.init, db.init}}}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		labels := make([]string, 0, len(da.trans[n.p.x]))
+		for lab := range da.trans[n.p.x] {
+			labels = append(labels, lab)
+		}
+		sort.Strings(labels)
+		for _, lab := range labels {
+			nx := da.trans[n.p.x][lab]
+			ny, ok := db.trans[n.p.y][lab]
+			if !ok {
+				return false, append(append([]string(nil), n.trace...), lab)
+			}
+			np := pair{nx, ny}
+			if !seen[np] {
+				seen[np] = true
+				queue = append(queue, node{p: np, trace: append(append([]string(nil), n.trace...), lab)})
+			}
+		}
+	}
+	return true, nil
+}
+
+// ObsTraceEquivalent reports two-way observable trace inclusion.
+func ObsTraceEquivalent(a, b *LTS, ra, rb Relabel) bool {
+	ok1, _ := ObsTraceIncluded(a, b, ra, rb)
+	if !ok1 {
+		return false
+	}
+	ok2, _ := ObsTraceIncluded(b, a, rb, ra)
+	return ok2
+}

@@ -1,0 +1,200 @@
+// Package lts builds and analyzes the explicit labelled transition system
+// of a BIP system: reachability, deadlock detection, invariant checking,
+// strong bisimulation, and observational trace inclusion.
+//
+// This is the repository's "correctness-by-checking" engine — the
+// monolithic global-state verifier the paper contrasts with compositional
+// verification (package invariant). Its exhaustive exploration exhibits
+// exactly the state-explosion behaviour the paper describes (§4.3), which
+// experiment E1 measures.
+package lts
+
+import (
+	"fmt"
+	"sort"
+
+	"bip/internal/core"
+)
+
+// Edge is an outgoing transition of an explored state.
+type Edge struct {
+	To    int
+	Label string
+}
+
+// LTS is the explored (portion of the) state space of a system.
+type LTS struct {
+	sys    *core.System
+	states []core.State
+	index  map[string]int
+	edges  [][]Edge
+
+	// parent/parentLabel store the BFS tree for counterexample paths.
+	parent      []int
+	parentLabel []string
+
+	truncated bool
+}
+
+// Options configures exploration.
+type Options struct {
+	// MaxStates bounds exploration; 0 means the default of 1<<21.
+	MaxStates int
+	// Raw ignores priority filtering (explores the unrestricted
+	// interaction semantics).
+	Raw bool
+}
+
+// Explore builds the reachable LTS of sys by breadth-first search.
+func Explore(sys *core.System, opts Options) (*LTS, error) {
+	maxStates := opts.MaxStates
+	if maxStates <= 0 {
+		maxStates = 1 << 21
+	}
+	l := &LTS{
+		sys:   sys,
+		index: make(map[string]int),
+	}
+	init := sys.Initial()
+	l.push(init, -1, "")
+	for head := 0; head < len(l.states); head++ {
+		st := l.states[head]
+		var (
+			moves []core.Move
+			err   error
+		)
+		if opts.Raw {
+			moves, err = sys.EnabledRaw(st)
+		} else {
+			moves, err = sys.Enabled(st)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("explore state %d: %w", head, err)
+		}
+		for _, m := range moves {
+			next, err := sys.Exec(st, m)
+			if err != nil {
+				return nil, fmt.Errorf("explore state %d: %w", head, err)
+			}
+			label := sys.Label(m)
+			key := next.Key()
+			to, seen := l.index[key]
+			if !seen {
+				if len(l.states) >= maxStates {
+					l.truncated = true
+					continue
+				}
+				to = l.push(next, head, label)
+			}
+			l.edges[head] = append(l.edges[head], Edge{To: to, Label: label})
+		}
+	}
+	return l, nil
+}
+
+func (l *LTS) push(st core.State, parent int, label string) int {
+	id := len(l.states)
+	l.states = append(l.states, st)
+	l.index[st.Key()] = id
+	l.edges = append(l.edges, nil)
+	l.parent = append(l.parent, parent)
+	l.parentLabel = append(l.parentLabel, label)
+	return id
+}
+
+// NumStates returns the number of explored states.
+func (l *LTS) NumStates() int { return len(l.states) }
+
+// NumTransitions returns the number of explored transitions.
+func (l *LTS) NumTransitions() int {
+	n := 0
+	for _, es := range l.edges {
+		n += len(es)
+	}
+	return n
+}
+
+// Truncated reports whether exploration hit the state bound, in which
+// case absence results (deadlock-freedom, invariant validity) are not
+// conclusive.
+func (l *LTS) Truncated() bool { return l.truncated }
+
+// State returns explored state i.
+func (l *LTS) State(i int) core.State { return l.states[i] }
+
+// Edges returns the outgoing edges of state i.
+func (l *LTS) Edges(i int) []Edge { return l.edges[i] }
+
+// System returns the underlying system.
+func (l *LTS) System() *core.System { return l.sys }
+
+// Deadlocks returns the indices of states with no outgoing transition.
+func (l *LTS) Deadlocks() []int {
+	var out []int
+	for i, es := range l.edges {
+		if len(es) == 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// DeadlockFree reports whether no reachable state is a deadlock. It
+// reports an error when exploration was truncated, because the answer
+// would not be trustworthy.
+func (l *LTS) DeadlockFree() (bool, error) {
+	if l.truncated {
+		return false, fmt.Errorf("lts: exploration truncated at %d states; deadlock-freedom undecided", len(l.states))
+	}
+	return len(l.Deadlocks()) == 0, nil
+}
+
+// PathTo reconstructs the interaction labels leading from the initial
+// state to state i along the BFS tree.
+func (l *LTS) PathTo(i int) []string {
+	var rev []string
+	for i > 0 {
+		rev = append(rev, l.parentLabel[i])
+		i = l.parent[i]
+	}
+	out := make([]string, len(rev))
+	for j := range rev {
+		out[j] = rev[len(rev)-1-j]
+	}
+	return out
+}
+
+// FindState returns the first explored state satisfying pred.
+func (l *LTS) FindState(pred func(core.State) bool) (int, bool) {
+	for i, st := range l.states {
+		if pred(st) {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// CheckInvariant verifies pred on every reachable state. On violation it
+// returns the offending state index and the path to it.
+func (l *LTS) CheckInvariant(pred func(core.State) bool) (ok bool, state int, path []string) {
+	if i, found := l.FindState(func(st core.State) bool { return !pred(st) }); found {
+		return false, i, l.PathTo(i)
+	}
+	return true, 0, nil
+}
+
+// LabelSet returns the sorted set of labels appearing in the LTS.
+func (l *LTS) LabelSet() []string {
+	set := make(map[string]bool)
+	for _, es := range l.edges {
+		for _, e := range es {
+			set[e.Label] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,248 @@
+package lustre
+
+import (
+	"fmt"
+	"strconv"
+
+	"bip/internal/behavior"
+	"bip/internal/core"
+	"bip/internal/expr"
+)
+
+// Embedding is the result of translating a program into BIP: the system,
+// the mapping from flows/inputs to component variables, and the size
+// accounting that experiment E3 reports (one component per data-flow
+// node, one interaction per data-flow connection, plus the two global
+// synchronisation interactions str and cmp).
+type Embedding struct {
+	Sys *core.System
+	// InputAtoms maps each input flow to the components whose "out"
+	// variable the driver writes before each cycle (one component per
+	// occurrence of the input in the program).
+	InputAtoms map[string][]string
+	// declared is the program's input interface; declared inputs without
+	// occurrences are accepted and ignored at Run, like the interpreter.
+	declared map[string]bool
+	// OutputVar maps each output flow to (component, variable) read at
+	// the end of the computation phase.
+	OutputVar map[string][2]string
+	NumNodes  int
+	NumWires  int
+}
+
+// Embed translates a program following Fig. 5.2: each graph node becomes
+// an atomic component with str/cmp ports; data-flow edges become binary
+// rendezvous transferring the producer's output into the consumer's
+// input variable; all components start and complete cycles together via
+// the global str and cmp interactions.
+func Embed(p *Program) (*Embedding, error) {
+	g, err := compile(p)
+	if err != nil {
+		return nil, err
+	}
+	emb := &Embedding{
+		InputAtoms: make(map[string][]string),
+		OutputVar:  make(map[string][2]string),
+		NumNodes:   len(g.nodes),
+		declared:   make(map[string]bool, len(p.Inputs)),
+	}
+	for _, in := range p.Inputs {
+		emb.declared[in] = true
+	}
+	b := core.NewSystem(p.Name + "-bip")
+	names := make([]string, len(g.nodes))
+	strPorts := make([]core.PortRef, 0, len(g.nodes))
+	cmpPorts := make([]core.PortRef, 0, len(g.nodes))
+
+	for id, n := range g.nodes {
+		name := fmt.Sprintf("%s%d", n.kind, id)
+		names[id] = name
+		atom, err := nodeAtom(n)
+		if err != nil {
+			return nil, err
+		}
+		b.AddAs(name, atom)
+		strPorts = append(strPorts, core.P(name, "str"))
+		cmpPorts = append(cmpPorts, core.P(name, "cmp"))
+		if n.kind == nInput {
+			emb.InputAtoms[n.name] = append(emb.InputAtoms[n.name], name)
+		}
+	}
+	for _, o := range p.Outputs {
+		id := g.flows[o]
+		outVar := "out"
+		if g.nodes[id].kind == nPre {
+			outVar = "mem"
+		}
+		emb.OutputVar[o] = [2]string{names[id], outVar}
+	}
+
+	// Data-flow wires.
+	for id, n := range g.nodes {
+		for ai := 0; ai < n.nargs; ai++ {
+			src := n.args[ai]
+			srcVar := "out"
+			if g.nodes[src].kind == nPre {
+				srcVar = "mem"
+			}
+			dstVar := "a"
+			dstPort := "get_a"
+			if ai == 1 {
+				dstVar = "b"
+				dstPort = "get_b"
+			}
+			if n.kind == nPre {
+				dstVar = "nxt"
+			}
+			b.ConnectGD(
+				fmt.Sprintf("wire%d_%d", src, id)+"_"+strconv.Itoa(ai),
+				nil,
+				expr.Set(names[id]+"."+dstVar, expr.V(names[src]+"."+srcVar)),
+				core.P(names[src], "put"), core.P(names[id], dstPort))
+			emb.NumWires++
+		}
+	}
+
+	b.Connect("str", strPorts...)
+	b.Connect("cmp", cmpPorts...)
+	sys, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	emb.Sys = sys
+	return emb, nil
+}
+
+// nodeAtom builds the atomic component for one graph node, following the
+// B+ / Bpre automata of Fig. 5.2.
+func nodeAtom(n gnode) (*behavior.Atom, error) {
+	switch n.kind {
+	case nInput, nConst:
+		// out is set externally (input) or fixed (const); available on
+		// put throughout the cycle.
+		init := int64(0)
+		if n.kind == nConst {
+			init = n.val
+		}
+		return behavior.NewBuilder("src").
+			Location("idle", "run").
+			Int("out", init).
+			Port("str").Port("cmp").Port("put", "out").
+			Transition("idle", "str", "run").
+			Transition("run", "put", "run").
+			Transition("run", "cmp", "idle").
+			Build()
+	case nPlus, nMinus:
+		op := expr.Add(expr.V("a"), expr.V("b"))
+		if n.kind == nMinus {
+			op = expr.Sub(expr.V("a"), expr.V("b"))
+		}
+		// Read both inputs (in either order the wires allow — here
+		// sequentially a then b), compute, then serve the result.
+		return behavior.NewBuilder("op").
+			Location("idle", "wa", "wb", "run").
+			Int("a", 0).Int("b", 0).Int("out", 0).
+			Port("str").Port("cmp").
+			Port("get_a", "a").Port("get_b", "b").
+			Port("put", "out").
+			Transition("idle", "str", "wa").
+			Transition("wa", "get_a", "wb").
+			TransitionG("wb", "get_b", "run", nil, expr.Set("out", op)).
+			Transition("run", "put", "run").
+			Transition("run", "cmp", "idle").
+			Build()
+	case nPre:
+		// The stored value is available from the start of the cycle
+		// (the unit delay's defining property); the argument is read
+		// during the cycle and becomes the new memory at completion.
+		return behavior.NewBuilder("pre").
+			Location("idle", "serve", "got").
+			Int("mem", n.val).Int("nxt", 0).
+			Port("str").Port("cmp").
+			Port("get_a", "nxt").
+			Port("put", "mem").
+			Transition("idle", "str", "serve").
+			Transition("serve", "put", "serve").
+			Transition("serve", "get_a", "got").
+			Transition("got", "put", "got").
+			TransitionG("got", "cmp", "idle", nil, expr.Set("mem", expr.V("nxt"))).
+			Build()
+	default:
+		return nil, fmt.Errorf("lustre: no atom for node kind %v", n.kind)
+	}
+}
+
+// Run drives the embedded system for one cycle per input record and
+// returns the outputs, using the reference BIP semantics directly. It is
+// the execution harness of experiment E3.
+func (e *Embedding) Run(inputs []map[string]int64) ([]map[string]int64, error) {
+	sys := e.Sys
+	st := sys.Initial()
+	fire := func(label string) error {
+		moves, err := sys.Enabled(st)
+		if err != nil {
+			return err
+		}
+		for _, m := range moves {
+			if sys.Label(m) == label {
+				st, err = sys.Exec(st, m)
+				return err
+			}
+		}
+		return fmt.Errorf("lustre: %s not enabled", label)
+	}
+	var outs []map[string]int64
+	for ci, in := range inputs {
+		// Inject inputs.
+		for name, v := range in {
+			if !e.declared[name] {
+				return nil, fmt.Errorf("lustre: cycle %d: unknown input %q", ci, name)
+			}
+			for _, atom := range e.InputAtoms[name] {
+				if err := st.Vars[sys.AtomIndex(atom)].Set("out", expr.IntVal(v)); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if err := fire("str"); err != nil {
+			return nil, fmt.Errorf("lustre: cycle %d: %w", ci, err)
+		}
+		// Computation phase: fire anything but cmp until only cmp
+		// remains.
+		for {
+			moves, err := sys.Enabled(st)
+			if err != nil {
+				return nil, err
+			}
+			var next *core.Move
+			for i := range moves {
+				if sys.Label(moves[i]) != "cmp" {
+					next = &moves[i]
+					break
+				}
+			}
+			if next == nil {
+				if len(moves) == 0 {
+					return nil, fmt.Errorf("lustre: cycle %d: computation deadlock", ci)
+				}
+				break
+			}
+			st, err = sys.Exec(st, *next)
+			if err != nil {
+				return nil, err
+			}
+		}
+		// Read outputs before cmp (pre memories update at cmp).
+		out := make(map[string]int64, len(e.OutputVar))
+		for flow, av := range e.OutputVar {
+			v, _ := st.Vars[sys.AtomIndex(av[0])].Get(av[1])
+			iv, _ := v.Int()
+			out[flow] = iv
+		}
+		outs = append(outs, out)
+		if err := fire("cmp"); err != nil {
+			return nil, fmt.Errorf("lustre: cycle %d: %w", ci, err)
+		}
+	}
+	return outs, nil
+}

@@ -1,0 +1,403 @@
+// Package lustre implements a miniature synchronous data-flow language —
+// the essence of Lustre — together with (a) a reference interpreter
+// giving its synchronous semantics and (b) a structure-preserving
+// embedding into BIP following Fig. 5.2 of the paper: every data-flow
+// node becomes one atomic component, data-flow connections become
+// interactions, and the implicit synchronous cycle becomes the global
+// str/cmp rendezvous pair.
+//
+// Experiment E3 checks the two semantics coincide and that the embedding
+// is linear-size and one-to-one on nodes — the paper's "semantic
+// coherency through embeddings" principle made executable.
+package lustre
+
+import (
+	"fmt"
+)
+
+// Expr is a data-flow expression. Flows are integer streams.
+type Expr interface{ node() string }
+
+// Ref references a named flow (an equation of the program).
+type Ref struct{ Name string }
+
+// Input references an input flow.
+type Input struct{ Name string }
+
+// Const is a constant stream.
+type Const struct{ Val int64 }
+
+// Plus adds two streams point-wise.
+type Plus struct{ A, B Expr }
+
+// Minus subtracts two streams point-wise.
+type Minus struct{ A, B Expr }
+
+// Pre is the unit delay: (pre x)(t) = x(t−1), with Init at t = 0.
+type Pre struct {
+	Init int64
+	X    Expr
+}
+
+func (Ref) node() string   { return "ref" }
+func (Input) node() string { return "input" }
+func (Const) node() string { return "const" }
+func (Plus) node() string  { return "plus" }
+func (Minus) node() string { return "minus" }
+func (Pre) node() string   { return "pre" }
+
+// Equation defines a named flow.
+type Equation struct {
+	Name string
+	Rhs  Expr
+}
+
+// Program is a system of flow equations.
+type Program struct {
+	Name    string
+	Inputs  []string
+	Eqs     []Equation
+	Outputs []string
+}
+
+// Integrator returns the paper's Fig. 5.2 example: Y = X + pre(Y), the
+// running sum of the input stream.
+func Integrator() *Program {
+	return &Program{
+		Name:    "integrator",
+		Inputs:  []string{"X"},
+		Eqs:     []Equation{{Name: "Y", Rhs: Plus{A: Input{Name: "X"}, B: Pre{Init: 0, X: Ref{Name: "Y"}}}}},
+		Outputs: []string{"Y"},
+	}
+}
+
+// node kinds of the compiled graph.
+type nodeKind int
+
+const (
+	nInput nodeKind = iota + 1
+	nConst
+	nPlus
+	nMinus
+	nPre
+)
+
+func (k nodeKind) String() string {
+	switch k {
+	case nInput:
+		return "in"
+	case nConst:
+		return "const"
+	case nPlus:
+		return "add"
+	case nMinus:
+		return "sub"
+	case nPre:
+		return "pre"
+	default:
+		return "??"
+	}
+}
+
+// gnode is one operator of the compiled data-flow graph. Ref expressions
+// are resolved to node indices during compilation, so the graph has
+// exactly one node per operator occurrence — the structure the embedding
+// preserves one-to-one.
+type gnode struct {
+	kind  nodeKind
+	name  string // input name (nInput)
+	val   int64  // constant (nConst) or initial value (nPre)
+	args  [2]int // child node ids; -1 when absent
+	nargs int
+}
+
+// graph is a compiled program.
+type graph struct {
+	p     *Program
+	nodes []gnode
+	flows map[string]int // equation name → root node id
+}
+
+// compile validates and builds the graph.
+func compile(p *Program) (*graph, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	g := &graph{p: p, flows: make(map[string]int, len(p.Eqs))}
+	// Reserve a root slot per equation so that cyclic references (legal
+	// through pre) resolve before their body is compiled.
+	for _, e := range p.Eqs {
+		if _, ok := e.Rhs.(Ref); ok {
+			return nil, fmt.Errorf("lustre: equation %q is a bare alias; inline it", e.Name)
+		}
+		g.flows[e.Name] = len(g.nodes)
+		g.nodes = append(g.nodes, gnode{})
+	}
+	var build func(e Expr) (int, error)
+	fill := func(slot int, e Expr) error {
+		n, err := compileNode(g, e, build)
+		if err != nil {
+			return err
+		}
+		g.nodes[slot] = n
+		return nil
+	}
+	build = func(e Expr) (int, error) {
+		if r, ok := e.(Ref); ok {
+			return g.flows[r.Name], nil
+		}
+		slot := len(g.nodes)
+		g.nodes = append(g.nodes, gnode{})
+		if err := fill(slot, e); err != nil {
+			return 0, err
+		}
+		return slot, nil
+	}
+	for _, e := range p.Eqs {
+		if err := fill(g.flows[e.Name], e.Rhs); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+func compileNode(g *graph, e Expr, build func(Expr) (int, error)) (gnode, error) {
+	switch t := e.(type) {
+	case Input:
+		return gnode{kind: nInput, name: t.Name, args: [2]int{-1, -1}}, nil
+	case Const:
+		return gnode{kind: nConst, val: t.Val, args: [2]int{-1, -1}}, nil
+	case Plus:
+		a, err := build(t.A)
+		if err != nil {
+			return gnode{}, err
+		}
+		b, err := build(t.B)
+		if err != nil {
+			return gnode{}, err
+		}
+		return gnode{kind: nPlus, args: [2]int{a, b}, nargs: 2}, nil
+	case Minus:
+		a, err := build(t.A)
+		if err != nil {
+			return gnode{}, err
+		}
+		b, err := build(t.B)
+		if err != nil {
+			return gnode{}, err
+		}
+		return gnode{kind: nMinus, args: [2]int{a, b}, nargs: 2}, nil
+	case Pre:
+		x, err := build(t.X)
+		if err != nil {
+			return gnode{}, err
+		}
+		return gnode{kind: nPre, val: t.Init, args: [2]int{x, -1}, nargs: 1}, nil
+	default:
+		return gnode{}, fmt.Errorf("lustre: cannot compile %T", e)
+	}
+}
+
+// Validate checks name resolution and causality: every cycle among
+// flows must pass through a pre operator.
+func (p *Program) Validate() error {
+	eqs := make(map[string]Expr, len(p.Eqs))
+	for _, e := range p.Eqs {
+		if e.Rhs == nil {
+			return fmt.Errorf("lustre: equation %q has no right-hand side", e.Name)
+		}
+		if _, dup := eqs[e.Name]; dup {
+			return fmt.Errorf("lustre: duplicate equation %q", e.Name)
+		}
+		eqs[e.Name] = e.Rhs
+	}
+	inputs := make(map[string]bool, len(p.Inputs))
+	for _, in := range p.Inputs {
+		inputs[in] = true
+	}
+	for _, out := range p.Outputs {
+		if _, ok := eqs[out]; !ok {
+			return fmt.Errorf("lustre: output %q has no equation", out)
+		}
+	}
+	// Name resolution everywhere (including under pre).
+	var resolve func(e Expr) error
+	resolve = func(e Expr) error {
+		switch t := e.(type) {
+		case Ref:
+			if _, ok := eqs[t.Name]; !ok {
+				return fmt.Errorf("lustre: reference to undefined flow %q", t.Name)
+			}
+		case Input:
+			if !inputs[t.Name] {
+				return fmt.Errorf("lustre: unknown input %q", t.Name)
+			}
+		case Plus:
+			if err := resolve(t.A); err != nil {
+				return err
+			}
+			return resolve(t.B)
+		case Minus:
+			if err := resolve(t.A); err != nil {
+				return err
+			}
+			return resolve(t.B)
+		case Pre:
+			return resolve(t.X)
+		case Const:
+		case nil:
+			return fmt.Errorf("lustre: nil expression")
+		default:
+			return fmt.Errorf("lustre: unknown expression %T", e)
+		}
+		return nil
+	}
+	for _, e := range p.Eqs {
+		if err := resolve(e.Rhs); err != nil {
+			return err
+		}
+	}
+	// Causality: DFS over instantaneous dependencies (pre cuts them).
+	const (
+		grey  = 1
+		black = 2
+	)
+	color := make(map[string]int)
+	var visitFlow func(name string) error
+	var visitExpr func(e Expr) error
+	visitExpr = func(e Expr) error {
+		switch t := e.(type) {
+		case Ref:
+			return visitFlow(t.Name)
+		case Plus:
+			if err := visitExpr(t.A); err != nil {
+				return err
+			}
+			return visitExpr(t.B)
+		case Minus:
+			if err := visitExpr(t.A); err != nil {
+				return err
+			}
+			return visitExpr(t.B)
+		}
+		return nil // pre, const, input cut or have no dependency
+	}
+	visitFlow = func(name string) error {
+		switch color[name] {
+		case grey:
+			return fmt.Errorf("lustre: instantaneous cycle through %q (needs a pre)", name)
+		case black:
+			return nil
+		}
+		color[name] = grey
+		if err := visitExpr(eqs[name]); err != nil {
+			return err
+		}
+		color[name] = black
+		return nil
+	}
+	for _, e := range p.Eqs {
+		if err := visitFlow(e.Name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Interp executes the reference synchronous semantics over the compiled
+// graph.
+type Interp struct {
+	g   *graph
+	mem []int64 // pre node states, indexed by node id
+}
+
+// NewInterp validates and compiles the program.
+func NewInterp(p *Program) (*Interp, error) {
+	g, err := compile(p)
+	if err != nil {
+		return nil, err
+	}
+	it := &Interp{g: g, mem: make([]int64, len(g.nodes))}
+	for id, n := range g.nodes {
+		if n.kind == nPre {
+			it.mem[id] = n.val
+		}
+	}
+	return it, nil
+}
+
+// Step runs one synchronous cycle.
+func (it *Interp) Step(in map[string]int64) (map[string]int64, error) {
+	val := make([]int64, len(it.g.nodes))
+	done := make([]bool, len(it.g.nodes))
+	var eval func(id int) (int64, error)
+	eval = func(id int) (int64, error) {
+		if done[id] {
+			return val[id], nil
+		}
+		n := it.g.nodes[id]
+		var v int64
+		switch n.kind {
+		case nInput:
+			x, ok := in[n.name]
+			if !ok {
+				return 0, fmt.Errorf("lustre: missing input %q", n.name)
+			}
+			v = x
+		case nConst:
+			v = n.val
+		case nPlus, nMinus:
+			a, err := eval(n.args[0])
+			if err != nil {
+				return 0, err
+			}
+			b, err := eval(n.args[1])
+			if err != nil {
+				return 0, err
+			}
+			if n.kind == nPlus {
+				v = a + b
+			} else {
+				v = a - b
+			}
+		case nPre:
+			// Phase 1 reads the stored value; the argument is evaluated
+			// in phase 2.
+			v = it.mem[id]
+		default:
+			return 0, fmt.Errorf("lustre: uncompiled node %d", id)
+		}
+		val[id] = v
+		done[id] = true
+		return v, nil
+	}
+	for _, rootID := range it.g.flows {
+		if _, err := eval(rootID); err != nil {
+			return nil, err
+		}
+	}
+	out := make(map[string]int64, len(it.g.p.Outputs))
+	for _, o := range it.g.p.Outputs {
+		out[o] = val[it.g.flows[o]]
+	}
+	// Phase 2: every pre advances to its argument's value this cycle.
+	type upd struct {
+		id int
+		v  int64
+	}
+	var updates []upd
+	for id, n := range it.g.nodes {
+		if n.kind != nPre {
+			continue
+		}
+		v, err := eval(n.args[0])
+		if err != nil {
+			return nil, err
+		}
+		updates = append(updates, upd{id: id, v: v})
+	}
+	for _, u := range updates {
+		it.mem[u.id] = u.v
+	}
+	return out, nil
+}

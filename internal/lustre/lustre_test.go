@@ -1,0 +1,289 @@
+package lustre
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestIntegratorInterpreter(t *testing.T) {
+	it, err := NewInterp(Integrator())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Y = X + pre(Y): running sum.
+	xs := []int64{1, 2, 3, 4, 5}
+	sum := int64(0)
+	for i, x := range xs {
+		out, err := it.Step(map[string]int64{"X": x})
+		if err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		sum += x
+		if out["Y"] != sum {
+			t.Fatalf("step %d: Y = %d, want %d", i, out["Y"], sum)
+		}
+	}
+}
+
+func TestCounterProgram(t *testing.T) {
+	// N = pre(N) + 1 counts cycles with no inputs.
+	p := &Program{
+		Name:    "counter",
+		Eqs:     []Equation{{Name: "N", Rhs: Plus{A: Pre{Init: 0, X: Ref{Name: "N"}}, B: Const{Val: 1}}}},
+		Outputs: []string{"N"},
+	}
+	it, err := NewInterp(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 5; i++ {
+		out, err := it.Step(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out["N"] != int64(i) {
+			t.Fatalf("cycle %d: N = %d", i, out["N"])
+		}
+	}
+}
+
+func TestDiffProgram(t *testing.T) {
+	// D = X - pre(X): discrete derivative.
+	p := &Program{
+		Name:    "diff",
+		Inputs:  []string{"X"},
+		Eqs:     []Equation{{Name: "D", Rhs: Minus{A: Input{Name: "X"}, B: Pre{Init: 0, X: Input{Name: "X"}}}}},
+		Outputs: []string{"D"},
+	}
+	it, err := NewInterp(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := []int64{3, 7, 7, 2}
+	want := []int64{3, 4, 0, -5}
+	for i, x := range xs {
+		out, err := it.Step(map[string]int64{"X": x})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out["D"] != want[i] {
+			t.Fatalf("step %d: D = %d, want %d", i, out["D"], want[i])
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		p    *Program
+	}{
+		{"instantaneous cycle", &Program{
+			Eqs:     []Equation{{Name: "Y", Rhs: Plus{A: Ref{Name: "Y"}, B: Const{Val: 1}}}},
+			Outputs: []string{"Y"},
+		}},
+		{"undefined flow", &Program{
+			Eqs:     []Equation{{Name: "Y", Rhs: Plus{A: Ref{Name: "Z"}, B: Const{Val: 1}}}},
+			Outputs: []string{"Y"},
+		}},
+		{"unknown input", &Program{
+			Eqs:     []Equation{{Name: "Y", Rhs: Plus{A: Input{Name: "X"}, B: Const{Val: 1}}}},
+			Outputs: []string{"Y"},
+		}},
+		{"missing output", &Program{
+			Eqs:     []Equation{{Name: "Y", Rhs: Const{Val: 1}}},
+			Outputs: []string{"Z"},
+		}},
+		{"duplicate equation", &Program{
+			Eqs:     []Equation{{Name: "Y", Rhs: Const{Val: 1}}, {Name: "Y", Rhs: Const{Val: 2}}},
+			Outputs: []string{"Y"},
+		}},
+		{"nil rhs", &Program{
+			Eqs:     []Equation{{Name: "Y"}},
+			Outputs: []string{"Y"},
+		}},
+		{"undefined under pre", &Program{
+			Eqs:     []Equation{{Name: "Y", Rhs: Pre{Init: 0, X: Ref{Name: "Z"}}}},
+			Outputs: []string{"Y"},
+		}},
+		{"bare alias", &Program{
+			Eqs:     []Equation{{Name: "Y", Rhs: Const{Val: 1}}, {Name: "Z", Rhs: Ref{Name: "Y"}}},
+			Outputs: []string{"Z"},
+		}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := NewInterp(tt.p); err == nil {
+				t.Fatalf("program %q must be rejected", tt.name)
+			}
+		})
+	}
+}
+
+func TestEmbeddingStructurePreservation(t *testing.T) {
+	// Fig 5.2: the integrator has 3 nodes (input X, +, pre) and the
+	// translation is one-to-one.
+	emb, err := Embed(Integrator())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if emb.NumNodes != 3 {
+		t.Fatalf("nodes = %d, want 3", emb.NumNodes)
+	}
+	if len(emb.Sys.Atoms) != emb.NumNodes {
+		t.Fatalf("atoms = %d, want %d (one per node)", len(emb.Sys.Atoms), emb.NumNodes)
+	}
+	// Interactions: one per data-flow wire (3: X→+, pre→+, +→pre) plus
+	// str and cmp.
+	if emb.NumWires != 3 {
+		t.Fatalf("wires = %d, want 3", emb.NumWires)
+	}
+	if got := len(emb.Sys.Interactions); got != emb.NumWires+2 {
+		t.Fatalf("interactions = %d, want %d", got, emb.NumWires+2)
+	}
+}
+
+func TestEmbeddedIntegratorMatchesReference(t *testing.T) {
+	prog := Integrator()
+	emb, err := Embed(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, err := NewInterp(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := make([]map[string]int64, 8)
+	for i := range inputs {
+		inputs[i] = map[string]int64{"X": int64(i*3 - 5)}
+	}
+	got, err := emb.Run(inputs)
+	if err != nil {
+		t.Fatalf("embedded run: %v", err)
+	}
+	for i, in := range inputs {
+		want, err := it.Step(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[i]["Y"] != want["Y"] {
+			t.Fatalf("cycle %d: embedded Y = %d, reference Y = %d", i, got[i]["Y"], want["Y"])
+		}
+	}
+}
+
+func TestEmbeddedMultiOutputProgram(t *testing.T) {
+	// Two outputs sharing subexpressions and a pre chain:
+	// S = X + pre(S); D = X - pre(X).
+	p := &Program{
+		Name:   "both",
+		Inputs: []string{"X"},
+		Eqs: []Equation{
+			{Name: "S", Rhs: Plus{A: Input{Name: "X"}, B: Pre{Init: 0, X: Ref{Name: "S"}}}},
+			{Name: "D", Rhs: Minus{A: Input{Name: "X"}, B: Pre{Init: 0, X: Input{Name: "X"}}}},
+		},
+		Outputs: []string{"S", "D"},
+	}
+	emb, err := Embed(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, err := NewInterp(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := []map[string]int64{{"X": 4}, {"X": -1}, {"X": 10}, {"X": 0}}
+	got, err := emb.Run(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, in := range inputs {
+		want, err := it.Step(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[i]["S"] != want["S"] || got[i]["D"] != want["D"] {
+			t.Fatalf("cycle %d: got %v, want %v", i, got[i], want)
+		}
+	}
+}
+
+// Property: for seeded-random programs, the embedding agrees with the
+// reference interpreter over a 6-cycle run.
+func TestQuickEmbeddingAgreesWithInterpreter(t *testing.T) {
+	f := func(seed uint32) bool {
+		rng := seed
+		next := func(n int) int {
+			rng = rng*1664525 + 1013904223
+			return int(rng>>16) % n
+		}
+		// Random expression over input X, flow Y (through pre), consts.
+		var gen func(depth int) Expr
+		gen = func(depth int) Expr {
+			if depth <= 0 {
+				switch next(3) {
+				case 0:
+					return Input{Name: "X"}
+				case 1:
+					return Const{Val: int64(next(10))}
+				default:
+					return Pre{Init: int64(next(5)), X: Ref{Name: "Y"}}
+				}
+			}
+			switch next(4) {
+			case 0:
+				return Plus{A: gen(depth - 1), B: gen(depth - 1)}
+			case 1:
+				return Minus{A: gen(depth - 1), B: gen(depth - 1)}
+			case 2:
+				return Pre{Init: int64(next(5)), X: gen(depth - 1)}
+			default:
+				return Input{Name: "X"}
+			}
+		}
+		p := &Program{
+			Name:    "rand",
+			Inputs:  []string{"X"},
+			Eqs:     []Equation{{Name: "Y", Rhs: Plus{A: gen(2), B: gen(2)}}},
+			Outputs: []string{"Y"},
+		}
+		emb, err := Embed(p)
+		if err != nil {
+			return false
+		}
+		it, err := NewInterp(p)
+		if err != nil {
+			return false
+		}
+		inputs := make([]map[string]int64, 6)
+		for i := range inputs {
+			inputs[i] = map[string]int64{"X": int64(next(20) - 10)}
+		}
+		got, err := emb.Run(inputs)
+		if err != nil {
+			return false
+		}
+		for i, in := range inputs {
+			want, err := it.Step(in)
+			if err != nil {
+				return false
+			}
+			if got[i]["Y"] != want["Y"] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmbedRunErrors(t *testing.T) {
+	emb, err := Embed(Integrator())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := emb.Run([]map[string]int64{{"Z": 1}}); err == nil {
+		t.Fatal("unknown input must fail")
+	}
+}

@@ -1,0 +1,480 @@
+// Package models provides the benchmark systems used throughout the
+// repository's tests, examples and experiments: dining philosophers (in a
+// deadlock-free multiparty variant and a deadlocking two-phase variant),
+// token ring, producer/consumer, the gas station, a temperature
+// controller, the elevator of the paper's introduction, and the GCD
+// program of Fig. 6.1.
+//
+// All models are pure control-plus-data BIP systems built against the
+// public core API; they double as executable documentation of that API.
+package models
+
+import (
+	"fmt"
+	"strconv"
+
+	"bip/internal/behavior"
+	"bip/internal/core"
+	"bip/internal/expr"
+)
+
+// Philosopher builds the multiparty-eating philosopher atom: eating grabs
+// both forks atomically (a 3-way rendezvous at system level), which is the
+// correct-by-construction deadlock-free design the paper attributes to
+// expressive multiparty interaction.
+func Philosopher() *behavior.Atom {
+	return behavior.NewBuilder("phil").
+		Location("thinking", "eating").
+		Int("meals", 0).
+		Port("eat", "meals").
+		Port("put").
+		TransitionG("thinking", "eat", "eating", nil,
+			expr.Set("meals", expr.Add(expr.V("meals"), expr.I(1)))).
+		Transition("eating", "put", "thinking").
+		MustBuild()
+}
+
+// Fork builds the owner-tracking fork atom: the fork remembers whether it
+// was taken as a left fork (by its own philosopher) or as a right fork (by
+// the neighbour). This is the standard shape of the D-Finder benchmarks;
+// the owner locations are what makes trap-based interaction invariants
+// strong enough to prove deadlock-freedom compositionally.
+func Fork() *behavior.Atom {
+	return behavior.NewBuilder("fork").
+		Location("free", "busyL", "busyR").
+		Port("takeL").
+		Port("takeR").
+		Port("relL").
+		Port("relR").
+		Transition("free", "takeL", "busyL").
+		Transition("free", "takeR", "busyR").
+		Transition("busyL", "relL", "free").
+		Transition("busyR", "relR", "free").
+		MustBuild()
+}
+
+// Philosophers builds the deadlock-free dining philosophers system with n
+// philosophers and n forks: eat_i is the 3-way rendezvous
+// (phil_i.eat, fork_i.takeL, fork_{i+1}.takeR) — grabbing both forks
+// atomically is the paper's correctness-by-construction design enabled by
+// multiparty interaction.
+func Philosophers(n int) (*core.System, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("models: philosophers needs n >= 2, got %d", n)
+	}
+	phil, fork := Philosopher(), Fork()
+	b := core.NewSystem(fmt.Sprintf("philosophers-%d", n))
+	for i := 0; i < n; i++ {
+		b.AddAs(pname(i), phil)
+		b.AddAs(fname(i), fork)
+	}
+	for i := 0; i < n; i++ {
+		left, right := fname(i), fname((i+1)%n)
+		b.Connect("eat"+strconv.Itoa(i),
+			core.P(pname(i), "eat"), core.P(left, "takeL"), core.P(right, "takeR"))
+		b.Connect("put"+strconv.Itoa(i),
+			core.P(pname(i), "put"), core.P(left, "relL"), core.P(right, "relR"))
+	}
+	return b.Build()
+}
+
+// TwoPhasePhilosopher builds the philosopher that grabs forks one at a
+// time — the classic deadlocking design.
+func TwoPhasePhilosopher() *behavior.Atom {
+	return behavior.NewBuilder("phil2").
+		Location("thinking", "hasLeft", "eating").
+		Port("getLeft").
+		Port("getRight").
+		Port("put").
+		Transition("thinking", "getLeft", "hasLeft").
+		Transition("hasLeft", "getRight", "eating").
+		Transition("eating", "put", "thinking").
+		MustBuild()
+}
+
+// PhilosophersDeadlocking builds the two-phase variant: left fork first,
+// then right. The circular-wait deadlock (everyone holding their left
+// fork) is reachable; experiments use it as the positive instance for
+// deadlock detection.
+func PhilosophersDeadlocking(n int) (*core.System, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("models: philosophers needs n >= 2, got %d", n)
+	}
+	phil, fork := TwoPhasePhilosopher(), Fork()
+	b := core.NewSystem(fmt.Sprintf("philosophers2p-%d", n))
+	for i := 0; i < n; i++ {
+		b.AddAs(pname(i), phil)
+		b.AddAs(fname(i), fork)
+	}
+	for i := 0; i < n; i++ {
+		left, right := fname(i), fname((i+1)%n)
+		b.Connect("getL"+strconv.Itoa(i), core.P(pname(i), "getLeft"), core.P(left, "takeL"))
+		b.Connect("getR"+strconv.Itoa(i), core.P(pname(i), "getRight"), core.P(right, "takeR"))
+		b.Connect("put"+strconv.Itoa(i),
+			core.P(pname(i), "put"), core.P(left, "relL"), core.P(right, "relR"))
+	}
+	return b.Build()
+}
+
+func pname(i int) string { return "phil" + strconv.Itoa(i) }
+func fname(i int) string { return "fork" + strconv.Itoa(i) }
+
+// TokenRing builds a ring of n stations passing a single token. Station 0
+// starts with the token. pass_i moves the token from station i to i+1.
+func TokenRing(n int) (*core.System, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("models: token ring needs n >= 2, got %d", n)
+	}
+	holder := behavior.NewBuilder("station").
+		Location("has", "idle").
+		Int("seen", 1).
+		Port("send").
+		Port("recv").
+		Transition("has", "send", "idle").
+		TransitionG("idle", "recv", "has", nil,
+			expr.Set("seen", expr.Add(expr.V("seen"), expr.I(1)))).
+		MustBuild()
+	empty := behavior.NewBuilder("station").
+		Location("idle", "has").
+		Int("seen", 0).
+		Port("send").
+		Port("recv").
+		Transition("has", "send", "idle").
+		TransitionG("idle", "recv", "has", nil,
+			expr.Set("seen", expr.Add(expr.V("seen"), expr.I(1)))).
+		MustBuild()
+	b := core.NewSystem(fmt.Sprintf("tokenring-%d", n))
+	for i := 0; i < n; i++ {
+		a := empty
+		if i == 0 {
+			a = holder
+		}
+		b.AddAs("st"+strconv.Itoa(i), a)
+	}
+	for i := 0; i < n; i++ {
+		b.Connect("pass"+strconv.Itoa(i),
+			core.P("st"+strconv.Itoa(i), "send"),
+			core.P("st"+strconv.Itoa((i+1)%n), "recv"))
+	}
+	return b.Build()
+}
+
+// ProducerConsumer builds a producer feeding a bounded buffer drained by a
+// consumer. The buffer's count variable carries the occupancy; put is
+// guarded by count < cap, get by count > 0.
+func ProducerConsumer(capacity int64) (*core.System, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("models: buffer capacity must be >= 1, got %d", capacity)
+	}
+	producer := behavior.NewBuilder("producer").
+		Location("ready").
+		Int("produced", 0).
+		Port("put", "produced").
+		TransitionG("ready", "put", "ready", nil,
+			expr.Set("produced", expr.Add(expr.V("produced"), expr.I(1)))).
+		MustBuild()
+	buffer := behavior.NewBuilder("buffer").
+		Location("s").
+		Int("count", 0).
+		Port("in", "count").
+		Port("out", "count").
+		TransitionG("s", "in", "s", expr.Lt(expr.V("count"), expr.I(capacity)),
+			expr.Set("count", expr.Add(expr.V("count"), expr.I(1)))).
+		TransitionG("s", "out", "s", expr.Gt(expr.V("count"), expr.I(0)),
+			expr.Set("count", expr.Sub(expr.V("count"), expr.I(1)))).
+		Invariant(expr.And(
+			expr.Ge(expr.V("count"), expr.I(0)),
+			expr.Le(expr.V("count"), expr.I(capacity)))).
+		MustBuild()
+	consumer := behavior.NewBuilder("consumer").
+		Location("ready").
+		Int("consumed", 0).
+		Port("get", "consumed").
+		TransitionG("ready", "get", "ready", nil,
+			expr.Set("consumed", expr.Add(expr.V("consumed"), expr.I(1)))).
+		MustBuild()
+	return core.NewSystem("prodcons").
+		Add(producer).Add(buffer).Add(consumer).
+		Connect("put", core.P("producer", "put"), core.P("buffer", "in")).
+		Connect("get", core.P("buffer", "out"), core.P("consumer", "get")).
+		Build()
+}
+
+// GasStation builds the classical gas-station benchmark: customers prepay
+// at the operator, are assigned a free pump, pump, and finish. Pumps track
+// their current customer through dedicated locations (pure control, no
+// data guards), which keeps the model within reach of the compositional
+// verifier's location-based abstraction.
+func GasStation(pumps, customers int) (*core.System, error) {
+	if pumps < 1 || customers < 1 {
+		return nil, fmt.Errorf("models: gas station needs >=1 pump and customer, got %d/%d", pumps, customers)
+	}
+	b := core.NewSystem(fmt.Sprintf("gasstation-%dp%dc", pumps, customers))
+
+	operator := behavior.NewBuilder("operator").
+		Location("free", "busy").
+		Port("accept").
+		Port("assign").
+		Transition("free", "accept", "busy").
+		Transition("busy", "assign", "free").
+		MustBuild()
+	b.Add(operator)
+
+	customer := behavior.NewBuilder("customer").
+		Location("idle", "waiting", "pumping").
+		Port("prepay").
+		Port("start").
+		Port("finish").
+		Transition("idle", "prepay", "waiting").
+		Transition("waiting", "start", "pumping").
+		Transition("pumping", "finish", "idle").
+		MustBuild()
+
+	pumpB := behavior.NewBuilder("pump").Location("free")
+	for c := 0; c < customers; c++ {
+		loc := "busy" + strconv.Itoa(c)
+		pumpB.Location(loc).
+			Port("activate"+strconv.Itoa(c)).
+			Port("done"+strconv.Itoa(c)).
+			Transition("free", "activate"+strconv.Itoa(c), loc).
+			Transition(loc, "done"+strconv.Itoa(c), "free")
+	}
+	pump := pumpB.Initial("free").MustBuild()
+
+	for c := 0; c < customers; c++ {
+		b.AddAs("cust"+strconv.Itoa(c), customer)
+	}
+	for p := 0; p < pumps; p++ {
+		b.AddAs("pump"+strconv.Itoa(p), pump)
+	}
+	for c := 0; c < customers; c++ {
+		cn := "cust" + strconv.Itoa(c)
+		b.Connect("prepay"+strconv.Itoa(c), core.P(cn, "prepay"), core.P("operator", "accept"))
+		for p := 0; p < pumps; p++ {
+			pn := "pump" + strconv.Itoa(p)
+			b.Connect(fmt.Sprintf("start%d_%d", c, p),
+				core.P(cn, "start"), core.P(pn, "activate"+strconv.Itoa(c)), core.P("operator", "assign"))
+			b.Connect(fmt.Sprintf("finish%d_%d", c, p),
+				core.P(cn, "finish"), core.P(pn, "done"+strconv.Itoa(c)))
+		}
+	}
+	return b.Build()
+}
+
+// Elevator builds the paper's introductory requirement ("when the cabin
+// is moving all doors must be closed") as a BIP model: movement
+// interactions synchronize with the door's stay-closed self-loop, so the
+// requirement is enforced by construction. MovingWithDoorOpen is the
+// corresponding state predicate; verification of the model shows it
+// unreachable.
+func Elevator(floors int) (*core.System, error) {
+	if floors < 2 {
+		return nil, fmt.Errorf("models: elevator needs >= 2 floors, got %d", floors)
+	}
+	cabin := behavior.NewBuilder("cabin").
+		Location("stopped", "moving").
+		Int("floor", 0).
+		Port("depart", "floor").
+		Port("arrive", "floor").
+		Port("stay").
+		TransitionG("stopped", "depart", "moving", nil, nil).
+		TransitionG("moving", "arrive", "stopped", nil,
+			expr.Set("floor", expr.Mod(expr.Add(expr.V("floor"), expr.I(1)), expr.I(int64(floors))))).
+		Transition("stopped", "stay", "stopped").
+		MustBuild()
+	door := behavior.NewBuilder("door").
+		Location("closed", "open").
+		Port("open").
+		Port("close").
+		Port("stayClosed").
+		Transition("closed", "open", "open").
+		Transition("open", "close", "closed").
+		Transition("closed", "stayClosed", "closed").
+		MustBuild()
+	// Mutual exclusion by construction: moving requires the door to
+	// witness it is closed, and opening requires the cabin to witness it
+	// is stopped.
+	return core.NewSystem(fmt.Sprintf("elevator-%d", floors)).
+		Add(cabin).Add(door).
+		Connect("depart", core.P("cabin", "depart"), core.P("door", "stayClosed")).
+		Connect("arrive", core.P("cabin", "arrive"), core.P("door", "stayClosed")).
+		Connect("open", core.P("door", "open"), core.P("cabin", "stay")).
+		Singleton("door", "close").
+		Build()
+}
+
+// MovingWithDoorOpen is the violation predicate for Elevator: the cabin
+// is moving while the door is open.
+func MovingWithDoorOpen(sys *core.System) func(core.State) bool {
+	cabin, door := sys.AtomIndex("cabin"), sys.AtomIndex("door")
+	return func(st core.State) bool {
+		return st.Locs[cabin] == "moving" && st.Locs[door] == "open"
+	}
+}
+
+// UnsafeElevator builds the same elevator without the door
+// synchronization: departing no longer requires the door to be closed, so
+// the requirement is violated. It is the negative test for the checkers.
+func UnsafeElevator(floors int) (*core.System, error) {
+	if floors < 2 {
+		return nil, fmt.Errorf("models: elevator needs >= 2 floors, got %d", floors)
+	}
+	safe, err := Elevator(floors)
+	if err != nil {
+		return nil, err
+	}
+	b := core.NewSystem(safe.Name + "-unsafe")
+	for _, a := range safe.Atoms {
+		b.AddAs(a.Name, a)
+	}
+	return b.
+		Singleton("cabin", "depart").
+		Singleton("cabin", "arrive").
+		Singleton("door", "open").
+		Singleton("door", "close").
+		Build()
+}
+
+// GCD builds the Fig. 6.1 GCD program as a single-component system with
+// singleton interactions: step1 subtracts y from x while x > y, step2
+// symmetrically; the characteristic invariant GCD(x,y) = GCD(x0,y0) is
+// checked by the verification experiments.
+func GCD(x0, y0 int64) (*core.System, error) {
+	if x0 < 1 || y0 < 1 {
+		return nil, fmt.Errorf("models: gcd needs positive inputs, got %d, %d", x0, y0)
+	}
+	a := behavior.NewBuilder("gcd").
+		Location("loop", "done").
+		Int("x", x0).
+		Int("y", y0).
+		Port("step1", "x", "y").
+		Port("step2", "x", "y").
+		Port("halt", "x", "y").
+		TransitionG("loop", "step1", "loop", expr.Gt(expr.V("x"), expr.V("y")),
+			expr.Set("x", expr.Sub(expr.V("x"), expr.V("y")))).
+		TransitionG("loop", "step2", "loop", expr.Gt(expr.V("y"), expr.V("x")),
+			expr.Set("y", expr.Sub(expr.V("y"), expr.V("x")))).
+		TransitionG("loop", "halt", "done", expr.Eq(expr.V("x"), expr.V("y")), nil).
+		Invariant(expr.And(expr.Gt(expr.V("x"), expr.I(0)), expr.Gt(expr.V("y"), expr.I(0)))).
+		MustBuild()
+	return core.NewSystem("gcd").
+		Add(a).
+		Singleton("gcd", "step1").
+		Singleton("gcd", "step2").
+		Singleton("gcd", "halt").
+		Build()
+}
+
+// GCDInt is the reference Euclidean algorithm used by tests to state the
+// Fig. 6.1 invariant.
+func GCDInt(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	if a < 0 {
+		return -a
+	}
+	return a
+}
+
+// Temperature builds the classical BIP temperature-control system: a
+// controller heats from min to max, then must cool through one of two
+// rods; each rod needs rest ticks of recovery between uses. Priorities
+// prefer the rod that has rested longest, a scheduling policy expressed as
+// glue — the paper's "priorities steer system evolution to meet
+// performance requirements".
+func Temperature(minT, maxT, rest int64) (*core.System, error) {
+	if minT >= maxT || rest < 1 {
+		return nil, fmt.Errorf("models: temperature needs min < max and rest >= 1")
+	}
+	controller := behavior.NewBuilder("controller").
+		Location("run").
+		Int("theta", minT).
+		Port("tick", "theta").
+		Port("cool", "theta").
+		TransitionG("run", "tick", "run", expr.Lt(expr.V("theta"), expr.I(maxT)),
+			expr.Set("theta", expr.Add(expr.V("theta"), expr.I(1)))).
+		TransitionG("run", "cool", "run", expr.Eq(expr.V("theta"), expr.I(maxT)),
+			expr.Set("theta", expr.I(minT))).
+		Invariant(expr.Le(expr.V("theta"), expr.I(maxT))).
+		MustBuild()
+	rod := behavior.NewBuilder("rod").
+		Location("ready").
+		Int("rested", rest).
+		Port("use", "rested").
+		Port("recover", "rested").
+		TransitionG("ready", "use", "ready", expr.Ge(expr.V("rested"), expr.I(rest)),
+			expr.Set("rested", expr.I(0))).
+		TransitionG("ready", "recover", "ready", nil,
+			expr.Set("rested", expr.Add(expr.V("rested"), expr.I(1)))).
+		MustBuild()
+	return core.NewSystem("temperature").
+		Add(controller).
+		AddAs("rod1", rod).
+		AddAs("rod2", rod).
+		Connect("tick",
+			core.P("controller", "tick"), core.P("rod1", "recover"), core.P("rod2", "recover")).
+		Connect("cool1", core.P("controller", "cool"), core.P("rod1", "use")).
+		Connect("cool2", core.P("controller", "cool"), core.P("rod2", "use")).
+		PriorityWhen("cool2", "cool1", expr.Gt(expr.V("rod1.rested"), expr.V("rod2.rested"))).
+		PriorityWhen("cool1", "cool2", expr.Gt(expr.V("rod2.rested"), expr.V("rod1.rested"))).
+		Build()
+}
+
+// ControlOnly rebuilds a system with all data (variables, guards,
+// actions) stripped, keeping only the control structure. Models with
+// unbounded counters become finite-state, which the explicit-state
+// verification experiments require.
+func ControlOnly(sys *core.System) (*core.System, error) {
+	b := core.NewSystem(sys.Name + "-ctl")
+	for _, a := range sys.Atoms {
+		nb := behavior.NewBuilder(a.Name).Location(a.Locations...).Initial(a.Initial)
+		for _, p := range a.Ports {
+			nb.Port(p.Name)
+		}
+		for _, tr := range a.Transitions {
+			nb.Transition(tr.From, tr.Port, tr.To)
+		}
+		atom, err := nb.Build()
+		if err != nil {
+			return nil, fmt.Errorf("models: control-only: %w", err)
+		}
+		b.Add(atom)
+	}
+	for _, in := range sys.Interactions {
+		b.Connect(in.Name, in.Ports...)
+	}
+	for _, p := range sys.Priorities {
+		if p.When == nil {
+			b.Priority(p.Low, p.High)
+		}
+	}
+	return b.Build()
+}
+
+// PhilosopherRings builds `rings` disjoint philosopher rings of `size`
+// philosophers each. Independent subsystems multiply the global state
+// space (the state-explosion phenomenon §4.3 describes) while the
+// compositional abstraction grows only linearly — the E1 workload.
+func PhilosopherRings(rings, size int) (*core.System, error) {
+	if rings < 1 || size < 2 {
+		return nil, fmt.Errorf("models: rings needs rings >= 1 and size >= 2")
+	}
+	phil, fork := Philosopher(), Fork()
+	b := core.NewSystem(fmt.Sprintf("philrings-%dx%d", rings, size))
+	for r := 0; r < rings; r++ {
+		pre := "r" + strconv.Itoa(r) + "_"
+		for i := 0; i < size; i++ {
+			b.AddAs(pre+pname(i), phil)
+			b.AddAs(pre+fname(i), fork)
+		}
+		for i := 0; i < size; i++ {
+			left, right := pre+fname(i), pre+fname((i+1)%size)
+			b.Connect(pre+"eat"+strconv.Itoa(i),
+				core.P(pre+pname(i), "eat"), core.P(left, "takeL"), core.P(right, "takeR"))
+			b.Connect(pre+"put"+strconv.Itoa(i),
+				core.P(pre+pname(i), "put"), core.P(left, "relL"), core.P(right, "relR"))
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,201 @@
+package models
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"bip/internal/core"
+	"bip/internal/engine"
+)
+
+func TestModelConstructorsValidate(t *testing.T) {
+	builders := map[string]func() error{
+		"philosophers":   func() error { _, err := Philosophers(4); return err },
+		"philosophers2p": func() error { _, err := PhilosophersDeadlocking(4); return err },
+		"philrings":      func() error { _, err := PhilosopherRings(3, 4); return err },
+		"tokenring":      func() error { _, err := TokenRing(5); return err },
+		"prodcons":       func() error { _, err := ProducerConsumer(3); return err },
+		"gasstation":     func() error { _, err := GasStation(2, 3); return err },
+		"elevator":       func() error { _, err := Elevator(3); return err },
+		"unsafeelevator": func() error { _, err := UnsafeElevator(3); return err },
+		"gcd":            func() error { _, err := GCD(12, 8); return err },
+		"temperature":    func() error { _, err := Temperature(0, 5, 2); return err },
+	}
+	for name, build := range builders {
+		t.Run(name, func(t *testing.T) {
+			if err := build(); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+		})
+	}
+}
+
+func TestModelConstructorErrors(t *testing.T) {
+	cases := []func() error{
+		func() error { _, err := Philosophers(1); return err },
+		func() error { _, err := PhilosophersDeadlocking(0); return err },
+		func() error { _, err := PhilosopherRings(0, 4); return err },
+		func() error { _, err := PhilosopherRings(2, 1); return err },
+		func() error { _, err := TokenRing(1); return err },
+		func() error { _, err := ProducerConsumer(0); return err },
+		func() error { _, err := GasStation(0, 1); return err },
+		func() error { _, err := Elevator(1); return err },
+		func() error { _, err := UnsafeElevator(0); return err },
+		func() error { _, err := GCD(0, 3); return err },
+		func() error { _, err := Temperature(5, 5, 1); return err },
+	}
+	for i, c := range cases {
+		if c() == nil {
+			t.Fatalf("case %d: invalid parameters accepted", i)
+		}
+	}
+}
+
+func TestAllModelsExecute(t *testing.T) {
+	// Every model must execute some steps without runtime errors.
+	for _, tc := range []struct {
+		name  string
+		steps int
+	}{
+		{"philosophers", 30},
+		{"tokenring", 30},
+		{"prodcons", 30},
+		{"gasstation", 30},
+		{"elevator", 30},
+		{"temperature", 30},
+		{"gcd", 10},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := buildByName(tc.name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := engine.Run(s, engine.Options{MaxSteps: tc.steps, Scheduler: engine.NewRandomScheduler(3)})
+			if err != nil {
+				t.Fatalf("%s: %v", tc.name, err)
+			}
+			if res.Steps == 0 {
+				t.Fatalf("%s: no steps executed", tc.name)
+			}
+		})
+	}
+}
+
+func TestGCDTerminatesWithCorrectValue(t *testing.T) {
+	sys, err := GCD(48, 18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := engine.Run(sys, engine.Options{MaxSteps: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Deadlocked {
+		t.Fatal("GCD should terminate")
+	}
+	gi := sys.AtomIndex("gcd")
+	x, _ := res.Final.Vars[gi].Get("x")
+	if xv, _ := x.Int(); xv != 6 {
+		t.Fatalf("gcd(48,18) = %d, want 6", xv)
+	}
+}
+
+// Property: the BIP GCD program computes the Euclidean GCD for random
+// positive inputs.
+func TestQuickGCDProgram(t *testing.T) {
+	f := func(a, b uint8) bool {
+		x, y := int64(a%50)+1, int64(b%50)+1
+		sys, err := GCD(x, y)
+		if err != nil {
+			return false
+		}
+		res, err := engine.Run(sys, engine.Options{MaxSteps: 500})
+		if err != nil || !res.Deadlocked {
+			return false
+		}
+		gi := sys.AtomIndex("gcd")
+		v, _ := res.Final.Vars[gi].Get("x")
+		got, _ := v.Int()
+		return got == GCDInt(x, y)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGCDInt(t *testing.T) {
+	cases := [][3]int64{{12, 8, 4}, {7, 13, 1}, {0, 5, 5}, {-12, 8, 4}, {100, 100, 100}}
+	for _, c := range cases {
+		if got := GCDInt(c[0], c[1]); got != c[2] {
+			t.Fatalf("GCDInt(%d,%d) = %d, want %d", c[0], c[1], got, c[2])
+		}
+	}
+}
+
+func TestControlOnlyStripsData(t *testing.T) {
+	sys, err := ProducerConsumer(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl, err := ControlOnly(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range ctl.Atoms {
+		if len(a.Vars) != 0 {
+			t.Fatalf("atom %s still has variables", a.Name)
+		}
+		for _, tr := range a.Transitions {
+			if tr.Guard != nil || tr.Action != nil {
+				t.Fatalf("atom %s still has data on transitions", a.Name)
+			}
+		}
+	}
+	if len(ctl.Interactions) != len(sys.Interactions) {
+		t.Fatal("interaction count changed")
+	}
+}
+
+func TestPhilosopherRingsIndependent(t *testing.T) {
+	sys, err := PhilosopherRings(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sys.Atoms) != 12 || len(sys.Interactions) != 12 {
+		t.Fatalf("shape = %s", sys.Stats())
+	}
+	// No interaction spans two rings.
+	for _, in := range sys.Interactions {
+		ring := ""
+		for _, p := range in.Ports {
+			r := p.Comp[:strings.IndexByte(p.Comp, '_')]
+			if ring == "" {
+				ring = r
+			} else if ring != r {
+				t.Fatalf("interaction %s spans rings", in.Name)
+			}
+		}
+	}
+}
+
+func buildByName(name string) (*core.System, error) {
+	switch name {
+	case "philosophers":
+		return Philosophers(4)
+	case "tokenring":
+		return TokenRing(4)
+	case "prodcons":
+		return ProducerConsumer(2)
+	case "gasstation":
+		return GasStation(2, 2)
+	case "elevator":
+		return Elevator(3)
+	case "temperature":
+		return Temperature(0, 4, 2)
+	case "gcd":
+		return GCD(9, 6)
+	default:
+		panic("unknown model " + name)
+	}
+}

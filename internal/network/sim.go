@@ -1,0 +1,144 @@
+// Package network provides the message-passing substrate for distributed
+// BIP execution: a deterministic discrete-event simulator with seeded
+// delivery jitter. Nodes are event handlers; the simulator owns the event
+// loop, so runs are exactly reproducible — the property the repository's
+// distributed experiments rely on.
+//
+// The paper's deployments target MPI or TCP/IP clusters; the simulator
+// substitutes them while preserving what the experiments measure
+// (message counts, protocol behaviour, commit orderings). See
+// EXPERIMENTS.md.
+package network
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// NodeID identifies a node.
+type NodeID string
+
+// Context is the API a handler uses during a callback.
+type Context struct {
+	sim  *Sim
+	self NodeID
+}
+
+// ID returns the node's own identifier.
+func (c Context) ID() NodeID { return c.self }
+
+// Send enqueues a message with the simulator's jittered delay.
+func (c Context) Send(to NodeID, msg any) {
+	c.sim.send(c.self, to, msg, 1+c.sim.rng.Int63n(c.sim.jitter))
+}
+
+// SendDirect enqueues a message with zero additional delay, delivered
+// before any later-sent message. Used for observation channels that must
+// not reorder against protocol traffic.
+func (c Context) SendDirect(to NodeID, msg any) {
+	c.sim.send(c.self, to, msg, 0)
+}
+
+// Stop ends the simulation after the current callback.
+func (c Context) Stop() { c.sim.stopped = true }
+
+// Handler is a network node.
+type Handler interface {
+	// Init runs once before delivery starts.
+	Init(ctx Context)
+	// Recv handles one delivered message.
+	Recv(ctx Context, from NodeID, msg any)
+}
+
+// event is a queued delivery.
+type event struct {
+	at       int64
+	seq      int64
+	from, to NodeID
+	msg      any
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any     { old := *q; n := len(old); e := old[n-1]; *q = old[:n-1]; return e }
+func (q eventQueue) isEmpty() bool { return len(q) == 0 }
+
+// Sim is the deterministic simulator.
+type Sim struct {
+	nodes     map[NodeID]Handler
+	order     []NodeID
+	queue     eventQueue
+	now       int64
+	seq       int64
+	rng       *rand.Rand
+	jitter    int64
+	delivered int
+	stopped   bool
+}
+
+// NewSim returns a simulator with the given seed. Jitter draws delivery
+// delays in [1, 3].
+func NewSim(seed int64) *Sim {
+	return &Sim{
+		nodes:  make(map[NodeID]Handler),
+		rng:    rand.New(rand.NewSource(seed)),
+		jitter: 3,
+	}
+}
+
+// AddNode registers a handler. Registration order fixes Init order.
+func (s *Sim) AddNode(id NodeID, h Handler) error {
+	if _, dup := s.nodes[id]; dup {
+		return fmt.Errorf("network: duplicate node %q", id)
+	}
+	s.nodes[id] = h
+	s.order = append(s.order, id)
+	return nil
+}
+
+func (s *Sim) send(from, to NodeID, msg any, delay int64) {
+	s.seq++
+	heap.Push(&s.queue, &event{at: s.now + delay, seq: s.seq, from: from, to: to, msg: msg})
+}
+
+// Delivered returns the number of messages delivered so far — the
+// message-cost metric of the distributed experiments.
+func (s *Sim) Delivered() int { return s.delivered }
+
+// Now returns the current simulated time.
+func (s *Sim) Now() int64 { return s.now }
+
+// Run initializes all nodes then delivers messages until quiescence, a
+// Stop call, or the message cap. It returns an error on delivery to an
+// unknown node or when the cap is hit with traffic still pending (which
+// usually signals a protocol livelock in tests).
+func (s *Sim) Run(maxMessages int) error {
+	heap.Init(&s.queue)
+	for _, id := range s.order {
+		s.nodes[id].Init(Context{sim: s, self: id})
+	}
+	for !s.queue.isEmpty() && !s.stopped {
+		if s.delivered >= maxMessages {
+			return fmt.Errorf("network: message cap %d reached with %d events pending", maxMessages, s.queue.Len())
+		}
+		e := heap.Pop(&s.queue).(*event)
+		s.now = e.at
+		h, ok := s.nodes[e.to]
+		if !ok {
+			return fmt.Errorf("network: message to unknown node %q", e.to)
+		}
+		s.delivered++
+		h.Recv(Context{sim: s, self: e.to}, e.from, e.msg)
+	}
+	return nil
+}

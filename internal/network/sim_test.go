@@ -1,0 +1,162 @@
+package network
+
+import (
+	"testing"
+)
+
+// echoNode replies to every ping with a pong, n times.
+type echoNode struct {
+	got []string
+}
+
+func (e *echoNode) Init(ctx Context) {}
+
+func (e *echoNode) Recv(ctx Context, from NodeID, msg any) {
+	s, _ := msg.(string)
+	e.got = append(e.got, s)
+	if s == "ping" {
+		ctx.Send(from, "pong")
+	}
+}
+
+// starterNode sends count pings to target on Init.
+type starterNode struct {
+	target NodeID
+	count  int
+	got    []string
+}
+
+func (s *starterNode) Init(ctx Context) {
+	for i := 0; i < s.count; i++ {
+		ctx.Send(s.target, "ping")
+	}
+}
+
+func (s *starterNode) Recv(_ Context, _ NodeID, msg any) {
+	str, _ := msg.(string)
+	s.got = append(s.got, str)
+}
+
+func TestPingPong(t *testing.T) {
+	sim := NewSim(1)
+	a := &starterNode{target: "b", count: 3}
+	b := &echoNode{}
+	if err := sim.AddNode("a", a); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.AddNode("b", b); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(100); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(b.got) != 3 || len(a.got) != 3 {
+		t.Fatalf("b got %d, a got %d; want 3 each", len(b.got), len(a.got))
+	}
+	if sim.Delivered() != 6 {
+		t.Fatalf("Delivered = %d, want 6", sim.Delivered())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func(seed int64) int64 {
+		sim := NewSim(seed)
+		_ = sim.AddNode("a", &starterNode{target: "b", count: 5})
+		_ = sim.AddNode("b", &echoNode{})
+		if err := sim.Run(100); err != nil {
+			t.Fatal(err)
+		}
+		return sim.Now()
+	}
+	if run(7) != run(7) {
+		t.Fatal("same seed must give identical simulations")
+	}
+}
+
+func TestDuplicateNode(t *testing.T) {
+	sim := NewSim(1)
+	if err := sim.AddNode("a", &echoNode{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.AddNode("a", &echoNode{}); err == nil {
+		t.Fatal("duplicate node must be rejected")
+	}
+}
+
+func TestUnknownDestination(t *testing.T) {
+	sim := NewSim(1)
+	_ = sim.AddNode("a", &starterNode{target: "ghost", count: 1})
+	if err := sim.Run(100); err == nil {
+		t.Fatal("delivery to unknown node must fail")
+	}
+}
+
+// floodNode resends forever: the message cap must fire.
+type floodNode struct{ peer NodeID }
+
+func (f *floodNode) Init(ctx Context) { ctx.Send(f.peer, "x") }
+func (f *floodNode) Recv(ctx Context, from NodeID, _ any) {
+	ctx.Send(from, "x")
+}
+
+func TestMessageCap(t *testing.T) {
+	sim := NewSim(1)
+	_ = sim.AddNode("a", &floodNode{peer: "b"})
+	_ = sim.AddNode("b", &floodNode{peer: "a"})
+	if err := sim.Run(50); err == nil {
+		t.Fatal("unbounded traffic must hit the cap")
+	}
+}
+
+// stopNode stops the simulation on first receipt.
+type stopNode struct{}
+
+func (s *stopNode) Init(Context) {}
+func (s *stopNode) Recv(ctx Context, _ NodeID, _ any) {
+	ctx.Stop()
+}
+
+func TestStop(t *testing.T) {
+	sim := NewSim(1)
+	_ = sim.AddNode("a", &starterNode{target: "b", count: 10})
+	_ = sim.AddNode("b", &stopNode{})
+	if err := sim.Run(1000); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if sim.Delivered() != 1 {
+		t.Fatalf("Delivered = %d, want 1 (stopped after first)", sim.Delivered())
+	}
+}
+
+// directNode checks SendDirect ordering: direct messages sent at time t
+// arrive before jittered messages sent at the same time.
+type directNode struct {
+	order []string
+}
+
+func (d *directNode) Init(Context) {}
+func (d *directNode) Recv(_ Context, _ NodeID, msg any) {
+	s, _ := msg.(string)
+	d.order = append(d.order, s)
+}
+
+type directSender struct{ sink NodeID }
+
+func (d *directSender) Init(ctx Context) {
+	ctx.Send(d.sink, "slow")
+	ctx.SendDirect(d.sink, "fast")
+}
+func (d *directSender) Recv(Context, NodeID, any) {}
+
+func TestSendDirectOrdering(t *testing.T) {
+	sim := NewSim(3)
+	sink := &directNode{}
+	_ = sim.AddNode("sink", sink)
+	_ = sim.AddNode("src", &directSender{sink: "sink"})
+	if err := sim.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.order) != 2 || sink.order[0] != "fast" {
+		t.Fatalf("order = %v, want fast before slow", sink.order)
+	}
+}

@@ -1,0 +1,253 @@
+// Package refine implements the paper's vertical-correctness
+// transformation (§5.5.3, Fig. 5.4): a multiparty interaction a is
+// replaced by the protocol sequence str(a) rcv(a) ack(a) cmp(a) over
+// send/receive-style binary interactions, coordinated by an added
+// component D.
+//
+// The refinement is the *naive* one of the figure: the initiator commits
+// with str(a) knowing only its own readiness. For a conflict-free
+// interaction this is observationally equivalent to the original
+// (experiment E5); under conflicts it is not stable — the paper's
+// three-component counterexample acquires a deadlock (experiment E6),
+// which is precisely why the distributed transformation of package
+// distributed adds a reservation/conflict-resolution layer.
+package refine
+
+import (
+	"fmt"
+	"strconv"
+
+	"bip/internal/behavior"
+	"bip/internal/core"
+	"bip/internal/expr"
+	"bip/internal/lts"
+)
+
+// role records, for one component, its part in one refined interaction.
+type role struct {
+	inter     *core.Interaction
+	port      string
+	initiator bool
+	index     int // participant index among non-initiators
+}
+
+// Refine rewrites sys, replacing each interaction named in initiators by
+// its str/rcv/ack/cmp protocol. The map value selects the initiating
+// component (it must participate in the interaction). Interactions not
+// named are kept as they are.
+//
+// Refined interactions must be pure synchronizations (no guard, no data
+// transfer): the protocol would otherwise need to carry data, which is
+// the job of package distributed.
+func Refine(sys *core.System, initiators map[string]string) (*core.System, error) {
+	b := core.NewSystem(sys.Name + "-sr")
+
+	// Collect, per component, the rewrites needed: for each refined
+	// interaction it participates in, whether it initiates.
+	roles := make(map[string][]role)
+	for name, init := range initiators {
+		ii := sys.InteractionIndex(name)
+		if ii < 0 {
+			return nil, fmt.Errorf("refine: unknown interaction %q", name)
+		}
+		in := sys.Interactions[ii]
+		if in.Guard != nil || in.Action != nil {
+			return nil, fmt.Errorf("refine: interaction %q carries data; use the distributed transformation", name)
+		}
+		found := false
+		idx := 0
+		for _, pr := range in.Ports {
+			r := role{inter: in, port: pr.Port, initiator: pr.Comp == init}
+			if !r.initiator {
+				r.index = idx
+				idx++
+			} else {
+				found = true
+			}
+			roles[pr.Comp] = append(roles[pr.Comp], r)
+		}
+		if !found {
+			return nil, fmt.Errorf("refine: initiator %q does not participate in %q", init, name)
+		}
+	}
+
+	// Rewrite atoms.
+	for _, atom := range sys.Atoms {
+		rs := roles[atom.Name]
+		if len(rs) == 0 {
+			b.Add(atom)
+			continue
+		}
+		na, err := rewriteAtom(atom, rs)
+		if err != nil {
+			return nil, err
+		}
+		b.Add(na)
+	}
+
+	// Keep unrefined interactions; add protocol components and their
+	// interactions for refined ones.
+	for _, in := range sys.Interactions {
+		if _, refined := initiators[in.Name]; !refined {
+			b.ConnectGD(in.Name, in.Guard, in.Action, in.Ports...)
+			continue
+		}
+		init := initiators[in.Name]
+		d, err := coordinator(in, init)
+		if err != nil {
+			return nil, err
+		}
+		dName := "D_" + in.Name
+		b.AddAs(dName, d)
+		b.Connect("str("+in.Name+")", core.P(init, "str_"+in.Name), core.P(dName, "s"))
+		idx := 0
+		for _, pr := range in.Ports {
+			if pr.Comp == init {
+				continue
+			}
+			si := strconv.Itoa(idx)
+			b.Connect("rcv("+in.Name+")"+si, core.P(pr.Comp, "rcv_"+in.Name), core.P(dName, "r"+si))
+			b.Connect("ack("+in.Name+")"+si, core.P(pr.Comp, "ack_"+in.Name), core.P(dName, "k"+si))
+			idx++
+		}
+		b.Connect("cmp("+in.Name+")", core.P(init, "cmp_"+in.Name), core.P(dName, "c"))
+	}
+	for _, p := range sys.Priorities {
+		if _, lo := initiators[p.Low]; lo {
+			return nil, fmt.Errorf("refine: priority on refined interaction %q unsupported", p.Low)
+		}
+		if _, hi := initiators[p.High]; hi {
+			return nil, fmt.Errorf("refine: priority on refined interaction %q unsupported", p.High)
+		}
+		b.PriorityWhen(p.Low, p.High, p.When)
+	}
+	return b.Build()
+}
+
+// rewriteAtom splits every transition on a refined port into the
+// two-step protocol form, adding a wait location per transition.
+func rewriteAtom(atom *behavior.Atom, rs []role) (*behavior.Atom, error) {
+	refined := make(map[string]struct {
+		inter     string
+		initiator bool
+	})
+	for _, r := range rs {
+		if prev, dup := refined[r.port]; dup && prev.inter != r.inter.Name {
+			return nil, fmt.Errorf("refine: port %s.%s used by two refined interactions", atom.Name, r.port)
+		}
+		refined[r.port] = struct {
+			inter     string
+			initiator bool
+		}{r.inter.Name, r.initiator}
+	}
+
+	nb := behavior.NewBuilder(atom.Name).
+		Location(atom.Locations...).
+		Initial(atom.Initial)
+	for _, v := range atom.Vars {
+		if v.Init.Kind() == expr.KindBool {
+			bv, _ := v.Init.Bool()
+			nb.Bool(v.Name, bv)
+		} else {
+			iv, _ := v.Init.Int()
+			nb.Int(v.Name, iv)
+		}
+	}
+	for _, p := range atom.Ports {
+		if _, ok := refined[p.Name]; ok {
+			continue // replaced by protocol ports below
+		}
+		nb.Port(p.Name, p.Vars...)
+	}
+	declared := make(map[string]bool)
+	for port, info := range refined {
+		_ = port
+		first, second := "rcv_"+info.inter, "ack_"+info.inter
+		if info.initiator {
+			first, second = "str_"+info.inter, "cmp_"+info.inter
+		}
+		if !declared[first] {
+			nb.Port(first)
+			nb.Port(second)
+			declared[first] = true
+		}
+	}
+	for ti, t := range atom.Transitions {
+		info, ok := refined[t.Port]
+		if !ok {
+			nb.TransitionG(t.From, t.Port, t.To, t.Guard, t.Action)
+			continue
+		}
+		first, second := "rcv_"+info.inter, "ack_"+info.inter
+		if info.initiator {
+			first, second = "str_"+info.inter, "cmp_"+info.inter
+		}
+		wait := fmt.Sprintf("w%d_%s", ti, info.inter)
+		nb.Location(wait)
+		// The guard stays on the first step (commitment point); the
+		// action moves to the completion step, matching the original's
+		// atomicity at the observation point.
+		nb.TransitionG(t.From, first, wait, t.Guard, nil)
+		nb.TransitionG(wait, second, t.To, nil, t.Action)
+	}
+	return nb.Build()
+}
+
+// coordinator builds the D component of Fig. 5.4 for one interaction:
+// s → r0 → k0 → r1 → k1 → … → c, cyclically.
+func coordinator(in *core.Interaction, initiator string) (*behavior.Atom, error) {
+	nb := behavior.NewBuilder("D")
+	others := 0
+	for _, pr := range in.Ports {
+		if pr.Comp != initiator {
+			others++
+		}
+	}
+	// Locations d0 … d_{2·others+1}.
+	n := 2*others + 2
+	locs := make([]string, n)
+	for i := range locs {
+		locs[i] = "d" + strconv.Itoa(i)
+	}
+	nb.Location(locs...).Initial("d0")
+	nb.Port("s")
+	nb.Transition("d0", "s", "d1")
+	for i := 0; i < others; i++ {
+		si := strconv.Itoa(i)
+		nb.Port("r" + si)
+		nb.Port("k" + si)
+		nb.Transition(locs[1+2*i], "r"+si, locs[2+2*i])
+		nb.Transition(locs[2+2*i], "k"+si, locs[3+2*i])
+	}
+	nb.Port("c")
+	nb.Transition(locs[n-1], "c", "d0")
+	return nb.Build()
+}
+
+// Observation returns the relabeling under which a refined system is
+// compared with its original: protocol steps are silent and each
+// cmp(a) observes as a. This is the observation criterion of §5.5.3.
+func Observation(refined []string) lts.Relabel {
+	silent := make(map[string]bool)
+	complete := make(map[string]string)
+	for _, name := range refined {
+		silent["str("+name+")"] = true
+		// Up to 8 non-initiator participants is ample for the models
+		// used here.
+		for i := 0; i < 8; i++ {
+			si := strconv.Itoa(i)
+			silent["rcv("+name+")"+si] = true
+			silent["ack("+name+")"+si] = true
+		}
+		complete["cmp("+name+")"] = name
+	}
+	return func(label string) (string, bool) {
+		if silent[label] {
+			return "", false
+		}
+		if to, ok := complete[label]; ok {
+			return to, true
+		}
+		return label, true
+	}
+}

@@ -1,0 +1,304 @@
+// Package sat implements a small DPLL SAT solver over CNF formulas. It is
+// the reasoning substrate of the compositional verifier (package
+// invariant): trap enumeration and the deadlock-candidate check
+// CI ∧ II ∧ DIS are SAT queries over location propositions.
+//
+// The solver favours clarity over raw speed: unit propagation by clause
+// scanning, chronological backtracking, first-unassigned branching. The
+// formulas produced by the verifier have hundreds of variables, far below
+// the scale where watched literals or clause learning pay off.
+package sat
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Lit is a literal: variable v (1-based) is the positive literal v, its
+// negation is -v.
+type Lit int
+
+// Var returns the 1-based variable index of the literal.
+func (l Lit) Var() int {
+	if l < 0 {
+		return int(-l)
+	}
+	return int(l)
+}
+
+// Neg returns the complementary literal.
+func (l Lit) Neg() Lit { return -l }
+
+// Pos reports whether the literal is positive.
+func (l Lit) Pos() bool { return l > 0 }
+
+// Clause is a disjunction of literals.
+type Clause []Lit
+
+// Solver accumulates clauses and answers satisfiability queries.
+// The zero value is not usable; construct with New.
+type Solver struct {
+	numVars int
+	clauses []Clause
+	// frozen trail of top-level unit facts discovered by AddClause.
+	names map[int]string
+}
+
+// New returns an empty solver.
+func New() *Solver {
+	return &Solver{names: make(map[int]string)}
+}
+
+// NewVar allocates a fresh variable and returns its index.
+func (s *Solver) NewVar() int {
+	s.numVars++
+	return s.numVars
+}
+
+// NewNamedVar allocates a variable carrying a diagnostic name.
+func (s *Solver) NewNamedVar(name string) int {
+	v := s.NewVar()
+	s.names[v] = name
+	return v
+}
+
+// Name returns the diagnostic name of a variable, or its index rendering.
+func (s *Solver) Name(v int) string {
+	if n, ok := s.names[v]; ok {
+		return n
+	}
+	return fmt.Sprintf("v%d", v)
+}
+
+// NumVars returns the number of allocated variables.
+func (s *Solver) NumVars() int { return s.numVars }
+
+// NumClauses returns the number of stored clauses.
+func (s *Solver) NumClauses() int { return len(s.clauses) }
+
+// AddClause stores a clause. Empty clauses make the formula trivially
+// unsatisfiable. Literals referencing unallocated variables are an error.
+func (s *Solver) AddClause(lits ...Lit) error {
+	for _, l := range lits {
+		if l == 0 {
+			return fmt.Errorf("sat: zero literal")
+		}
+		if l.Var() > s.numVars {
+			return fmt.Errorf("sat: literal %d references unallocated variable", l)
+		}
+	}
+	// Normalize: sort, dedupe, drop tautologies.
+	c := append(Clause(nil), lits...)
+	sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+	out := c[:0]
+	for i, l := range c {
+		if i > 0 && l == c[i-1] {
+			continue
+		}
+		out = append(out, l)
+	}
+	for i := 0; i+1 < len(out); i++ {
+		if out[i] == -out[i+1] {
+			return nil // tautology: x ∨ ¬x
+		}
+	}
+	s.clauses = append(s.clauses, out)
+	return nil
+}
+
+// MustAddClause is AddClause for statically well-formed clauses.
+func (s *Solver) MustAddClause(lits ...Lit) {
+	if err := s.AddClause(lits...); err != nil {
+		panic(err)
+	}
+}
+
+// Assignment maps variables (1-based) to values. Index 0 is unused.
+type Assignment []bool
+
+// Solve searches for a model extending the given assumptions. It returns
+// the model and true, or nil and false when unsatisfiable.
+func (s *Solver) Solve(assumptions ...Lit) (Assignment, bool) {
+	st := &searchState{
+		val:   make([]int8, s.numVars+1), // 0 unknown, 1 true, -1 false
+		trail: make([]int, 0, s.numVars),
+	}
+	for _, a := range assumptions {
+		v := a.Var()
+		want := int8(1)
+		if !a.Pos() {
+			want = -1
+		}
+		if st.val[v] == -want {
+			return nil, false
+		}
+		st.val[v] = want
+	}
+	if !s.search(st) {
+		return nil, false
+	}
+	m := make(Assignment, s.numVars+1)
+	for v := 1; v <= s.numVars; v++ {
+		m[v] = st.val[v] == 1
+	}
+	return m, true
+}
+
+// searchState is the DPLL working state: the assignment plus a trail for
+// chronological backtracking (no per-branch copying).
+type searchState struct {
+	val   []int8
+	trail []int
+}
+
+func (st *searchState) assign(l Lit) {
+	v := l.Var()
+	if l.Pos() {
+		st.val[v] = 1
+	} else {
+		st.val[v] = -1
+	}
+	st.trail = append(st.trail, v)
+}
+
+func (st *searchState) undoTo(mark int) {
+	for len(st.trail) > mark {
+		v := st.trail[len(st.trail)-1]
+		st.trail = st.trail[:len(st.trail)-1]
+		st.val[v] = 0
+	}
+}
+
+// litTrue/litFalse evaluate a literal under the current assignment.
+func (st *searchState) litTrue(l Lit) bool {
+	v := st.val[l.Var()]
+	return (v == 1) == l.Pos() && v != 0
+}
+
+// search runs DPLL with allocation-free unit propagation and
+// literal-polarity branching on the first unsatisfied clause.
+func (s *Solver) search(st *searchState) bool {
+	mark := len(st.trail)
+	if !s.propagate(st) {
+		st.undoTo(mark)
+		return false
+	}
+	// Branch on the first unassigned literal of the first unsatisfied
+	// clause, trying the polarity that satisfies that clause first.
+	// Clauses are grouped by the component that produced them, so the
+	// search works through one subsystem's constraints before touching
+	// the next — refutations of locally-unsatisfiable subsystems stay
+	// local instead of being re-derived under every assignment of the
+	// others.
+	branch := Lit(0)
+	for _, c := range s.clauses {
+		satisfied := false
+		var firstUnassigned Lit
+		for _, l := range c {
+			if st.val[l.Var()] == 0 {
+				if firstUnassigned == 0 {
+					firstUnassigned = l
+				}
+			} else if st.litTrue(l) {
+				satisfied = true
+				break
+			}
+		}
+		if satisfied {
+			continue
+		}
+		if firstUnassigned == 0 {
+			st.undoTo(mark)
+			return false
+		}
+		branch = firstUnassigned
+		break
+	}
+	if branch == 0 {
+		return true // every clause satisfied
+	}
+	// Try the polarity that satisfies the pending clause first.
+	mark2 := len(st.trail)
+	st.assign(branch)
+	if s.search(st) {
+		return true
+	}
+	st.undoTo(mark2)
+	st.assign(branch.Neg())
+	if s.search(st) {
+		return true
+	}
+	st.undoTo(mark)
+	return false
+}
+
+// propagate runs unit propagation to fixpoint. It reports false on
+// conflict (the caller unwinds the trail).
+func (s *Solver) propagate(st *searchState) bool {
+	for changed := true; changed; {
+		changed = false
+		for _, c := range s.clauses {
+			satisfied := false
+			unassigned := 0
+			var unit Lit
+			for _, l := range c {
+				if st.val[l.Var()] == 0 {
+					unassigned++
+					unit = l
+					if unassigned > 1 {
+						// Cannot be unit; but keep scanning for a
+						// satisfied literal.
+						continue
+					}
+				} else if st.litTrue(l) {
+					satisfied = true
+					break
+				}
+			}
+			if satisfied || unassigned > 1 {
+				continue
+			}
+			if unassigned == 0 {
+				return false
+			}
+			st.assign(unit)
+			changed = true
+		}
+	}
+	return true
+}
+
+// TrueVars returns the sorted variables assigned true in the model.
+func (m Assignment) TrueVars() []int {
+	var out []int
+	for v := 1; v < len(m); v++ {
+		if m[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// AtMostOne adds pairwise exclusion clauses over the variables.
+func (s *Solver) AtMostOne(vars []int) error {
+	for i := 0; i < len(vars); i++ {
+		for j := i + 1; j < len(vars); j++ {
+			if err := s.AddClause(Lit(-vars[i]), Lit(-vars[j])); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// AtLeastOne adds the covering clause over the variables.
+func (s *Solver) AtLeastOne(vars []int) error {
+	lits := make([]Lit, len(vars))
+	for i, v := range vars {
+		lits[i] = Lit(v)
+	}
+	return s.AddClause(lits...)
+}
+
+// Implies adds the clause ¬a ∨ b.
+func (s *Solver) Implies(a, b Lit) error { return s.AddClause(a.Neg(), b) }

@@ -1,0 +1,251 @@
+package sat
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTrivial(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	if _, ok := s.Solve(); !ok {
+		t.Fatal("empty formula must be SAT")
+	}
+	s.MustAddClause(Lit(a))
+	m, ok := s.Solve()
+	if !ok || !m[a] {
+		t.Fatalf("unit clause: model = %v, ok = %v", m, ok)
+	}
+	s.MustAddClause(Lit(-a))
+	if _, ok := s.Solve(); ok {
+		t.Fatal("a ∧ ¬a must be UNSAT")
+	}
+}
+
+func TestBasicInference(t *testing.T) {
+	s := New()
+	a, b, c := s.NewVar(), s.NewVar(), s.NewVar()
+	// a, a→b, b→c forces all true.
+	s.MustAddClause(Lit(a))
+	if err := s.Implies(Lit(a), Lit(b)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Implies(Lit(b), Lit(c)); err != nil {
+		t.Fatal(err)
+	}
+	m, ok := s.Solve()
+	if !ok || !m[a] || !m[b] || !m[c] {
+		t.Fatalf("model = %v, want all true", m)
+	}
+}
+
+func TestAssumptions(t *testing.T) {
+	s := New()
+	a, b := s.NewVar(), s.NewVar()
+	s.MustAddClause(Lit(a), Lit(b))
+	if _, ok := s.Solve(Lit(-a), Lit(-b)); ok {
+		t.Fatal("assumptions ¬a, ¬b contradict a∨b")
+	}
+	m, ok := s.Solve(Lit(-a))
+	if !ok || !m[b] {
+		t.Fatalf("with ¬a assumed, b must hold: %v", m)
+	}
+	if _, ok := s.Solve(Lit(a), Lit(-a)); ok {
+		t.Fatal("contradictory assumptions must be UNSAT")
+	}
+}
+
+func TestPigeonhole(t *testing.T) {
+	// 3 pigeons, 2 holes: UNSAT. Classic small hard instance.
+	s := New()
+	p := make([][]int, 3)
+	for i := range p {
+		p[i] = []int{s.NewVar(), s.NewVar()}
+		if err := s.AtLeastOne(p[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for h := 0; h < 2; h++ {
+		if err := s.AtMostOne([]int{p[0][h], p[1][h], p[2][h]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := s.Solve(); ok {
+		t.Fatal("pigeonhole 3→2 must be UNSAT")
+	}
+}
+
+func TestExactlyOneEncoding(t *testing.T) {
+	s := New()
+	vars := []int{s.NewVar(), s.NewVar(), s.NewVar()}
+	if err := s.AtLeastOne(vars); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AtMostOne(vars); err != nil {
+		t.Fatal(err)
+	}
+	m, ok := s.Solve()
+	if !ok {
+		t.Fatal("exactly-one must be SAT")
+	}
+	n := 0
+	for _, v := range vars {
+		if m[v] {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Fatalf("model sets %d vars, want exactly 1", n)
+	}
+}
+
+func TestModelEnumeration(t *testing.T) {
+	// x∨y has exactly 3 models over {x,y}.
+	s := New()
+	x, y := s.NewVar(), s.NewVar()
+	s.MustAddClause(Lit(x), Lit(y))
+	count := 0
+	for {
+		m, ok := s.Solve()
+		if !ok {
+			break
+		}
+		count++
+		if count > 4 {
+			t.Fatal("enumeration does not terminate")
+		}
+		// Block this full model.
+		block := make([]Lit, 0, 2)
+		for _, v := range []int{x, y} {
+			if m[v] {
+				block = append(block, Lit(-v))
+			} else {
+				block = append(block, Lit(v))
+			}
+		}
+		s.MustAddClause(block...)
+	}
+	if count != 3 {
+		t.Fatalf("models of x∨y = %d, want 3", count)
+	}
+}
+
+func TestTautologyAndDuplicates(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	// Tautology is dropped.
+	s.MustAddClause(Lit(a), Lit(-a))
+	if s.NumClauses() != 0 {
+		t.Fatalf("tautology stored: %d clauses", s.NumClauses())
+	}
+	// Duplicates collapse.
+	s.MustAddClause(Lit(a), Lit(a))
+	if s.NumClauses() != 1 || len(s.clauses[0]) != 1 {
+		t.Fatalf("duplicate literals not collapsed: %v", s.clauses)
+	}
+}
+
+func TestAddClauseErrors(t *testing.T) {
+	s := New()
+	if err := s.AddClause(Lit(0)); err == nil {
+		t.Fatal("zero literal must be rejected")
+	}
+	if err := s.AddClause(Lit(5)); err == nil {
+		t.Fatal("unallocated variable must be rejected")
+	}
+}
+
+func TestNames(t *testing.T) {
+	s := New()
+	v := s.NewNamedVar("at(phil0,eating)")
+	if s.Name(v) != "at(phil0,eating)" {
+		t.Fatalf("Name = %q", s.Name(v))
+	}
+	w := s.NewVar()
+	if s.Name(w) != "v2" {
+		t.Fatalf("fallback Name = %q", s.Name(w))
+	}
+}
+
+func TestTrueVars(t *testing.T) {
+	m := Assignment{false, true, false, true}
+	got := m.TrueVars()
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("TrueVars = %v", got)
+	}
+}
+
+// Property: for random 3-CNF instances, any model returned by the solver
+// actually satisfies every clause; and if the solver says UNSAT, a brute
+// force over all assignments agrees (small n).
+func TestQuickSolverSoundAndComplete(t *testing.T) {
+	f := func(seed uint32) bool {
+		rng := seed
+		next := func(n int) int {
+			rng = rng*1664525 + 1013904223
+			return int(rng>>16) % n
+		}
+		const nv = 6
+		s := New()
+		for i := 0; i < nv; i++ {
+			s.NewVar()
+		}
+		nc := 3 + next(12)
+		var clauses []Clause
+		for i := 0; i < nc; i++ {
+			var c Clause
+			for j := 0; j < 3; j++ {
+				v := 1 + next(nv)
+				if next(2) == 0 {
+					c = append(c, Lit(v))
+				} else {
+					c = append(c, Lit(-v))
+				}
+			}
+			clauses = append(clauses, c)
+			s.MustAddClause(c...)
+		}
+		m, ok := s.Solve()
+		evalClause := func(c Clause, bits int) bool {
+			for _, l := range c {
+				val := bits>>(l.Var()-1)&1 == 1
+				if val == l.Pos() {
+					return true
+				}
+			}
+			return false
+		}
+		if ok {
+			// Soundness: the model satisfies every original clause.
+			for _, c := range clauses {
+				sat := false
+				for _, l := range c {
+					if m[l.Var()] == l.Pos() {
+						sat = true
+					}
+				}
+				if !sat {
+					return false
+				}
+			}
+			return true
+		}
+		// Completeness: brute force agrees there is no model.
+		for bits := 0; bits < 1<<nv; bits++ {
+			all := true
+			for _, c := range clauses {
+				if !evalClause(c, bits) {
+					all = false
+					break
+				}
+			}
+			if all {
+				return false // solver missed a model
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

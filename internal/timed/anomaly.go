@@ -1,0 +1,315 @@
+package timed
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// This file implements the §5.2.2 robustness analysis (experiment E10):
+// an "ideal model" of a task system is executed on a "physical model"
+// whose performance is a function φ assigning durations to actions.
+// Safety (here: meeting a makespan deadline) under φ does NOT imply
+// safety under a faster φ′ < φ when dispatching is non-deterministic
+// (greedy list scheduling) — the classical timing anomaly [31]. For
+// deterministic dispatching (fixed assignment and order), safety is
+// monotone in performance — time robustness, as proved in [1] for
+// deterministic models.
+
+// Job is a unit of work with precedence constraints.
+type Job struct {
+	ID   string
+	Dur  int
+	Deps []string
+}
+
+// Schedule is the outcome of scheduling a job set.
+type Schedule struct {
+	Makespan int
+	// Start holds each job's start time.
+	Start map[string]int
+	// Machine holds each job's machine assignment.
+	Machine map[string]int
+}
+
+// ListSchedule runs Graham list scheduling: whenever a machine is idle it
+// picks the first ready job in priority order. It is work-conserving and
+// non-deterministic in the modelled system; the priority list fixes one
+// concrete resolution, and varying durations under the same list is what
+// exposes anomalies.
+func ListSchedule(jobs []Job, machines int) (*Schedule, error) {
+	if machines < 1 {
+		return nil, fmt.Errorf("timed: need at least one machine")
+	}
+	byID := make(map[string]*Job, len(jobs))
+	for i := range jobs {
+		j := &jobs[i]
+		if j.Dur < 0 {
+			return nil, fmt.Errorf("timed: job %s has negative duration", j.ID)
+		}
+		if _, dup := byID[j.ID]; dup {
+			return nil, fmt.Errorf("timed: duplicate job %s", j.ID)
+		}
+		byID[j.ID] = j
+	}
+	for _, j := range jobs {
+		for _, d := range j.Deps {
+			if _, ok := byID[d]; !ok {
+				return nil, fmt.Errorf("timed: job %s depends on unknown %s", j.ID, d)
+			}
+		}
+	}
+
+	s := &Schedule{Start: make(map[string]int), Machine: make(map[string]int)}
+	finish := make(map[string]int)
+	machineFree := make([]int, machines)
+	done := make(map[string]bool)
+	remaining := len(jobs)
+
+	now := 0
+	for remaining > 0 {
+		// Jobs whose dependencies completed by now.
+		progressed := false
+		for m := 0; m < machines; m++ {
+			if machineFree[m] > now {
+				continue
+			}
+			// First ready unstarted job in list order.
+			for i := range jobs {
+				j := &jobs[i]
+				if done[j.ID] {
+					continue
+				}
+				if _, started := s.Start[j.ID]; started {
+					continue
+				}
+				ready := true
+				for _, d := range j.Deps {
+					f, fin := finish[d]
+					if !fin || f > now {
+						ready = false
+						break
+					}
+				}
+				if !ready {
+					continue
+				}
+				s.Start[j.ID] = now
+				s.Machine[j.ID] = m
+				finish[j.ID] = now + j.Dur
+				machineFree[m] = now + j.Dur
+				if now+j.Dur > s.Makespan {
+					s.Makespan = now + j.Dur
+				}
+				if j.Dur == 0 {
+					done[j.ID] = true
+					remaining--
+				}
+				progressed = true
+				break
+			}
+		}
+		// Advance to the next completion.
+		next := -1
+		for id, f := range finish {
+			if done[id] || f <= now {
+				if !done[id] && f <= now {
+					done[id] = true
+					remaining--
+					progressed = true
+				}
+				continue
+			}
+			if next == -1 || f < next {
+				next = f
+			}
+		}
+		if remaining == 0 {
+			break
+		}
+		if next == -1 {
+			if !progressed {
+				return nil, fmt.Errorf("timed: scheduling stuck (dependency cycle?)")
+			}
+			continue
+		}
+		now = next
+	}
+	return s, nil
+}
+
+// FixedSchedule executes jobs deterministically: each job runs on its
+// pre-assigned machine, in the given per-machine order, starting when its
+// dependencies and machine are available. This is the deterministic model
+// for which time robustness holds.
+func FixedSchedule(jobs []Job, assignment map[string]int, machines int) (*Schedule, error) {
+	perMachine := make([][]int, machines)
+	for i := range jobs {
+		m, ok := assignment[jobs[i].ID]
+		if !ok || m < 0 || m >= machines {
+			return nil, fmt.Errorf("timed: job %s lacks a valid assignment", jobs[i].ID)
+		}
+		perMachine[m] = append(perMachine[m], i)
+	}
+	s := &Schedule{Start: make(map[string]int), Machine: make(map[string]int)}
+	finish := make(map[string]int)
+	// Iterate to a fixed point: a job can start once its machine
+	// predecessor and dependencies have finish times.
+	for progress, doneCount := true, 0; doneCount < len(jobs); {
+		if !progress {
+			return nil, fmt.Errorf("timed: fixed schedule stuck (cycle?)")
+		}
+		progress = false
+		for m := 0; m < machines; m++ {
+			prevFinish := 0
+			for _, ji := range perMachine[m] {
+				j := jobs[ji]
+				if _, ok := s.Start[j.ID]; ok {
+					prevFinish = finish[j.ID]
+					continue
+				}
+				start := prevFinish
+				ok := true
+				for _, d := range j.Deps {
+					f, fin := finish[d]
+					if !fin {
+						ok = false
+						break
+					}
+					if f > start {
+						start = f
+					}
+				}
+				if !ok {
+					break
+				}
+				s.Start[j.ID] = start
+				s.Machine[j.ID] = m
+				finish[j.ID] = start + j.Dur
+				prevFinish = finish[j.ID]
+				if finish[j.ID] > s.Makespan {
+					s.Makespan = finish[j.ID]
+				}
+				doneCount++
+				progress = true
+			}
+		}
+	}
+	return s, nil
+}
+
+// Anomaly is a witness that faster execution broke a deadline.
+type Anomaly struct {
+	Jobs       []Job
+	Machines   int
+	SlowSpan   int // makespan under φ (WCET durations)
+	FastSpan   int // makespan under φ′ < φ — larger despite being faster
+	SpeedupJob string
+}
+
+// GrahamAnomaly returns the classical fixed instance exhibiting the
+// anomaly: reducing every duration by one increases the makespan under
+// list scheduling on 3 machines (Graham 1969; the paper's [31] timing
+// anomalies are the same phenomenon at the WCET level).
+func GrahamAnomaly() ([]Job, int) {
+	jobs := []Job{
+		{ID: "T1", Dur: 3},
+		{ID: "T2", Dur: 2},
+		{ID: "T3", Dur: 2},
+		{ID: "T4", Dur: 2},
+		{ID: "T5", Dur: 4, Deps: []string{"T4"}},
+		{ID: "T6", Dur: 4, Deps: []string{"T4"}},
+		{ID: "T7", Dur: 4, Deps: []string{"T4"}},
+		{ID: "T8", Dur: 4, Deps: []string{"T4"}},
+		{ID: "T9", Dur: 9, Deps: []string{"T1"}},
+	}
+	return jobs, 3
+}
+
+// FindAnomaly searches seeded-random small instances for a timing
+// anomaly: an instance where shortening one job's duration increases the
+// list-scheduling makespan. It demonstrates that the phenomenon is not an
+// artifact of one contrived instance.
+func FindAnomaly(seed int64, tries int) (*Anomaly, error) {
+	rng := rand.New(rand.NewSource(seed))
+	for range make([]struct{}, tries) {
+		n := 5 + rng.Intn(5)
+		machines := 2 + rng.Intn(2)
+		jobs := make([]Job, n)
+		for i := range jobs {
+			jobs[i] = Job{ID: fmt.Sprintf("J%d", i), Dur: 1 + rng.Intn(8)}
+			for d := 0; d < i; d++ {
+				if rng.Intn(4) == 0 {
+					jobs[i].Deps = append(jobs[i].Deps, fmt.Sprintf("J%d", d))
+				}
+			}
+		}
+		slow, err := ListSchedule(jobs, machines)
+		if err != nil {
+			return nil, err
+		}
+		for i := range jobs {
+			if jobs[i].Dur <= 1 {
+				continue
+			}
+			faster := make([]Job, n)
+			copy(faster, jobs)
+			faster[i].Dur--
+			fast, err := ListSchedule(faster, machines)
+			if err != nil {
+				return nil, err
+			}
+			if fast.Makespan > slow.Makespan {
+				return &Anomaly{
+					Jobs:       jobs,
+					Machines:   machines,
+					SlowSpan:   slow.Makespan,
+					FastSpan:   fast.Makespan,
+					SpeedupJob: jobs[i].ID,
+				}, nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("timed: no anomaly found in %d tries", tries)
+}
+
+// CheckFixedRobust verifies time robustness of the deterministic model on
+// an instance: for every single-job speedup, the fixed-assignment
+// makespan does not increase. It returns an error naming the violating
+// job if monotonicity fails (it must not, for deterministic models).
+func CheckFixedRobust(jobs []Job, machines int) error {
+	base, err := ListSchedule(jobs, machines)
+	if err != nil {
+		return err
+	}
+	// Freeze the list schedule's assignment as the deterministic design.
+	assignment := base.Machine
+	// Per-machine order = start-time order, already implied by the list
+	// schedule; FixedSchedule orders by the slice order per machine, so
+	// sort jobs by start time first.
+	ordered := append([]Job(nil), jobs...)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		return base.Start[ordered[i].ID] < base.Start[ordered[j].ID]
+	})
+	slow, err := FixedSchedule(ordered, assignment, machines)
+	if err != nil {
+		return err
+	}
+	for i := range ordered {
+		if ordered[i].Dur <= 1 {
+			continue
+		}
+		faster := make([]Job, len(ordered))
+		copy(faster, ordered)
+		faster[i].Dur--
+		fast, err := FixedSchedule(faster, assignment, machines)
+		if err != nil {
+			return err
+		}
+		if fast.Makespan > slow.Makespan {
+			return fmt.Errorf("timed: deterministic model not robust: speeding up %s raised makespan %d→%d",
+				ordered[i].ID, slow.Makespan, fast.Makespan)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,159 @@
+// Package timed extends BIP models with discrete time: clocks are
+// integer variables advanced by a distinguished tick interaction, timing
+// constraints are guards over clocks, and urgency is expressed by giving
+// every non-tick interaction priority over tick (eager semantics).
+//
+// The paper's dense-time engine is substituted by this discrete-time
+// semantics; the phenomena reproduced here — the unit-delay automaton of
+// Fig. 5.3 (experiment E4) and the timing anomalies of §5.2.2 (experiment
+// E10) — are ordering phenomena that survive discretization, as recorded
+// in EXPERIMENTS.md.
+package timed
+
+import (
+	"fmt"
+
+	"bip/internal/behavior"
+	"bip/internal/core"
+	"bip/internal/expr"
+)
+
+// TickPort is the reserved port name through which time advances.
+const TickPort = "tick"
+
+// TickInteraction is the reserved name of the global time-step.
+const TickInteraction = "tick"
+
+// Builder assembles a timed atom: a behaviour automaton plus clocks. On
+// Build, a tick self-loop is added to every location, guarded by the
+// location's time-progress condition and advancing every clock by one.
+type Builder struct {
+	b          *behavior.Builder
+	name       string
+	clocks     []string
+	locations  []string
+	tickGuards map[string]expr.Expr
+}
+
+// NewAtom starts a timed atom.
+func NewAtom(name string) *Builder {
+	return &Builder{
+		b:          behavior.NewBuilder(name),
+		name:       name,
+		tickGuards: make(map[string]expr.Expr),
+	}
+}
+
+// Location declares control locations (first one is initial unless
+// Initial is called).
+func (t *Builder) Location(names ...string) *Builder {
+	t.locations = append(t.locations, names...)
+	t.b.Location(names...)
+	return t
+}
+
+// Initial sets the initial location.
+func (t *Builder) Initial(name string) *Builder {
+	t.b.Initial(name)
+	return t
+}
+
+// Clock declares a clock, an integer variable starting at 0 advanced by
+// tick.
+func (t *Builder) Clock(name string) *Builder {
+	t.clocks = append(t.clocks, name)
+	t.b.Int(name, 0)
+	return t
+}
+
+// Int declares an ordinary (non-clock) integer variable.
+func (t *Builder) Int(name string, init int64) *Builder {
+	t.b.Int(name, init)
+	return t
+}
+
+// Port declares a port.
+func (t *Builder) Port(name string, exported ...string) *Builder {
+	t.b.Port(name, exported...)
+	return t
+}
+
+// Transition adds a discrete transition; resets lists clocks set to 0
+// when it fires (in addition to the optional action).
+func (t *Builder) Transition(from, port, to string, guard expr.Expr, resets []string, action expr.Stmt) *Builder {
+	stmts := make([]expr.Stmt, 0, len(resets)+1)
+	for _, c := range resets {
+		stmts = append(stmts, expr.Set(c, expr.I(0)))
+	}
+	if action != nil {
+		stmts = append(stmts, action)
+	}
+	t.b.TransitionG(from, port, to, guard, expr.Do(stmts...))
+	return t
+}
+
+// TickGuard constrains time progress at a location (the location's
+// time-progress condition / invariant). Unset locations allow time to
+// pass freely.
+func (t *Builder) TickGuard(loc string, guard expr.Expr) *Builder {
+	t.tickGuards[loc] = guard
+	return t
+}
+
+// Build finishes the atom: a tick port and per-location tick self-loops
+// advancing all clocks.
+func (t *Builder) Build() (*behavior.Atom, error) {
+	t.b.Port(TickPort)
+	var advance []expr.Stmt
+	for _, c := range t.clocks {
+		advance = append(advance, expr.Set(c, expr.Add(expr.V(c), expr.I(1))))
+	}
+	for _, loc := range t.locations {
+		t.b.TransitionG(loc, TickPort, loc, t.tickGuards[loc], expr.Do(advance...))
+	}
+	return t.b.Build()
+}
+
+// MustBuild is Build panicking on error, for static models.
+func (t *Builder) MustBuild() *behavior.Atom {
+	a, err := t.Build()
+	if err != nil {
+		panic(fmt.Sprintf("timed: %v", err))
+	}
+	return a
+}
+
+// Compose assembles a timed system: the given interactions plus the
+// global tick rendezvous over every atom's tick port. With eager=true
+// every other interaction gets priority over tick, so discrete actions
+// are urgent: time passes only when nothing else can happen.
+func Compose(name string, atoms []*behavior.Atom, interactions []*core.Interaction, eager bool) (*core.System, error) {
+	b := core.NewSystem(name)
+	tick := &core.Interaction{Name: TickInteraction}
+	for _, a := range atoms {
+		b.Add(a)
+		tick.Ports = append(tick.Ports, core.P(a.Name, TickPort))
+	}
+	for _, in := range interactions {
+		b.Interaction(in)
+	}
+	b.Interaction(tick)
+	if eager {
+		for _, in := range interactions {
+			b.Priority(TickInteraction, in.Name)
+		}
+	}
+	return b.Build()
+}
+
+// Now reads the elapsed time of a timed system run by counting tick
+// occurrences in a label trace.
+func Now(labels []string) int {
+	n := 0
+	for _, l := range labels {
+		if l == TickInteraction {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,269 @@
+package timed
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"bip/internal/behavior"
+	"bip/internal/core"
+	"bip/internal/engine"
+	"bip/internal/expr"
+)
+
+// timerAtom fires once c reaches 3, resetting c.
+func timerAtom(t *testing.T) *behavior.Atom {
+	t.Helper()
+	a, err := NewAtom("timer").
+		Location("run").
+		Clock("c").
+		Port("fire").
+		Transition("run", "fire", "run", expr.Ge(expr.V("c"), expr.I(3)), []string{"c"}, nil).
+		Build()
+	if err != nil {
+		t.Fatalf("build timer: %v", err)
+	}
+	return a
+}
+
+func TestEagerSemanticsPeriodicFiring(t *testing.T) {
+	a := timerAtom(t)
+	fire := &core.Interaction{Name: "fire", Ports: []core.PortRef{core.P("timer", "fire")}}
+	sys, err := Compose("periodic", []*behavior.Atom{a}, []*core.Interaction{fire}, true)
+	if err != nil {
+		t.Fatalf("compose: %v", err)
+	}
+	res, err := engine.Run(sys, engine.Options{MaxSteps: 16})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	// Eager: tick,tick,tick,fire repeating.
+	want := "tick,tick,tick,fire,tick,tick,tick,fire,tick,tick,tick,fire,tick,tick,tick,fire"
+	if got := strings.Join(res.Labels, ","); got != want {
+		t.Fatalf("trace = %s, want %s", got, want)
+	}
+	if Now(res.Labels) != 12 {
+		t.Fatalf("Now = %d, want 12", Now(res.Labels))
+	}
+}
+
+func TestLazySemanticsAllowsEarlyTick(t *testing.T) {
+	a := timerAtom(t)
+	fire := &core.Interaction{Name: "fire", Ports: []core.PortRef{core.P("timer", "fire")}}
+	sys, err := Compose("lazy", []*behavior.Atom{a}, []*core.Interaction{fire}, false)
+	if err != nil {
+		t.Fatalf("compose: %v", err)
+	}
+	// Without eagerness both tick and fire are enabled at c=3.
+	st := sys.Initial()
+	for i := 0; i < 3; i++ {
+		moves, err := sys.Enabled(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(moves) != 1 {
+			t.Fatalf("before c=3 only tick should be enabled, got %d moves", len(moves))
+		}
+		st, err = sys.Exec(st, moves[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	moves, err := sys.Enabled(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(moves) != 2 {
+		t.Fatalf("at c=3 lazy semantics should allow both tick and fire, got %d", len(moves))
+	}
+}
+
+func TestTickGuardBlocksTime(t *testing.T) {
+	// Urgent location: time cannot pass once c reaches the bound; only
+	// the discrete transition can happen. Deadline misses would appear
+	// as time-locks — the §5.2.2 correspondence.
+	a, err := NewAtom("urgent").
+		Location("wait").
+		Clock("c").
+		Port("act").
+		Transition("wait", "act", "wait", expr.Ge(expr.V("c"), expr.I(2)), []string{"c"}, nil).
+		TickGuard("wait", expr.Lt(expr.V("c"), expr.I(2))).
+		Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	act := &core.Interaction{Name: "act", Ports: []core.PortRef{core.P("urgent", "act")}}
+	sys, err := Compose("urgent", []*behavior.Atom{a}, []*core.Interaction{act}, false)
+	if err != nil {
+		t.Fatalf("compose: %v", err)
+	}
+	st := sys.Initial()
+	for i := 0; i < 2; i++ {
+		moves, _ := sys.Enabled(st)
+		if len(moves) != 1 || sys.Label(moves[0]) != "tick" {
+			t.Fatalf("step %d: want only tick, got %v", i, len(moves))
+		}
+		st, _ = sys.Exec(st, moves[0])
+	}
+	moves, _ := sys.Enabled(st)
+	if len(moves) != 1 || sys.Label(moves[0]) != "act" {
+		t.Fatalf("at bound: want only act (tick blocked), got %d moves", len(moves))
+	}
+}
+
+func TestUnitDelayFigure53(t *testing.T) {
+	// k=1 is exactly the paper's 4-state, 1-clock automaton.
+	locs, clocks := UnitDelaySize(1)
+	if locs != 4 || clocks != 1 {
+		t.Fatalf("UD(1) size = %d locations, %d clocks; want 4, 1", locs, clocks)
+	}
+	a, err := UnitDelay(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(a.Locations); got != 4 {
+		t.Fatalf("UD(1) has %d locations, want 4", got)
+	}
+}
+
+func TestUnitDelaySimulation(t *testing.T) {
+	tests := []struct {
+		name    string
+		k       int
+		toggles []int
+	}{
+		{"single change", 1, []int{1, 0, 0}},
+		{"alternating", 1, []int{1, 1, 1, 1}},
+		{"idle units", 1, []int{0, 1, 0, 0, 1, 0}},
+		{"two per unit", 2, []int{2, 0, 2, 0}},
+		{"bursty", 3, []int{3, 0, 1, 2, 0, 0}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := SimulateUnitDelay(tt.k, tt.toggles); err != nil {
+				t.Fatalf("simulation diverged from y(t)=x(t-1): %v", err)
+			}
+		})
+	}
+}
+
+func TestUnitDelayRejectsOverrate(t *testing.T) {
+	if _, err := SimulateUnitDelay(1, []int{2}); err == nil {
+		t.Fatal("2 toggles per unit with k=1 must be rejected")
+	}
+	if _, err := UnitDelay(0); err == nil {
+		t.Fatal("k=0 must be rejected")
+	}
+}
+
+// Property: for random admissible scripts, the unit delay tracks the
+// reference for every k in 1..3.
+func TestQuickUnitDelay(t *testing.T) {
+	f := func(seed uint32) bool {
+		rng := seed
+		next := func(n int) int {
+			rng = rng*1664525 + 1013904223
+			return int(rng>>16) % n
+		}
+		k := 1 + next(3)
+		script := make([]int, 3+next(5))
+		for i := range script {
+			script[i] = next(k + 1)
+		}
+		_, err := SimulateUnitDelay(k, script)
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestListScheduleBasics(t *testing.T) {
+	jobs := []Job{{ID: "a", Dur: 2}, {ID: "b", Dur: 3}, {ID: "c", Dur: 1, Deps: []string{"a"}}}
+	s, err := ListSchedule(jobs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan != 3 {
+		t.Fatalf("makespan = %d, want 3 (a→c on one machine, b on the other)", s.Makespan)
+	}
+	if s.Start["c"] != 2 {
+		t.Fatalf("c starts at %d, want 2 (after a)", s.Start["c"])
+	}
+}
+
+func TestListScheduleErrors(t *testing.T) {
+	if _, err := ListSchedule([]Job{{ID: "a", Dur: 1}}, 0); err == nil {
+		t.Fatal("0 machines must fail")
+	}
+	if _, err := ListSchedule([]Job{{ID: "a", Dur: -1}}, 1); err == nil {
+		t.Fatal("negative duration must fail")
+	}
+	if _, err := ListSchedule([]Job{{ID: "a", Dur: 1}, {ID: "a", Dur: 1}}, 1); err == nil {
+		t.Fatal("duplicate IDs must fail")
+	}
+	if _, err := ListSchedule([]Job{{ID: "a", Dur: 1, Deps: []string{"zz"}}}, 1); err == nil {
+		t.Fatal("unknown dependency must fail")
+	}
+}
+
+func TestGrahamAnomaly(t *testing.T) {
+	jobs, machines := GrahamAnomaly()
+	slow, err := ListSchedule(jobs, machines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faster := make([]Job, len(jobs))
+	copy(faster, jobs)
+	for i := range faster {
+		faster[i].Dur--
+	}
+	fast, err := ListSchedule(faster, machines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Makespan <= slow.Makespan-1 {
+		t.Fatalf("anomaly absent: slow=%d fast=%d — expected the classical inversion",
+			slow.Makespan, fast.Makespan)
+	}
+	t.Logf("Graham instance: WCET makespan=%d, all-faster makespan=%d", slow.Makespan, fast.Makespan)
+}
+
+func TestFindAnomaly(t *testing.T) {
+	an, err := FindAnomaly(7, 4000)
+	if err != nil {
+		t.Fatalf("no anomaly found: %v", err)
+	}
+	if an.FastSpan <= an.SlowSpan {
+		t.Fatalf("reported anomaly is not one: slow=%d fast=%d", an.SlowSpan, an.FastSpan)
+	}
+}
+
+func TestDeterministicRobustness(t *testing.T) {
+	// The same instances that exhibit anomalies under list scheduling
+	// are robust under fixed (deterministic) scheduling.
+	jobs, machines := GrahamAnomaly()
+	if err := CheckFixedRobust(jobs, machines); err != nil {
+		t.Fatalf("deterministic schedule must be time-robust: %v", err)
+	}
+	an, err := FindAnomaly(7, 4000)
+	if err != nil {
+		t.Skip("no random anomaly instance")
+	}
+	if err := CheckFixedRobust(an.Jobs, an.Machines); err != nil {
+		t.Fatalf("deterministic schedule must be time-robust on the anomaly instance: %v", err)
+	}
+}
+
+func TestFixedScheduleCycleDetection(t *testing.T) {
+	jobs := []Job{
+		{ID: "a", Dur: 1, Deps: []string{"b"}},
+		{ID: "b", Dur: 1, Deps: []string{"a"}},
+	}
+	if _, err := FixedSchedule(jobs, map[string]int{"a": 0, "b": 0}, 1); err == nil {
+		t.Fatal("cyclic dependencies must fail")
+	}
+	if _, err := FixedSchedule(jobs, map[string]int{"a": 5}, 1); err == nil {
+		t.Fatal("invalid assignment must fail")
+	}
+}

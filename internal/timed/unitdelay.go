@@ -1,0 +1,172 @@
+package timed
+
+import (
+	"fmt"
+	"strconv"
+
+	"bip/internal/behavior"
+	"bip/internal/expr"
+)
+
+// UnitDelay builds the timed automaton family of Fig. 5.3: a component
+// realizing y(t) = x(t−1) for a binary signal x with at most k changes
+// per time unit.
+//
+// For k = 1 this is exactly the paper's four-state automaton (locations
+// (x,y) ∈ {00,10,11,01}, one clock). For general k the automaton keeps a
+// FIFO of pending changes: locations (x value, pending count ≤ k) —
+// 2(k+1) locations — and k clocks, one per pending change, shifted on
+// emission. This realizes the paper's remark that "the number of states
+// and clocks needed to represent a unit delay increases linearly with the
+// maximum number of changes allowed for x in one time unit" (experiment
+// E4).
+//
+// Ports: "toggle" flips the input x (guard: fewer than k changes
+// pending); "emit" flips the output y exactly one unit after the
+// corresponding input change (guard: oldest clock = 1, urgent). The
+// output value is derived: y = x when the pending count is even, ¬x
+// otherwise.
+func UnitDelay(k int) (*behavior.Atom, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("timed: unit delay needs k >= 1, got %d", k)
+	}
+	t := NewAtom("ud")
+	clock := func(i int) string { return "t" + strconv.Itoa(i) }
+	loc := func(x, pending int) string {
+		return fmt.Sprintf("x%dp%d", x, pending)
+	}
+	for _, x := range []int{0, 1} {
+		for p := 0; p <= k; p++ {
+			t.Location(loc(x, p))
+		}
+	}
+	t.Initial(loc(0, 0))
+	for i := 0; i < k; i++ {
+		t.Clock(clock(i))
+	}
+	t.Port("toggle")
+	t.Port("emit")
+
+	for _, x := range []int{0, 1} {
+		for p := 0; p <= k; p++ {
+			// Input change: reset the youngest pending clock (index p).
+			if p < k {
+				t.Transition(loc(x, p), "toggle", loc(1-x, p+1), nil, []string{clock(p)}, nil)
+			}
+			// Output change: the oldest pending clock (index 0) reaches
+			// one unit; shift the remaining clocks down one slot.
+			if p > 0 {
+				var shift []expr.Stmt
+				for i := 0; i+1 < p; i++ {
+					shift = append(shift, expr.Set(clock(i), expr.V(clock(i+1))))
+				}
+				t.Transition(loc(x, p), "emit", loc(x, p-1),
+					expr.Ge(expr.V(clock(0)), expr.I(1)), nil, expr.Do(shift...))
+				// Urgency: time must not pass beyond the deadline of the
+				// oldest pending change.
+				t.TickGuard(loc(x, p), expr.Lt(expr.V(clock(0)), expr.I(1)))
+			}
+		}
+	}
+	return t.Build()
+}
+
+// UnitDelaySize reports the location and clock counts of UnitDelay(k)
+// without building it — the quantities experiment E4 tabulates.
+func UnitDelaySize(k int) (locations, clocks int) {
+	return 2 * (k + 1), k
+}
+
+// SimulateUnitDelay drives UnitDelay(k) with an input script and checks
+// the output against the defining equation y(t) = x(t−1).
+//
+// The script gives, for each time unit, the number of input toggles
+// happening within that unit (each must be ≤ k in total pending). The
+// simulation alternates: deliver the unit's toggles, then advance time by
+// one tick, emitting due output changes first (urgency).
+//
+// It returns the observed output-change times and any divergence from the
+// reference as an error.
+func SimulateUnitDelay(k int, togglesPerUnit []int) ([]int, error) {
+	atom, err := UnitDelay(k)
+	if err != nil {
+		return nil, err
+	}
+	st := atom.InitialState()
+	fire := func(port string) error {
+		en, err := atom.Enabled(st, port)
+		if err != nil {
+			return err
+		}
+		if len(en) == 0 {
+			return fmt.Errorf("timed: %s not enabled at %s", port, st.Loc)
+		}
+		st, err = atom.Exec(st, en[0])
+		return err
+	}
+
+	var emits []int
+	var wantEmits []int
+	for unit, toggles := range togglesPerUnit {
+		if toggles > k {
+			return nil, fmt.Errorf("timed: unit %d schedules %d toggles > k=%d", unit, toggles, k)
+		}
+		for i := 0; i < toggles; i++ {
+			if err := fire("toggle"); err != nil {
+				return nil, err
+			}
+			// Each change must surface exactly one unit later.
+			wantEmits = append(wantEmits, unit+1)
+		}
+		// Advance one unit: first emit everything due (urgency), then
+		// tick.
+		for {
+			en, err := atom.Enabled(st, "emit")
+			if err != nil {
+				return nil, err
+			}
+			if len(en) == 0 {
+				break
+			}
+			if err := fire("emit"); err != nil {
+				return nil, err
+			}
+			emits = append(emits, unit)
+		}
+		if err := fire(TickPort); err != nil {
+			return nil, fmt.Errorf("timed: unit %d: %w", unit, err)
+		}
+		// Emissions due at the new instant.
+		for {
+			en, err := atom.Enabled(st, "emit")
+			if err != nil {
+				return nil, err
+			}
+			if len(en) == 0 {
+				break
+			}
+			if err := fire("emit"); err != nil {
+				return nil, err
+			}
+			emits = append(emits, unit+1)
+		}
+	}
+	// Compare against the reference: the i-th change emitted at its
+	// scheduled time + 1, for all changes whose deadline fell within the
+	// simulated horizon.
+	due := 0
+	for _, w := range wantEmits {
+		if w <= len(togglesPerUnit) {
+			due++
+		}
+	}
+	if len(emits) != due {
+		return emits, fmt.Errorf("timed: observed %d output changes, reference expects %d", len(emits), due)
+	}
+	for i := 0; i < due; i++ {
+		if emits[i] != wantEmits[i] {
+			return emits, fmt.Errorf("timed: change %d emitted at %d, reference says %d", i, emits[i], wantEmits[i])
+		}
+	}
+	return emits, nil
+}
