@@ -1,0 +1,36 @@
+# Developer entry points; CI (.github/workflows/ci.yml) runs the same
+# targets. `make verify` is the tier-1 gate.
+
+GO ?= go
+
+.PHONY: all fmt vet build test race bench verify
+
+all: verify
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# race pins the engines' data-sharing discipline: the multi-threaded
+# coordinator deliberately shares offer maps and enabled-transition
+# slices across goroutines (see internal/engine/race_test.go), so these
+# packages must stay clean under the race detector.
+race:
+	$(GO) test -race ./internal/engine ./internal/distributed ./internal/bench
+	$(GO) test -race ./...
+
+# bench prints one line per paper experiment (E1–E14); full tables via
+# `go run ./cmd/bipbench` (reference run recorded in EXPERIMENTS.md).
+bench:
+	$(GO) test -bench . -benchtime=1x -run '^$$' .
+
+verify: fmt vet build test

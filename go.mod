@@ -1,0 +1,3 @@
+module bip
+
+go 1.22

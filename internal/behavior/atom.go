@@ -8,6 +8,7 @@ package behavior
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"bip/internal/expr"
@@ -68,6 +69,28 @@ type Atom struct {
 	portIdx map[string]int
 	locIdx  map[string]bool
 	varIdx  map[string]int
+
+	// transOn indexes transitions by (source location, port) so that
+	// enabledness checks are a single lookup instead of a scan over every
+	// transition. Built by Validate.
+	transOn map[locPort]transGroup
+	// layout and the per-transition compiled guards/actions let the hot
+	// execution paths run over a flat value frame instead of a map-backed
+	// Env. Entries are nil when the transition has no guard/action.
+	layout   *expr.Layout
+	cGuards  []expr.CompiledBool
+	cActions []expr.CompiledStmt
+}
+
+// locPort keys the transition index.
+type locPort struct{ loc, port string }
+
+// transGroup is the pre-computed transition set for one (location, port)
+// pair. When guarded is false every member is unconditionally enabled at
+// the location, so the cached index slice doubles as the enabled set.
+type transGroup struct {
+	idx     []int
+	guarded bool
 }
 
 // Validate checks internal consistency and builds lookup indices. It must
@@ -148,7 +171,83 @@ func (a *Atom) Validate() error {
 			}
 		}
 	}
+	a.buildIndices()
 	return nil
+}
+
+// buildIndices precomputes the (location, port) transition index and
+// compiles guards and actions against the atom's variable layout. Called
+// at the end of a successful Validate, so every referenced name is known
+// to be declared and compilation cannot fail; if it ever does, the nil
+// compiled entry makes the caller fall back to the interpreter, which
+// reports the real error.
+func (a *Atom) buildIndices() {
+	a.transOn = make(map[locPort]transGroup)
+	for i, t := range a.Transitions {
+		k := locPort{loc: t.From, port: t.Port}
+		g := a.transOn[k]
+		g.idx = append(g.idx, i)
+		g.guarded = g.guarded || t.Guard != nil
+		a.transOn[k] = g
+	}
+	names := make([]string, len(a.Vars))
+	for i, v := range a.Vars {
+		names[i] = v.Name
+	}
+	layout, err := expr.NewLayout(names)
+	if err != nil {
+		return
+	}
+	a.layout = layout
+	a.cGuards = make([]expr.CompiledBool, len(a.Transitions))
+	a.cActions = make([]expr.CompiledStmt, len(a.Transitions))
+	for i, t := range a.Transitions {
+		if t.Guard != nil {
+			if g, err := expr.CompileBool(t.Guard, layout); err == nil {
+				a.cGuards[i] = g
+			}
+		}
+		if t.Action != nil {
+			if c, err := expr.CompileStmt(t.Action, layout); err == nil {
+				a.cActions[i] = c
+			}
+		}
+	}
+}
+
+// compiledGuard and compiledAction return the compiled form of
+// transition i, or nil when unavailable (unvalidated atom, or transitions
+// appended after Validate).
+func (a *Atom) compiledGuard(i int) expr.CompiledBool {
+	if i < len(a.cGuards) {
+		return a.cGuards[i]
+	}
+	return nil
+}
+
+func (a *Atom) compiledAction(i int) expr.CompiledStmt {
+	if i < len(a.cActions) {
+		return a.cActions[i]
+	}
+	return nil
+}
+
+// frameOf copies vars into a fresh frame in layout order. It reports
+// false when vars does not bind exactly the declared variables, in which
+// case callers must use the map-based interpreter path.
+func (a *Atom) frameOf(vars expr.MapEnv) ([]expr.Value, bool) {
+	if len(vars) != len(a.Vars) {
+		return nil, false
+	}
+	vals := make([]expr.Value, len(a.Vars))
+	for i, vd := range a.Vars {
+		v, ok := vars[vd.Name]
+		if !ok {
+			return nil, false
+		}
+		vals[i] = v
+	}
+	return vals, true
 }
 
 // HasPort reports whether the atom declares a port with the given name.
@@ -187,8 +286,12 @@ func (a *Atom) InitialState() State {
 }
 
 // TransitionsOn returns the indices of transitions labelled by port that
-// leave location from. The result preserves declaration order.
+// leave location from. The result preserves declaration order and is
+// owned by the caller.
 func (a *Atom) TransitionsOn(from, port string) []int {
+	if a.transOn != nil {
+		return append([]int(nil), a.transOn[locPort{loc: from, port: port}].idx...)
+	}
 	var out []int
 	for i, t := range a.Transitions {
 		if t.From == from && t.Port == port {
@@ -200,10 +303,62 @@ func (a *Atom) TransitionsOn(from, port string) []int {
 
 // Enabled returns the indices of transitions labelled by port that are
 // enabled in state s (source location matches and local guard holds).
+// The result is owned by the caller.
 func (a *Atom) Enabled(s State, port string) ([]int, error) {
+	en, err := a.EnabledView(s, port)
+	if err != nil || en == nil {
+		return nil, err
+	}
+	return append([]int(nil), en...), nil
+}
+
+// EnabledView is Enabled without the defensive copy: when every candidate
+// transition is unguarded the pre-computed index slice is returned
+// directly. The caller must treat the result as read-only. This is the
+// per-port enabledness primitive of the engines' hot path.
+func (a *Atom) EnabledView(s State, port string) ([]int, error) {
+	if a.transOn == nil {
+		// Hand-assembled atom that skipped Validate: fall back to a scan.
+		return a.enabledScan(s, port)
+	}
+	g := a.transOn[locPort{loc: s.Loc, port: port}]
+	if !g.guarded {
+		return g.idx, nil
+	}
+	// One frame serves every compiled guard of the group.
+	vals, valsOK := a.frameOf(s.Vars)
 	var out []int
-	for _, i := range a.TransitionsOn(s.Loc, port) {
-		ok, err := expr.EvalBool(a.Transitions[i].Guard, s.Vars)
+	for _, i := range g.idx {
+		var ok bool
+		var err error
+		if cg := a.compiledGuard(i); cg != nil && valsOK {
+			ok, err = cg(vals)
+			if err != nil {
+				err = fmt.Errorf("atom %s: %w", a.Name, err)
+			}
+		} else {
+			ok, err = expr.EvalBool(a.Transitions[i].Guard, s.Vars)
+			if err != nil {
+				err = fmt.Errorf("atom %s: %w", a.Name, err)
+			}
+		}
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, i)
+		}
+	}
+	return out, nil
+}
+
+func (a *Atom) enabledScan(s State, port string) ([]int, error) {
+	var out []int
+	for i, t := range a.Transitions {
+		if t.From != s.Loc || t.Port != port {
+			continue
+		}
+		ok, err := expr.EvalBool(t.Guard, s.Vars)
 		if err != nil {
 			return nil, fmt.Errorf("atom %s: %w", a.Name, err)
 		}
@@ -224,13 +379,82 @@ func (a *Atom) Exec(s State, i int) (State, error) {
 	if t.From != s.Loc {
 		return State{}, fmt.Errorf("atom %s: transition %d starts at %q, state is at %q", a.Name, i, t.From, s.Loc)
 	}
-	next := State{Loc: t.To, Vars: s.Vars.Clone()}
-	if t.Action != nil {
-		if err := t.Action.Exec(next.Vars); err != nil {
-			return State{}, fmt.Errorf("atom %s: %w", a.Name, err)
+	if t.Action == nil {
+		return State{Loc: t.To, Vars: s.Vars.Clone()}, nil
+	}
+	// Compiled path: run the action over a flat frame and materialize the
+	// successor map from it, skipping the per-iteration map operations of
+	// the interpreter entirely.
+	if ca := a.compiledAction(i); ca != nil {
+		if vals, ok := a.frameOf(s.Vars); ok {
+			if err := ca(vals); err != nil {
+				return State{}, fmt.Errorf("atom %s: %w", a.Name, err)
+			}
+			vars := make(expr.MapEnv, len(vals))
+			for j, vd := range a.Vars {
+				vars[vd.Name] = vals[j]
+			}
+			return State{Loc: t.To, Vars: vars}, nil
 		}
 	}
+	next := State{Loc: t.To, Vars: s.Vars.Clone()}
+	if err := t.Action.Exec(next.Vars); err != nil {
+		return State{}, fmt.Errorf("atom %s: %w", a.Name, err)
+	}
 	return next, nil
+}
+
+// ExecInPlace fires transition index i from state s, mutating s.Vars in
+// place, and returns the successor location. The caller must own s.Vars
+// exclusively; on error the variable store may be partially updated, so
+// the state must be discarded. It exists so that single-owner hot loops
+// (the engines' step contexts) avoid cloning the variable store on every
+// step.
+func (a *Atom) ExecInPlace(s State, i int) (string, error) {
+	if i < 0 || i >= len(a.Transitions) {
+		return "", fmt.Errorf("atom %s: transition index %d out of range", a.Name, i)
+	}
+	t := a.Transitions[i]
+	if t.From != s.Loc {
+		return "", fmt.Errorf("atom %s: transition %d starts at %q, state is at %q", a.Name, i, t.From, s.Loc)
+	}
+	if t.Action == nil {
+		return t.To, nil
+	}
+	if ca := a.compiledAction(i); ca != nil {
+		if vals, ok := a.frameOf(s.Vars); ok {
+			if err := ca(vals); err != nil {
+				return "", fmt.Errorf("atom %s: %w", a.Name, err)
+			}
+			for j, vd := range a.Vars {
+				s.Vars[vd.Name] = vals[j]
+			}
+			return t.To, nil
+		}
+	}
+	if err := t.Action.Exec(s.Vars); err != nil {
+		return "", fmt.Errorf("atom %s: %w", a.Name, err)
+	}
+	return t.To, nil
+}
+
+// AppendStateKey appends a canonical encoding of s to buf and returns the
+// extended buffer. Unlike State.Key it uses the atom's declared variable
+// order, so it needs no sorting and no intermediate strings; two states
+// of the same atom get equal encodings iff they are Equal. The location
+// is length-prefixed so that separator bytes inside location names cannot
+// make distinct states collide; variable values render as digits or
+// true/false and need no escaping. It is the building block of
+// System-level state keys during exploration.
+func (a *Atom) AppendStateKey(buf []byte, s State) []byte {
+	buf = strconv.AppendInt(buf, int64(len(s.Loc)), 10)
+	buf = append(buf, ':')
+	buf = append(buf, s.Loc...)
+	for _, vd := range a.Vars {
+		buf = append(buf, '|')
+		buf = s.Vars[vd.Name].AppendText(buf)
+	}
+	return buf
 }
 
 // Rename returns a deep copy of the atom under a new name. Ports,

@@ -52,6 +52,24 @@ func (st State) Key() string {
 	return b.String()
 }
 
+// AppendStateKey appends a canonical encoding of st to buf and returns
+// the extended buffer. It is equality-compatible with State.Key (two
+// states get equal encodings iff they are Equal) but encodes variables in
+// each atom's declaration order, so it needs no sorting and performs no
+// intermediate allocations; exploration uses it with a reused buffer.
+func (s *System) AppendStateKey(buf []byte, st State) []byte {
+	for i, a := range s.Atoms {
+		if i > 0 {
+			buf = append(buf, '#')
+		}
+		buf = a.AppendStateKey(buf, behavior.State{Loc: st.Locs[i], Vars: st.Vars[i]})
+	}
+	return buf
+}
+
+// StateKey returns the canonical encoding of st as a string.
+func (s *System) StateKey(st State) string { return string(s.AppendStateKey(nil, st)) }
+
 // Equal reports whether two states coincide.
 func (st State) Equal(o State) bool {
 	if len(st.Locs) != len(o.Locs) {
@@ -132,41 +150,55 @@ type Move struct {
 // Label returns the interaction name of the move.
 func (s *System) Label(m Move) string { return s.Interactions[m.Interaction].Name }
 
-// enabledOneInteraction collects the moves of interaction index ii at st.
-// Priorities are not applied here.
-func (s *System) enabledOneInteraction(st State, ii int) ([]Move, error) {
+// movesOfInteraction appends the moves of interaction index ii at st to
+// buf. Priorities are not applied here. This is the single-interaction
+// primitive both the from-scratch API and the incremental step context
+// build on.
+func (s *System) movesOfInteraction(st *State, ii int, buf []Move) ([]Move, error) {
 	in := s.Interactions[ii]
-	// Per-port enabled local transitions.
-	options := make([][]int, len(in.Ports))
+	pa := s.portAtoms[ii]
+	// Per-port enabled local transitions, on the stack for typical arities.
+	var optArr [8][]int
+	var options [][]int
+	if len(in.Ports) <= len(optArr) {
+		options = optArr[:len(in.Ports)]
+	} else {
+		options = make([][]int, len(in.Ports))
+	}
 	for pi, pr := range in.Ports {
-		ai := s.atomIdx[pr.Comp]
-		en, err := s.Atoms[ai].Enabled(st.Local(ai), pr.Port)
+		ai := pa[pi]
+		en, err := s.Atoms[ai].EnabledView(st.Local(ai), pr.Port)
 		if err != nil {
 			return nil, fmt.Errorf("interaction %q: %w", in.Name, err)
 		}
 		if len(en) == 0 {
-			return nil, nil
+			return buf, nil
 		}
 		options[pi] = en
 	}
 	// Interaction guard over exported variables.
 	if in.Guard != nil {
-		env := &qualEnv{sys: s, st: &st, restrict: s.exportedScope(in)}
+		env := &qualEnv{sys: s, st: st, restrict: s.scopes[ii]}
 		ok, err := expr.EvalBool(in.Guard, env)
 		if err != nil {
 			return nil, fmt.Errorf("interaction %q: %w", in.Name, err)
 		}
 		if !ok {
-			return nil, nil
+			return buf, nil
 		}
 	}
 	// Cartesian product of per-port choices.
-	var moves []Move
-	choice := make([]int, len(options))
+	var choiceArr [8]int
+	var choice []int
+	if len(options) <= len(choiceArr) {
+		choice = choiceArr[:len(options)]
+	} else {
+		choice = make([]int, len(options))
+	}
 	var rec func(int)
 	rec = func(pi int) {
 		if pi == len(options) {
-			moves = append(moves, Move{Interaction: ii, Choices: append([]int(nil), choice...)})
+			buf = append(buf, Move{Interaction: ii, Choices: append([]int(nil), choice...)})
 			return
 		}
 		for _, t := range options[pi] {
@@ -175,18 +207,18 @@ func (s *System) enabledOneInteraction(st State, ii int) ([]Move, error) {
 		}
 	}
 	rec(0)
-	return moves, nil
+	return buf, nil
 }
 
 // EnabledRaw returns every enabled move at st, before priority filtering.
 func (s *System) EnabledRaw(st State) ([]Move, error) {
 	var out []Move
+	var err error
 	for ii := range s.Interactions {
-		ms, err := s.enabledOneInteraction(st, ii)
+		out, err = s.movesOfInteraction(&st, ii, out)
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, ms...)
 	}
 	return out, nil
 }
@@ -195,42 +227,18 @@ func (s *System) EnabledRaw(st State) ([]Move, error) {
 // maximal with respect to the priority rules (a move is suppressed when a
 // rule Low < High applies, High is enabled at st, and the rule's condition
 // holds). This is the BIP glue semantics: interactions restricted by
-// priorities.
+// priorities. It shares the priority filter with the incremental paths
+// (enabledFromTable), so the reference and incremental semantics cannot
+// drift apart.
 func (s *System) Enabled(st State) ([]Move, error) {
-	raw, err := s.EnabledRaw(st)
+	if len(s.Priorities) == 0 {
+		return s.EnabledRaw(st)
+	}
+	vec, err := s.EnabledVector(st)
 	if err != nil {
 		return nil, err
 	}
-	if len(s.Priorities) == 0 || len(raw) == 0 {
-		return raw, nil
-	}
-	enabledInter := make(map[int]bool, len(raw))
-	for _, m := range raw {
-		enabledInter[m.Interaction] = true
-	}
-	env := &qualEnv{sys: s, st: &st}
-	out := raw[:0]
-	for _, m := range raw {
-		dominated := false
-		for _, rp := range s.higher[m.Interaction] {
-			if !enabledInter[rp.high] {
-				continue
-			}
-			ok, err := expr.EvalBool(rp.when, env)
-			if err != nil {
-				return nil, fmt.Errorf("priority %s < %s: %w",
-					s.Interactions[m.Interaction].Name, s.Interactions[rp.high].Name, err)
-			}
-			if ok {
-				dominated = true
-				break
-			}
-		}
-		if !dominated {
-			out = append(out, m)
-		}
-	}
-	return append([]Move(nil), out...), nil
+	return s.enabledFromTable(vec, &st, make([]bool, len(s.Interactions)), nil)
 }
 
 // Exec fires move m from st and returns the successor state. Execution
@@ -249,31 +257,113 @@ func (s *System) Exec(st State, m Move) (State, error) {
 	// Copy-on-write: only the participants' variable stores can change,
 	// so non-participant maps are shared with the predecessor state.
 	// States are treated as immutable once produced (exploration and
-	// engines never write into a state they did not just create).
+	// engines never write into a state they did not just create). The
+	// participants' stores are cloned exactly once; both the interaction's
+	// data transfer and the local transition actions then run in place on
+	// the clones.
+	pa := s.portAtoms[m.Interaction]
 	next := State{
 		Locs: append([]string(nil), st.Locs...),
 		Vars: append([]expr.MapEnv(nil), st.Vars...),
 	}
-	for _, pr := range in.Ports {
-		ai := s.atomIdx[pr.Comp]
+	for _, ai := range pa {
 		next.Vars[ai] = st.Vars[ai].Clone()
 	}
-	if in.Action != nil {
-		env := &qualEnv{sys: s, st: &next, restrict: s.exportedScope(in)}
-		if err := in.Action.Exec(env); err != nil {
-			return State{}, fmt.Errorf("interaction %q: %w", in.Name, err)
-		}
-	}
-	for pi, pr := range in.Ports {
-		ai := s.atomIdx[pr.Comp]
-		local, err := s.Atoms[ai].Exec(next.Local(ai), m.Choices[pi])
-		if err != nil {
-			return State{}, fmt.Errorf("interaction %q: %w", in.Name, err)
-		}
-		next.Locs[ai] = local.Loc
-		next.Vars[ai] = local.Vars
+	if err := s.execInto(&next, m); err != nil {
+		return State{}, err
 	}
 	return next, nil
+}
+
+// execInto fires m on next, whose participant variable stores must be
+// exclusively owned by the caller. On error next is partially updated and
+// must be discarded.
+func (s *System) execInto(next *State, m Move) error {
+	in := s.Interactions[m.Interaction]
+	pa := s.portAtoms[m.Interaction]
+	if in.Action != nil {
+		env := &qualEnv{sys: s, st: next, restrict: s.scopes[m.Interaction]}
+		if err := in.Action.Exec(env); err != nil {
+			return fmt.Errorf("interaction %q: %w", in.Name, err)
+		}
+	}
+	for pi, ai := range pa {
+		loc, err := s.Atoms[ai].ExecInPlace(next.Local(ai), m.Choices[pi])
+		if err != nil {
+			return fmt.Errorf("interaction %q: %w", in.Name, err)
+		}
+		next.Locs[ai] = loc
+	}
+	return nil
+}
+
+// ScratchExec executes moves into reusable buffers, so that exploration
+// can compute a successor's key — and discard already-visited successors
+// — without allocating anything. Only genuinely new states are
+// materialized. Not safe for concurrent use.
+type ScratchExec struct {
+	sys  *System
+	st   State
+	maps []expr.MapEnv // reusable per-atom variable stores
+}
+
+// NewScratchExec returns a scratch executor for s.
+func (s *System) NewScratchExec() *ScratchExec {
+	maps := make([]expr.MapEnv, len(s.Atoms))
+	for i, a := range s.Atoms {
+		if len(a.Vars) > 0 {
+			maps[i] = make(expr.MapEnv, len(a.Vars))
+		}
+	}
+	return &ScratchExec{sys: s, maps: maps}
+}
+
+// Exec fires m from st into the scratch buffers and returns a read-only
+// view of the successor, valid until the next Exec. The input state is
+// not mutated. Use Materialize to turn the view into a retained state.
+func (x *ScratchExec) Exec(st State, m Move) (*State, error) {
+	s := x.sys
+	if m.Interaction < 0 || m.Interaction >= len(s.Interactions) {
+		return nil, fmt.Errorf("system %s: move references interaction %d out of range", s.Name, m.Interaction)
+	}
+	if len(m.Choices) != len(s.Interactions[m.Interaction].Ports) {
+		return nil, fmt.Errorf("system %s: move for %q has %d choices, want %d",
+			s.Name, s.Interactions[m.Interaction].Name, len(m.Choices), len(s.Interactions[m.Interaction].Ports))
+	}
+	x.st.Locs = append(x.st.Locs[:0], st.Locs...)
+	x.st.Vars = append(x.st.Vars[:0], st.Vars...)
+	for _, ai := range s.portAtoms[m.Interaction] {
+		dst := x.maps[ai]
+		if dst == nil {
+			continue // atom without variables: nothing can be written
+		}
+		clear(dst)
+		for k, v := range st.Vars[ai] {
+			dst[k] = v
+		}
+		x.st.Vars[ai] = dst
+	}
+	if err := s.execInto(&x.st, m); err != nil {
+		return nil, err
+	}
+	return &x.st, nil
+}
+
+// Materialize returns a retained copy of the last executed successor.
+// Participant variable stores are cloned out of the scratch buffers;
+// everything else is shared with the predecessor, matching System.Exec's
+// copy-on-write discipline.
+func (x *ScratchExec) Materialize(m Move) State {
+	out := State{
+		Locs: append([]string(nil), x.st.Locs...),
+		Vars: append([]expr.MapEnv(nil), x.st.Vars...),
+	}
+	for _, ai := range x.sys.portAtoms[m.Interaction] {
+		if x.maps[ai] != nil {
+			out.Vars[ai] = x.maps[ai].Clone()
+		}
+	}
+	return out
 }
 
 // CheckInvariants evaluates every atom-level invariant at st and returns

@@ -106,13 +106,41 @@ type System struct {
 	interIdx map[string]int
 	// higher[i] lists, for interaction index i, the priority rules whose
 	// Low is i (pre-resolved for the semantics hot path).
-	higher [][]resolvedPriority
+	higher [][]PriorityRule
+
+	// portAtoms[i][p] is the atom index of interaction i's p-th port,
+	// pre-resolved so the semantics never hashes component names.
+	portAtoms [][]int
+	// incident[a] lists the interactions with a port on atom a, in
+	// declaration order. Firing an interaction only changes the local
+	// states of its participants, so after a step only the interactions
+	// incident to those atoms can change enabledness — this index is what
+	// makes incremental move enumeration (Stepper, lts exploration) cheap.
+	incident [][]int
+	// scopes[i] is interaction i's exported variable scope, precomputed so
+	// guard/action evaluation does not rebuild it per state.
+	scopes []map[string]bool
 }
 
-type resolvedPriority struct {
-	high int
-	when expr.Expr
+// PriorityRule is a pre-resolved priority edge: the owning (low)
+// interaction is suppressed while interaction High is enabled and When
+// holds (nil = always).
+type PriorityRule struct {
+	High int
+	When expr.Expr
 }
+
+// PortAtoms returns the atom index of each port of interaction ii,
+// pre-resolved at Validate time. Read-only.
+func (s *System) PortAtoms(ii int) []int { return s.portAtoms[ii] }
+
+// IncidentTo returns the indices of the interactions with a port on atom
+// ai, in declaration order. Read-only.
+func (s *System) IncidentTo(ai int) []int { return s.incident[ai] }
+
+// Scope returns interaction ii's exported variable scope ("comp.var"
+// names its guard and action may access). Read-only.
+func (s *System) Scope(ii int) map[string]bool { return s.scopes[ii] }
 
 // Validate checks cross-references and builds lookup indices. Builders
 // call it automatically; hand-assembled systems must call it before use.
@@ -143,7 +171,20 @@ func (s *System) Validate() error {
 		}
 		s.interIdx[in.Name] = i
 	}
-	s.higher = make([][]resolvedPriority, len(s.Interactions))
+	// Resolve the structural indices the semantics hot paths rely on.
+	s.portAtoms = make([][]int, len(s.Interactions))
+	s.incident = make([][]int, len(s.Atoms))
+	s.scopes = make([]map[string]bool, len(s.Interactions))
+	for i, in := range s.Interactions {
+		pa := make([]int, len(in.Ports))
+		for pi, pr := range in.Ports {
+			pa[pi] = s.atomIdx[pr.Comp]
+			s.incident[pa[pi]] = append(s.incident[pa[pi]], i)
+		}
+		s.portAtoms[i] = pa
+		s.scopes[i] = s.exportedScope(in)
+	}
+	s.higher = make([][]PriorityRule, len(s.Interactions))
 	for _, p := range s.Priorities {
 		lo, ok := s.interIdx[p.Low]
 		if !ok {
@@ -161,7 +202,7 @@ func (s *System) Validate() error {
 				return fmt.Errorf("system %s: priority %s: %w", s.Name, p, err)
 			}
 		}
-		s.higher[lo] = append(s.higher[lo], resolvedPriority{high: hi, when: p.When})
+		s.higher[lo] = append(s.higher[lo], PriorityRule{High: hi, When: p.When})
 	}
 	return nil
 }
@@ -266,6 +307,15 @@ func (s *System) InteractionNames() []string {
 // helper produces the closure explicitly so that the model text stays
 // small.
 func (s *System) ClosePriorities() error {
+	// The closure resolves interaction names through the lookup index, so
+	// the system must have been validated first — a hand-assembled system
+	// that skipped Validate would otherwise silently resolve every name to
+	// index 0 and fabricate bogus edges.
+	if s.interIdx == nil {
+		if err := s.Validate(); err != nil {
+			return fmt.Errorf("system %s: ClosePriorities before Validate: %w", s.Name, err)
+		}
+	}
 	// Collect the unconditional edges.
 	type edge struct{ lo, hi int }
 	have := make(map[edge]bool)
@@ -274,7 +324,15 @@ func (s *System) ClosePriorities() error {
 		if p.When != nil {
 			continue
 		}
-		e := edge{s.interIdx[p.Low], s.interIdx[p.High]}
+		lo, ok := s.interIdx[p.Low]
+		if !ok {
+			return fmt.Errorf("system %s: priority references unknown interaction %q", s.Name, p.Low)
+		}
+		hi, ok := s.interIdx[p.High]
+		if !ok {
+			return fmt.Errorf("system %s: priority references unknown interaction %q", s.Name, p.High)
+		}
+		e := edge{lo, hi}
 		have[e] = true
 		uncond = append(uncond, e)
 	}

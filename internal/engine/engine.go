@@ -73,7 +73,11 @@ type Result struct {
 var ErrInvariantViolated = errors.New("invariant violated")
 
 // Run executes sys with the single-threaded engine until deadlock or the
-// step bound.
+// step bound. The run is driven by an incremental step context
+// (core.Stepper): after each fired move only the interactions incident to
+// its participants are re-examined, and the state advances in place
+// instead of being cloned per step. States handed to Scheduler.Pick are
+// live views and must not be retained; OnStep receives a stable snapshot.
 func Run(sys *core.System, opts Options) (*Result, error) {
 	maxSteps := opts.MaxSteps
 	if maxSteps <= 0 {
@@ -83,10 +87,10 @@ func Run(sys *core.System, opts Options) (*Result, error) {
 	if sched == nil {
 		sched = FirstScheduler{}
 	}
-	st := sys.Initial()
+	sp := sys.NewStepper()
 	res := &Result{}
 	for res.Steps < maxSteps {
-		moves, err := sys.Enabled(st)
+		moves, err := sp.Enabled()
 		if err != nil {
 			return nil, fmt.Errorf("engine: step %d: %w", res.Steps, err)
 		}
@@ -94,13 +98,12 @@ func Run(sys *core.System, opts Options) (*Result, error) {
 			res.Deadlocked = true
 			break
 		}
-		m := moves[sched.Pick(sys, st, moves)]
-		st, err = sys.Exec(st, m)
-		if err != nil {
+		m := moves[sched.Pick(sys, sp.State(), moves)]
+		if err := sp.Exec(m); err != nil {
 			return nil, fmt.Errorf("engine: step %d: %w", res.Steps, err)
 		}
 		if opts.CheckInvariants {
-			if err := sys.CheckInvariants(st); err != nil {
+			if err := sys.CheckInvariants(sp.State()); err != nil {
 				return nil, fmt.Errorf("engine: step %d: %w: %v", res.Steps, ErrInvariantViolated, err)
 			}
 		}
@@ -108,10 +111,10 @@ func Run(sys *core.System, opts Options) (*Result, error) {
 		res.Labels = append(res.Labels, label)
 		res.Steps++
 		if opts.OnStep != nil {
-			opts.OnStep(res.Steps, label, st)
+			opts.OnStep(res.Steps, label, sp.State().Clone())
 		}
 	}
-	res.Final = st
+	res.Final = sp.State()
 	return res, nil
 }
 
@@ -120,9 +123,9 @@ func Run(sys *core.System, opts Options) (*Result, error) {
 // to validate that the multi-threaded engine's committed order is a legal
 // interleaving (its correctness witness).
 func Replay(sys *core.System, movesSeq []core.Move) (core.State, error) {
-	st := sys.Initial()
+	sp := sys.NewStepper()
 	for i, m := range movesSeq {
-		enabled, err := sys.EnabledRaw(st)
+		enabled, err := sp.EnabledRaw()
 		if err != nil {
 			return core.State{}, fmt.Errorf("replay step %d: %w", i, err)
 		}
@@ -136,12 +139,11 @@ func Replay(sys *core.System, movesSeq []core.Move) (core.State, error) {
 		if !found {
 			return core.State{}, fmt.Errorf("replay step %d: move %s was not enabled", i, sys.Label(m))
 		}
-		st, err = sys.Exec(st, m)
-		if err != nil {
+		if err := sp.Exec(m); err != nil {
 			return core.State{}, fmt.Errorf("replay step %d: %w", i, err)
 		}
 	}
-	return st, nil
+	return sp.State(), nil
 }
 
 func equalChoices(a, b []int) bool {

@@ -27,7 +27,10 @@ type MTResult struct {
 }
 
 // offer is what a component goroutine reports to the engine: its enabled
-// transitions per port and a snapshot of its variables.
+// transitions per port and its variable values. The maps are owned by the
+// component; the engine reads them only between receiving the offer and
+// sending the matching command (the channel operations order those
+// accesses, so no copy is needed).
 type offer struct {
 	comp    int
 	enabled map[string][]int
@@ -71,7 +74,7 @@ func RunMT(sys *core.System, opts MTOptions) (*MTResult, error) {
 			}
 		}(i)
 	}
-	res, runErr := coordinate(sys, offers, cmds, maxSteps)
+	res, runErr := newCoordinator(sys).run(offers, cmds, maxSteps)
 	// Shut every component down and wait.
 	for i := 0; i < n; i++ {
 		cmds[i] <- command{stop: true}
@@ -99,13 +102,15 @@ func RunMT(sys *core.System, opts MTOptions) (*MTResult, error) {
 }
 
 // componentLoop is the body of one component goroutine: offer, await
-// command, execute, repeat.
+// command, execute, repeat. The component's variable store is mutated in
+// place: the engine has finished reading the offered map by the time the
+// command arrives (channel ordering), so no per-step cloning is needed.
 func componentLoop(atom *behavior.Atom, ci int, offers chan<- offer, cmds <-chan command) error {
 	st := atom.InitialState()
 	for {
 		en := make(map[string][]int, len(atom.Ports))
 		for _, p := range atom.Ports {
-			ts, err := atom.Enabled(st, p.Name)
+			ts, err := atom.EnabledView(st, p.Name)
 			if err != nil {
 				return fmt.Errorf("component %s: %w", atom.Name, err)
 			}
@@ -116,7 +121,7 @@ func componentLoop(atom *behavior.Atom, ci int, offers chan<- offer, cmds <-chan
 		// Offer current capabilities; the command may arrive before the
 		// offer is consumed (stop case), so watch both.
 		select {
-		case offers <- offer{comp: ci, enabled: en, vars: st.Vars.Clone()}:
+		case offers <- offer{comp: ci, enabled: en, vars: st.Vars}:
 		case c := <-cmds:
 			if c.stop {
 				return nil
@@ -136,20 +141,83 @@ func componentLoop(atom *behavior.Atom, ci int, offers chan<- offer, cmds <-chan
 				return fmt.Errorf("component %s: %w", atom.Name, err)
 			}
 		}
-		next, err := atom.Exec(st, c.trans)
+		loc, err := atom.ExecInPlace(st, c.trans)
 		if err != nil {
 			return fmt.Errorf("component %s: %w", atom.Name, err)
 		}
-		st = next
+		st.Loc = loc
 	}
 }
 
-// coordinate is the engine proper: it gathers offers, selects a maximal
-// set of non-conflicting enabled interactions, and commits them.
-func coordinate(sys *core.System, offers <-chan offer, cmds []chan command, maxSteps int) (*MTResult, error) {
+// coordinator is the engine proper plus its incremental evaluation
+// state. Only the interactions incident to components whose offers
+// changed since the last round are re-evaluated; the rest keep their
+// cached move sets. The qualified-name environment used by interaction
+// guards, data transfer and priority conditions is likewise maintained
+// incrementally as offers arrive.
+type coordinator struct {
+	sys     *core.System
+	current []*offer
+	ready   int
+
+	env       expr.MapEnv   // qualified offer snapshot, updated per offer
+	cache     [][]core.Move // cache[ii]: moves evaluable from current offers
+	dirty     []bool
+	moveBuf   []core.Move // scratch: assembled round moves
+	enabled   []bool      // scratch: per-interaction enabledness
+	choiceBuf []int       // scratch: cartesian-product cursor
+}
+
+func newCoordinator(sys *core.System) *coordinator {
+	ni := len(sys.Interactions)
+	c := &coordinator{
+		sys:     sys,
+		current: make([]*offer, len(sys.Atoms)),
+		env:     make(expr.MapEnv),
+		cache:   make([][]core.Move, ni),
+		dirty:   make([]bool, ni),
+		enabled: make([]bool, ni),
+	}
+	for ii := range c.dirty {
+		c.dirty[ii] = true
+	}
+	return c
+}
+
+// install records a fresh offer: the environment entries of the
+// component are updated and its incident interactions marked dirty.
+func (c *coordinator) install(o offer) {
+	if c.current[o.comp] == nil {
+		c.ready++
+	}
+	oc := o
+	c.current[o.comp] = &oc
+	name := c.sys.Atoms[o.comp].Name
+	for k, v := range o.vars {
+		c.env[name+"."+k] = v
+	}
+	for _, ii := range c.sys.IncidentTo(o.comp) {
+		c.dirty[ii] = true
+	}
+}
+
+// invalidate drops a component's offer after its transition was
+// commanded; its incident interactions can no longer be evaluated until
+// a new offer arrives (which will mark them dirty again).
+func (c *coordinator) invalidate(ci int) {
+	c.current[ci] = nil
+	c.ready--
+	for _, ii := range c.sys.IncidentTo(ci) {
+		c.dirty[ii] = true
+		c.cache[ii] = c.cache[ii][:0]
+	}
+}
+
+// run gathers offers, selects a maximal set of non-conflicting enabled
+// interactions, and commits them.
+func (c *coordinator) run(offers <-chan offer, cmds []chan command, maxSteps int) (*MTResult, error) {
+	sys := c.sys
 	n := len(sys.Atoms)
-	current := make([]*offer, n)
-	ready := 0
 	res := &MTResult{}
 
 	for res.Steps < maxSteps {
@@ -157,15 +225,10 @@ func coordinate(sys *core.System, offers <-chan offer, cmds []chan command, maxS
 		// engines can fire earlier; waiting for quiescence keeps
 		// priority evaluation faithful while still committing disjoint
 		// interactions concurrently.)
-		for ready < n {
-			o := <-offers
-			if current[o.comp] == nil {
-				ready++
-			}
-			oc := o
-			current[o.comp] = &oc
+		for c.ready < n {
+			c.install(<-offers)
 		}
-		moves, err := evaluable(sys, current)
+		moves, err := c.evaluable()
 		if err != nil {
 			return nil, err
 		}
@@ -179,8 +242,8 @@ func coordinate(sys *core.System, offers <-chan offer, cmds []chan command, maxS
 		var batch []core.Move
 		for _, m := range moves {
 			conflict := false
-			for _, pr := range sys.Interactions[m.Interaction].Ports {
-				if busy[sys.AtomIndex(pr.Comp)] {
+			for _, ai := range sys.PortAtoms(m.Interaction) {
+				if busy[ai] {
 					conflict = true
 					break
 				}
@@ -188,8 +251,8 @@ func coordinate(sys *core.System, offers <-chan offer, cmds []chan command, maxS
 			if conflict {
 				continue
 			}
-			for _, pr := range sys.Interactions[m.Interaction].Ports {
-				busy[sys.AtomIndex(pr.Comp)] = true
+			for _, ai := range sys.PortAtoms(m.Interaction) {
+				busy[ai] = true
 			}
 			batch = append(batch, m)
 			if res.Steps+len(batch) >= maxSteps {
@@ -197,15 +260,16 @@ func coordinate(sys *core.System, offers <-chan offer, cmds []chan command, maxS
 			}
 		}
 		for _, m := range batch {
-			if err := commit(sys, m, current, cmds); err != nil {
+			if err := c.commit(m, cmds); err != nil {
 				return nil, err
 			}
-			for _, pr := range sys.Interactions[m.Interaction].Ports {
-				ci := sys.AtomIndex(pr.Comp)
-				current[ci] = nil
-				ready--
+			for _, ai := range sys.PortAtoms(m.Interaction) {
+				c.invalidate(ai)
 			}
-			res.Moves = append(res.Moves, m)
+			res.Moves = append(res.Moves, core.Move{
+				Interaction: m.Interaction,
+				Choices:     append([]int(nil), m.Choices...),
+			})
 			res.Labels = append(res.Labels, sys.Label(m))
 			res.Steps++
 		}
@@ -214,16 +278,28 @@ func coordinate(sys *core.System, offers <-chan offer, cmds []chan command, maxS
 }
 
 // evaluable computes the moves enabled according to the current offers,
-// with priorities applied.
-func evaluable(sys *core.System, current []*offer) ([]core.Move, error) {
-	env := offerEnv(sys, current)
-	var moves []core.Move
-	enabledInter := make(map[int]bool)
+// with priorities applied. Only dirty interactions are re-derived.
+func (c *coordinator) evaluable() ([]core.Move, error) {
+	sys := c.sys
 	for ii, in := range sys.Interactions {
-		options := make([][]int, len(in.Ports))
+		if !c.dirty[ii] {
+			continue
+		}
+		c.dirty[ii] = false
+		c.cache[ii] = c.cache[ii][:0]
+		pa := sys.PortAtoms(ii)
+		// Resolve each port's option slice once (one map lookup per
+		// port), not once per cartesian-product node.
+		var optArr [8][]int
+		var options [][]int
+		if len(in.Ports) <= len(optArr) {
+			options = optArr[:len(in.Ports)]
+		} else {
+			options = make([][]int, len(in.Ports))
+		}
 		ok := true
 		for pi, pr := range in.Ports {
-			o := current[sys.AtomIndex(pr.Comp)]
+			o := c.current[pa[pi]]
 			if o == nil || len(o.enabled[pr.Port]) == 0 {
 				ok = false
 				break
@@ -234,7 +310,7 @@ func evaluable(sys *core.System, current []*offer) ([]core.Move, error) {
 			continue
 		}
 		if in.Guard != nil {
-			g, err := expr.EvalBool(in.Guard, env)
+			g, err := expr.EvalBool(in.Guard, c.env)
 			if err != nil {
 				return nil, fmt.Errorf("engine: interaction %q: %w", in.Name, err)
 			}
@@ -242,12 +318,17 @@ func evaluable(sys *core.System, current []*offer) ([]core.Move, error) {
 				continue
 			}
 		}
-		enabledInter[ii] = true
-		choice := make([]int, len(options))
+		// Cartesian product of per-port choices.
+		if cap(c.choiceBuf) < len(in.Ports) {
+			c.choiceBuf = make([]int, len(in.Ports))
+		}
+		choice := c.choiceBuf[:len(in.Ports)]
 		var rec func(int)
 		rec = func(pi int) {
-			if pi == len(options) {
-				moves = append(moves, core.Move{Interaction: ii, Choices: append([]int(nil), choice...)})
+			if pi == len(in.Ports) {
+				c.cache[ii] = append(c.cache[ii], core.Move{
+					Interaction: ii, Choices: append([]int(nil), choice...),
+				})
 				return
 			}
 			for _, t := range options[pi] {
@@ -257,69 +338,58 @@ func evaluable(sys *core.System, current []*offer) ([]core.Move, error) {
 		}
 		rec(0)
 	}
-	// Priority filtering over the evaluable set.
-	var out []core.Move
-	for _, m := range moves {
-		dominated := false
-		for _, p := range sys.Priorities {
-			if sys.InteractionIndex(p.Low) != m.Interaction || !enabledInter[sys.InteractionIndex(p.High)] {
-				continue
-			}
-			cond, err := expr.EvalBool(p.When, env)
-			if err != nil {
-				return nil, fmt.Errorf("engine: priority %s: %w", p, err)
-			}
-			if cond {
-				dominated = true
-				break
-			}
+	for ii := range c.cache {
+		c.enabled[ii] = len(c.cache[ii]) > 0
+	}
+	// Priority filtering over the evaluable set: the domination decision
+	// itself is core's single implementation (System.Dominated), here
+	// evaluated against the offer environment instead of a global state.
+	out := c.moveBuf[:0]
+	for ii, ms := range c.cache {
+		if len(ms) == 0 {
+			continue
+		}
+		dominated, err := sys.Dominated(ii, c.enabled, c.env)
+		if err != nil {
+			return nil, fmt.Errorf("engine: %w", err)
 		}
 		if !dominated {
-			out = append(out, m)
+			out = append(out, ms...)
 		}
 	}
+	c.moveBuf = out
 	return out, nil
 }
 
 // commit executes one interaction: data transfer on the offered
 // snapshots, then an execute command to each participant.
-func commit(sys *core.System, m core.Move, current []*offer, cmds []chan command) error {
+func (c *coordinator) commit(m core.Move, cmds []chan command) error {
+	sys := c.sys
 	in := sys.Interactions[m.Interaction]
-	env := offerEnv(sys, current)
 	if in.Action != nil {
-		if err := in.Action.Exec(env); err != nil {
+		if err := in.Action.Exec(c.env); err != nil {
 			return fmt.Errorf("engine: interaction %q: %w", in.Name, err)
 		}
 	}
+	pa := sys.PortAtoms(m.Interaction)
 	for pi, pr := range in.Ports {
-		ci := sys.AtomIndex(pr.Comp)
+		ci := pa[pi]
 		updates := make(expr.MapEnv)
 		prefix := pr.Comp + "."
-		for k, v := range env {
-			if len(k) > len(prefix) && k[:len(prefix)] == prefix {
-				old, _ := current[ci].vars.Get(k[len(prefix):])
-				if !old.Equal(v) {
-					updates[k[len(prefix):]] = v
-				}
+		for qual := range sys.Scope(m.Interaction) {
+			if len(qual) <= len(prefix) || qual[:len(prefix)] != prefix {
+				continue
+			}
+			local := qual[len(prefix):]
+			v, ok := c.env[qual]
+			if !ok {
+				continue
+			}
+			if old, _ := c.current[ci].vars.Get(local); !old.Equal(v) {
+				updates[local] = v
 			}
 		}
 		cmds[ci] <- command{trans: m.Choices[pi], updates: updates}
 	}
 	return nil
-}
-
-// offerEnv builds a qualified-name environment from the offered variable
-// snapshots.
-func offerEnv(sys *core.System, current []*offer) expr.MapEnv {
-	env := make(expr.MapEnv)
-	for ci, o := range current {
-		if o == nil {
-			continue
-		}
-		name := sys.Atoms[ci].Name
-		for k, v := range o.vars {
-			env[name+"."+k] = v
-		}
-	}
-	return env
 }

@@ -1,0 +1,131 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"bip/internal/behavior"
+	"bip/internal/core"
+	"bip/internal/expr"
+)
+
+// This file pins the multi-threaded engine's data-sharing discipline
+// under the race detector (`go test -race ./internal/engine`, run by CI
+// and `make race`). The coordinator deliberately shares component
+// variable stores and enabled-transition slices across goroutines,
+// relying on channel ordering instead of copies; these tests exercise
+// exactly those shared paths — conflicting interactions over a shared
+// component, interaction data transfer writing offered variables, and
+// many concurrent engine instances — so that any future change breaking
+// the happens-before argument fails loudly rather than corrupting runs.
+
+// conflictSystem builds n workers contending for one shared arbiter with
+// data transfer through the shared component — maximal offer traffic and
+// conflict pressure on the coordinator.
+func conflictSystem(t testing.TB, n int) *core.System {
+	t.Helper()
+	worker := behavior.NewBuilder("worker").
+		Location("idle", "busy").
+		Int("got", 0).
+		Port("acquire", "got").
+		Port("release").
+		Transition("idle", "acquire", "busy").
+		Transition("busy", "release", "idle").
+		MustBuild()
+	arbiter := behavior.NewBuilder("arbiter").
+		Location("free", "held").
+		Int("grants", 0).
+		Port("grant", "grants").
+		Port("back").
+		TransitionG("free", "grant", "held", nil,
+			expr.Set("grants", expr.Add(expr.V("grants"), expr.I(1)))).
+		Transition("held", "back", "free").
+		MustBuild()
+	b := core.NewSystem(fmt.Sprintf("conflict-%d", n)).Add(arbiter)
+	for i := 0; i < n; i++ {
+		w := fmt.Sprintf("w%d", i)
+		b.AddAs(w, worker)
+		b.ConnectGD(fmt.Sprintf("take%d", i), nil,
+			expr.Set(w+".got", expr.V("arbiter.grants")),
+			core.P(w, "acquire"), core.P("arbiter", "grant"))
+		b.Connect(fmt.Sprintf("give%d", i), core.P(w, "release"), core.P("arbiter", "back"))
+	}
+	// Ordered priorities stress the per-round filtering as well.
+	for i := 1; i < n; i++ {
+		b.Priority(fmt.Sprintf("take%d", i), fmt.Sprintf("take%d", i-1))
+	}
+	sys, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// TestRunMTSharedComponentRace drives the conflict-heavy system and
+// validates the committed order through Replay.
+func TestRunMTSharedComponentRace(t *testing.T) {
+	sys := conflictSystem(t, 6)
+	res, err := RunMT(sys, MTOptions{MaxSteps: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps == 0 {
+		t.Fatal("no steps committed")
+	}
+	if _, err := Replay(sys, res.Moves); err != nil {
+		t.Fatalf("committed order is not a legal interleaving: %v", err)
+	}
+}
+
+// TestRunMTConcurrentInstances runs many engine instances at once over
+// the same validated systems, sharing atoms' compiled code and indices
+// across engines — those must be read-only after Validate.
+func TestRunMTConcurrentInstances(t *testing.T) {
+	sys := conflictSystem(t, 4)
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := RunMT(sys, MTOptions{MaxSteps: 120})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if _, err := Replay(sys, res.Moves); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestRunMTAgainstSingleThreaded cross-checks the two engines on the
+// same model: every label the MT engine commits must be replayable, and
+// the single-threaded engine must make progress on the same system.
+func TestRunMTAgainstSingleThreaded(t *testing.T) {
+	sys := conflictSystem(t, 3)
+	st, err := Run(sys, Options{MaxSteps: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Steps != 200 || st.Deadlocked {
+		t.Fatalf("single-threaded run: steps=%d deadlocked=%v", st.Steps, st.Deadlocked)
+	}
+	mt, err := RunMT(sys, MTOptions{MaxSteps: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mt.Steps != 200 || mt.Deadlocked {
+		t.Fatalf("multi-threaded run: steps=%d deadlocked=%v", mt.Steps, mt.Deadlocked)
+	}
+	if _, err := Replay(sys, mt.Moves); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -87,6 +87,20 @@ func (v Value) String() string {
 	}
 }
 
+// AppendText appends the value's source-text rendering to buf and
+// returns the extended buffer. It matches String but avoids the
+// intermediate allocation; state-key construction is built on it.
+func (v Value) AppendText(buf []byte) []byte {
+	switch v.kind {
+	case KindInt:
+		return strconv.AppendInt(buf, v.i, 10)
+	case KindBool:
+		return strconv.AppendBool(buf, v.b)
+	default:
+		return append(buf, "<invalid>"...)
+	}
+}
+
 // Env is the variable store expressions evaluate against.
 type Env interface {
 	// Get returns the value bound to name, reporting whether it exists.

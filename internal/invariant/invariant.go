@@ -252,15 +252,24 @@ func verifyCluster(sys *core.System, opts Options) (*Result, error) {
 // buildAnalysis constructs the Petri-net abstraction.
 func buildAnalysis(sys *core.System) (*analysis, error) {
 	a := &analysis{sys: sys, placeIdx: make(map[PlaceRef]int)}
-	// Places and local reachability.
+	// Places and local reachability. Reachable locations are computed
+	// with a worklist over a source-location index: each transition is
+	// inspected once when its source first becomes reachable, instead of
+	// rescanning the whole transition list until a fixed point.
 	for _, atom := range sys.Atoms {
+		outgoing := make(map[string][]string, len(atom.Locations))
+		for _, t := range atom.Transitions {
+			outgoing[t.From] = append(outgoing[t.From], t.To)
+		}
 		reach := map[string]bool{atom.Initial: true}
-		for changed := true; changed; {
-			changed = false
-			for _, t := range atom.Transitions {
-				if reach[t.From] && !reach[t.To] {
-					reach[t.To] = true
-					changed = true
+		frontier := []string{atom.Initial}
+		for len(frontier) > 0 {
+			loc := frontier[len(frontier)-1]
+			frontier = frontier[:len(frontier)-1]
+			for _, to := range outgoing[loc] {
+				if !reach[to] {
+					reach[to] = true
+					frontier = append(frontier, to)
 				}
 			}
 		}

@@ -46,6 +46,13 @@ type Options struct {
 }
 
 // Explore builds the reachable LTS of sys by breadth-first search.
+//
+// Enabledness is computed incrementally: each frontier state carries a
+// per-interaction move table derived from its parent's table, so
+// expanding a state re-derives only the interactions incident to the
+// move that produced it (core.TableDeriver) instead of rescanning the
+// whole glue per state. Tables are dropped once a state is expanded —
+// the cache lives exactly on the BFS frontier.
 func Explore(sys *core.System, opts Options) (*LTS, error) {
 	maxStates := opts.MaxStates
 	if maxStates <= 0 {
@@ -56,35 +63,54 @@ func Explore(sys *core.System, opts Options) (*LTS, error) {
 		index: make(map[string]int),
 	}
 	init := sys.Initial()
-	l.push(init, -1, "")
+	l.push(sys.StateKey(init), init, -1, "")
+	initVec, err := sys.EnabledVector(init)
+	if err != nil {
+		return nil, fmt.Errorf("explore state 0: %w", err)
+	}
+	// tables[i] is the move table of state i while it waits on the
+	// frontier; entries are released as soon as the state is expanded.
+	tables := [][][]core.Move{initVec}
+	deriver := sys.NewTableDeriver()
+	scratch := sys.NewScratchExec()
+	var (
+		moveBuf []core.Move
+		keyBuf  []byte
+	)
 	for head := 0; head < len(l.states); head++ {
 		st := l.states[head]
-		var (
-			moves []core.Move
-			err   error
-		)
+		vec := tables[head]
+		tables[head] = nil
+		var moves []core.Move
 		if opts.Raw {
-			moves, err = sys.EnabledRaw(st)
+			moves = deriver.Raw(vec, moveBuf[:0])
 		} else {
-			moves, err = sys.Enabled(st)
+			moves, err = deriver.Enabled(vec, st, moveBuf[:0])
+			if err != nil {
+				return nil, fmt.Errorf("explore state %d: %w", head, err)
+			}
 		}
-		if err != nil {
-			return nil, fmt.Errorf("explore state %d: %w", head, err)
-		}
+		moveBuf = moves
 		for _, m := range moves {
-			next, err := sys.Exec(st, m)
+			view, err := scratch.Exec(st, m)
 			if err != nil {
 				return nil, fmt.Errorf("explore state %d: %w", head, err)
 			}
 			label := sys.Label(m)
-			key := next.Key()
-			to, seen := l.index[key]
+			keyBuf = sys.AppendStateKey(keyBuf[:0], *view)
+			to, seen := l.index[string(keyBuf)]
 			if !seen {
 				if len(l.states) >= maxStates {
 					l.truncated = true
 					continue
 				}
-				to = l.push(next, head, label)
+				next := scratch.Materialize(m)
+				to = l.push(string(keyBuf), next, head, label)
+				nextVec, err := deriver.Derive(vec, m, next)
+				if err != nil {
+					return nil, fmt.Errorf("explore state %d: %w", head, err)
+				}
+				tables = append(tables, nextVec)
 			}
 			l.edges[head] = append(l.edges[head], Edge{To: to, Label: label})
 		}
@@ -92,10 +118,10 @@ func Explore(sys *core.System, opts Options) (*LTS, error) {
 	return l, nil
 }
 
-func (l *LTS) push(st core.State, parent int, label string) int {
+func (l *LTS) push(key string, st core.State, parent int, label string) int {
 	id := len(l.states)
 	l.states = append(l.states, st)
-	l.index[st.Key()] = id
+	l.index[key] = id
 	l.edges = append(l.edges, nil)
 	l.parent = append(l.parent, parent)
 	l.parentLabel = append(l.parentLabel, label)
