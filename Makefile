@@ -20,12 +20,14 @@ build:
 test:
 	$(GO) test ./...
 
-# race pins the engines' data-sharing discipline: the multi-threaded
-# coordinator deliberately shares offer maps and enabled-transition
-# slices across goroutines (see internal/engine/race_test.go), so these
-# packages must stay clean under the race detector.
+# race pins the concurrent subsystems' data-sharing discipline: the
+# multi-threaded coordinator and the distributed protocol deliberately
+# share offer maps across goroutines/rounds (internal/engine/race_test.go,
+# internal/distributed/nodes_share_test.go), and the parallel explorer
+# shares copy-on-write states and derived move tables across workers
+# (internal/lts/parallel_test.go), so ./... must stay clean under the
+# race detector.
 race:
-	$(GO) test -race ./internal/engine ./internal/distributed ./internal/bench
 	$(GO) test -race ./...
 
 # bench prints one line per paper experiment (E1–E14); full tables via

@@ -5,9 +5,13 @@
 package repro_test
 
 import (
+	"fmt"
 	"testing"
 
 	"bip/internal/bench"
+	"bip/internal/core"
+	"bip/internal/lts"
+	"bip/internal/models"
 )
 
 func run(b *testing.B, f func() (*bench.Table, error)) {
@@ -77,4 +81,49 @@ func BenchmarkE13Flattening(b *testing.B) {
 
 func BenchmarkE14Elevator(b *testing.B) {
 	run(b, bench.E14Elevator)
+}
+
+// BenchmarkExplore measures state-space exploration with a worker-count
+// dimension, on the workloads of experiment E15 (bench.E15ExploreScaling):
+// the E1-class philosopher rings (pure control, 7^5 = 16807 states) and
+// the E8-class pair grid (data-carrying, 8^5 = 32768 states). workers=1
+// is the sequential explorer; higher counts run the sharded parallel
+// explorer, which produces the identical LTS (checked here on every
+// run). Reference timings at 1/2/4/8 workers are in EXPERIMENTS.md.
+func BenchmarkExplore(b *testing.B) {
+	rings, err := models.PhilosopherRings(5, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctl, err := models.ControlOnly(rings)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pairs, err := bench.PairsGrid(5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cases := []struct {
+		name       string
+		sys        *core.System
+		wantStates int
+	}{
+		{"rings-5x4", ctl, 16807},
+		{"pairs-5x8", pairs, 32768},
+	}
+	for _, c := range cases {
+		for _, w := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/workers=%d", c.name, w), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					l, err := lts.Explore(c.sys, lts.Options{Workers: w})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if l.NumStates() != c.wantStates {
+						b.Fatalf("explored %d states, want %d", l.NumStates(), c.wantStates)
+					}
+				}
+			})
+		}
+	}
 }

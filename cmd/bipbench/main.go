@@ -1,6 +1,6 @@
 // Command bipbench regenerates the paper-reproduction experiments
-// (E1–E14 of DESIGN.md) and prints their tables; EXPERIMENTS.md records
-// a reference run.
+// (E1–E14 of DESIGN.md, plus the E15 parallel-exploration scaling
+// table) and prints them; EXPERIMENTS.md records a reference run.
 //
 // Usage:
 //
@@ -19,7 +19,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("e", "all", "experiment id (e1..e14) or all")
+	exp := flag.String("e", "all", "experiment id (e1..e15) or all")
 	quick := flag.Bool("quick", false, "reduced problem sizes")
 	flag.Parse()
 	if err := run(*exp, *quick); err != nil {
@@ -39,6 +39,7 @@ func run(exp string, quick bool) error {
 	crpSizes := []int{3, 5, 8}
 	crpCommits := 200
 	depths := []int{1, 2, 3, 4}
+	exploreWorkers := []int{1, 2, 4, 8}
 	if quick {
 		rings = 4
 		enginePairs = []int{1, 2}
@@ -46,6 +47,7 @@ func run(exp string, quick bool) error {
 		crpSizes = []int{3, 4}
 		crpCommits = 50
 		depths = []int{1, 2}
+		exploreWorkers = []int{1, 4}
 	}
 	drivers := []driver{
 		{"e1", func() (*bench.Table, error) { return bench.E1DFinderVsMonolithic(rings) }},
@@ -62,6 +64,7 @@ func run(exp string, quick bool) error {
 		{"e12", func() (*bench.Table, error) { return bench.E12Incremental(7) }},
 		{"e13", func() (*bench.Table, error) { return bench.E13Flattening(depths) }},
 		{"e14", bench.E14Elevator},
+		{"e15", func() (*bench.Table, error) { return bench.E15ExploreScaling(exploreWorkers) }},
 	}
 	want := strings.ToLower(exp)
 	found := false
@@ -77,7 +80,7 @@ func run(exp string, quick bool) error {
 		fmt.Println(t.String())
 	}
 	if !found {
-		return fmt.Errorf("unknown experiment %q (want e1..e14 or all)", exp)
+		return fmt.Errorf("unknown experiment %q (want e1..e15 or all)", exp)
 	}
 	return nil
 }

@@ -23,18 +23,19 @@ func main() {
 	verify := flag.Bool("verify", false, "run compositional verification")
 	explore := flag.Bool("explore", false, "run explicit-state exploration")
 	maxStates := flag.Int("max-states", 1<<20, "exploration bound")
+	workers := flag.Int("workers", 1, "exploration workers (<0 = GOMAXPROCS)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: bipc [-verify] [-explore] file.bip")
+		fmt.Fprintln(os.Stderr, "usage: bipc [-verify] [-explore] [-workers n] file.bip")
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *verify, *explore, *maxStates); err != nil {
+	if err := run(flag.Arg(0), *verify, *explore, *maxStates, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "bipc:", err)
 		os.Exit(1)
 	}
 }
 
-func run(path string, verify, explore bool, maxStates int) error {
+func run(path string, verify, explore bool, maxStates, workers int) error {
 	src, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -62,7 +63,7 @@ func run(path string, verify, explore bool, maxStates int) error {
 		fmt.Println(invariant.FormatResult(res))
 	}
 	if explore {
-		l, err := lts.Explore(sys, lts.Options{MaxStates: maxStates})
+		l, err := lts.Explore(sys, lts.Options{MaxStates: maxStates, Workers: workers})
 		if err != nil {
 			return err
 		}

@@ -28,8 +28,9 @@ func main() {
 	m := flag.Int("m", 2, "second size parameter (gas station customers)")
 	mono := flag.Bool("mono", false, "also run the monolithic explicit-state checker")
 	traps := flag.Int("traps", 0, "max interaction invariants (0 = auto)")
+	workers := flag.Int("workers", 1, "monolithic exploration workers (<0 = GOMAXPROCS)")
 	flag.Parse()
-	if err := run(*model, *n, *m, *mono, *traps); err != nil {
+	if err := run(*model, *n, *m, *mono, *traps, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "dfinder:", err)
 		os.Exit(1)
 	}
@@ -54,7 +55,7 @@ func buildModel(model string, n, m int) (*core.System, error) {
 	}
 }
 
-func run(model string, n, m int, mono bool, maxTraps int) error {
+func run(model string, n, m int, mono bool, maxTraps, workers int) error {
 	sys, err := buildModel(model, n, m)
 	if err != nil {
 		return err
@@ -77,7 +78,7 @@ func run(model string, n, m int, mono bool, maxTraps int) error {
 		return err
 	}
 	t1 := time.Now()
-	l, err := lts.Explore(ctl, lts.Options{})
+	l, err := lts.Explore(ctl, lts.Options{Workers: workers})
 	if err != nil {
 		return err
 	}

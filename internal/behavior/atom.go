@@ -67,8 +67,11 @@ type Atom struct {
 	Invariants []expr.Expr
 
 	portIdx map[string]int
-	locIdx  map[string]bool
-	varIdx  map[string]int
+	// locIdx interns location names: every declared location gets its
+	// index into Locations, which is what the fixed-width binary state
+	// keys encode instead of the location string.
+	locIdx map[string]int
+	varIdx map[string]int
 
 	// transOn indexes transitions by (source location, port) so that
 	// enabledness checks are a single lookup instead of a scan over every
@@ -102,17 +105,17 @@ func (a *Atom) Validate() error {
 	if len(a.Locations) == 0 {
 		return fmt.Errorf("atom %s: no locations", a.Name)
 	}
-	a.locIdx = make(map[string]bool, len(a.Locations))
-	for _, l := range a.Locations {
+	a.locIdx = make(map[string]int, len(a.Locations))
+	for i, l := range a.Locations {
 		if l == "" {
 			return fmt.Errorf("atom %s: empty location name", a.Name)
 		}
-		if a.locIdx[l] {
+		if _, dup := a.locIdx[l]; dup {
 			return fmt.Errorf("atom %s: duplicate location %q", a.Name, l)
 		}
-		a.locIdx[l] = true
+		a.locIdx[l] = i
 	}
-	if !a.locIdx[a.Initial] {
+	if !a.HasLocation(a.Initial) {
 		return fmt.Errorf("atom %s: initial location %q undeclared", a.Name, a.Initial)
 	}
 	a.varIdx = make(map[string]int, len(a.Vars))
@@ -144,10 +147,10 @@ func (a *Atom) Validate() error {
 		a.portIdx[p.Name] = i
 	}
 	for i, t := range a.Transitions {
-		if !a.locIdx[t.From] {
+		if !a.HasLocation(t.From) {
 			return fmt.Errorf("atom %s: transition %d: unknown source location %q", a.Name, i, t.From)
 		}
-		if !a.locIdx[t.To] {
+		if !a.HasLocation(t.To) {
 			return fmt.Errorf("atom %s: transition %d: unknown target location %q", a.Name, i, t.To)
 		}
 		if _, ok := a.portIdx[t.Port]; !ok {
@@ -267,7 +270,18 @@ func (a *Atom) PortByName(name string) (Port, bool) {
 }
 
 // HasLocation reports whether the atom declares the location.
-func (a *Atom) HasLocation(name string) bool { return a.locIdx[name] }
+func (a *Atom) HasLocation(name string) bool {
+	_, ok := a.locIdx[name]
+	return ok
+}
+
+// LocationIndex returns the interned index of the named location (its
+// position in Locations). It reports false for undeclared names or on an
+// atom that has not been validated.
+func (a *Atom) LocationIndex(name string) (int, bool) {
+	i, ok := a.locIdx[name]
+	return i, ok
+}
 
 // HasVar reports whether the atom declares the variable.
 func (a *Atom) HasVar(name string) bool {
@@ -453,6 +467,48 @@ func (a *Atom) AppendStateKey(buf []byte, s State) []byte {
 	for _, vd := range a.Vars {
 		buf = append(buf, '|')
 		buf = s.Vars[vd.Name].AppendText(buf)
+	}
+	return buf
+}
+
+// BinaryKeyWidth returns the size of the atom's fixed-width binary
+// state-key record: a 4-byte interned location index plus one
+// fixed-width value encoding per declared variable.
+func (a *Atom) BinaryKeyWidth() int {
+	return 4 + expr.BinaryWidth*len(a.Vars)
+}
+
+// AppendBinaryKey appends the fixed-width binary encoding of s — exactly
+// BinaryKeyWidth bytes — and returns the extended buffer. The location is
+// encoded as its interned index and variables follow in declaration
+// order, so two states of the same atom get equal records iff they are
+// Equal, with no separators and no per-state allocation. It is the
+// building block of the exploration seen-set's arena-stored keys and
+// requires a validated atom; an undeclared location is a programming
+// error and panics (states produced by the semantics only ever sit on
+// declared locations).
+func (a *Atom) AppendBinaryKey(buf []byte, s State) []byte {
+	// Small location lists resolve by linear scan: states carry the very
+	// string objects declared on the atom, so the == below is almost
+	// always a pointer comparison — cheaper than hashing the name, and
+	// this lookup runs once per atom per explored transition.
+	li, ok := -1, false
+	if len(a.Locations) <= 8 {
+		for i, l := range a.Locations {
+			if l == s.Loc {
+				li, ok = i, true
+				break
+			}
+		}
+	} else {
+		li, ok = a.locIdx[s.Loc]
+	}
+	if !ok {
+		panic(fmt.Sprintf("behavior: atom %s: binary key for undeclared location %q (atom not validated?)", a.Name, s.Loc))
+	}
+	buf = append(buf, byte(li), byte(li>>8), byte(li>>16), byte(li>>24))
+	for _, vd := range a.Vars {
+		buf = s.Vars[vd.Name].AppendBinary(buf)
 	}
 	return buf
 }

@@ -34,6 +34,26 @@ func workerAtom(work int) *behavior.Atom {
 		MustBuild()
 }
 
+// PairsGrid builds the E8-class exploration workload: `pairs`
+// independent synchronized worker pairs whose counters advance mod 8, so
+// the reachable space is the full 8^pairs grid with a wide BFS frontier
+// — the shape the sharded parallel explorer targets. Exported because
+// the root BenchmarkExplore drives the same system.
+func PairsGrid(pairs int) (*core.System, error) {
+	w := behavior.NewBuilder("w").Location("s").Int("x", 0).
+		Port("step", "x").
+		TransitionG("s", "step", "s", nil,
+			expr.Set("x", expr.Mod(expr.Add(expr.V("x"), expr.I(1)), expr.I(8)))).
+		MustBuild()
+	sb := core.NewSystem("pairs-grid-" + strconv.Itoa(pairs))
+	for i := 0; i < pairs; i++ {
+		l, r := "l"+strconv.Itoa(i), "r"+strconv.Itoa(i)
+		sb.AddAs(l, w).AddAs(r, w)
+		sb.Connect("sync"+strconv.Itoa(i), core.P(l, "step"), core.P(r, "step"))
+	}
+	return sb.Build()
+}
+
 // stabilityWitness is the Fig. 5.4-bottom instance shared by E6 and the
 // refine package tests: a is never enabled (C1's part is unreachable),
 // b loops forever.

@@ -1,0 +1,28 @@
+package core
+
+// ExploreCtx bundles the per-worker mutable machinery of state-space
+// exploration: a table deriver, a scratch executor, and reusable move
+// and key buffers. A single ExploreCtx is not safe for concurrent use,
+// but distinct instances over the same System are: a validated System is
+// read-only (Validate precomputes every index, scope, compiled closure
+// and scratch-sizing, and nothing in the semantics writes to it
+// afterwards), so the parallel explorer hands each worker its own
+// ExploreCtx and shares the System itself.
+type ExploreCtx struct {
+	Deriver *TableDeriver
+	Scratch *ScratchExec
+	// Moves is the reusable buffer for per-state enabled-move lists.
+	Moves []Move
+	// Key is the reusable buffer for fixed-width binary state keys.
+	Key []byte
+}
+
+// NewExploreCtx returns a fresh exploration context for s. The system
+// must have been validated.
+func (s *System) NewExploreCtx() *ExploreCtx {
+	return &ExploreCtx{
+		Deriver: s.NewTableDeriver(),
+		Scratch: s.NewScratchExec(),
+		Key:     make([]byte, 0, s.BinaryKeyWidth()),
+	}
+}

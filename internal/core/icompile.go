@@ -1,0 +1,110 @@
+package core
+
+import (
+	"sort"
+
+	"bip/internal/expr"
+)
+
+// This file compiles interaction-level guards and data-transfer actions
+// the same way transition guards/actions are compiled in behavior: once,
+// at Validate time, against a per-interaction qualified-variable slot
+// layout. The hot paths (movesOfInteraction, execInto) then fill a flat
+// frame with one map read per exported variable and run a closure,
+// instead of splitting "comp.var" strings and resolving component
+// indices on every single access through qualEnv. The qualEnv
+// interpreter remains the reference semantics and the fallback for
+// anything the compiler does not cover.
+
+// slotRef pre-resolves one frame slot of an interaction's layout to the
+// variable it mirrors: atom index plus local variable name.
+type slotRef struct {
+	atom int
+	name string
+}
+
+// interComp is the compiled form of one interaction: the slot layout
+// over its exported scope plus the compiled guard and action (nil when
+// absent or not compilable, in which case callers interpret).
+type interComp struct {
+	slots  []slotRef
+	guard  expr.CompiledBool
+	action expr.CompiledStmt
+}
+
+// compileInteractions builds s.icomp and s.maxISlots. Called at the end
+// of a successful Validate, so every scope name resolves; a compilation
+// failure only disables the fast path for that interaction.
+func (s *System) compileInteractions() {
+	s.icomp = make([]interComp, len(s.Interactions))
+	s.maxISlots = 0
+	for i, in := range s.Interactions {
+		names := make([]string, 0, len(s.scopes[i]))
+		for n := range s.scopes[i] {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		refs := make([]slotRef, len(names))
+		ok := true
+		for k, n := range names {
+			ai, v, err := s.splitQualified(n)
+			if err != nil {
+				ok = false
+				break
+			}
+			refs[k] = slotRef{atom: ai, name: v}
+		}
+		if !ok {
+			continue
+		}
+		ic := interComp{slots: refs}
+		if layout, err := expr.NewLayout(names); err == nil {
+			if in.Guard != nil {
+				if g, err := expr.CompileBool(in.Guard, layout); err == nil {
+					ic.guard = g
+				}
+			}
+			if in.Action != nil {
+				if c, err := expr.CompileStmt(in.Action, layout); err == nil {
+					ic.action = c
+				}
+			}
+		}
+		s.icomp[i] = ic
+		if len(names) > s.maxISlots {
+			s.maxISlots = len(names)
+		}
+	}
+}
+
+// newIFrame returns a scratch frame large enough for any interaction's
+// compiled guard or action, or nil when no interaction exports
+// variables. Frames are owned by step contexts (Stepper, TableDeriver,
+// ScratchExec) or allocated per call by the from-scratch API, never by
+// the System itself — that is what keeps a validated System read-only
+// and therefore safe to share across exploration workers.
+func (s *System) newIFrame() []expr.Value {
+	if s.maxISlots == 0 {
+		return nil
+	}
+	return make([]expr.Value, s.maxISlots)
+}
+
+// fillIFrame copies the interaction's exported variables from st into
+// frame, in slot order.
+func (ic *interComp) fillIFrame(frame []expr.Value, st *State) []expr.Value {
+	f := frame[:len(ic.slots)]
+	for k, ref := range ic.slots {
+		f[k] = st.Vars[ref.atom][ref.name]
+	}
+	return f
+}
+
+// storeIFrame writes the frame back into st. Every slot belongs to a
+// port-exported variable of a participant, so in all execution paths the
+// touched stores are exclusively owned by the caller.
+func (ic *interComp) storeIFrame(frame []expr.Value, st *State) {
+	for k, ref := range ic.slots {
+		st.Vars[ref.atom][ref.name] = frame[k]
+	}
+}

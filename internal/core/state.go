@@ -70,6 +70,24 @@ func (s *System) AppendStateKey(buf []byte, st State) []byte {
 // StateKey returns the canonical encoding of st as a string.
 func (s *System) StateKey(st State) string { return string(s.AppendStateKey(nil, st)) }
 
+// BinaryKeyWidth returns the size of the fixed-width binary state key.
+// Available after Validate.
+func (s *System) BinaryKeyWidth() int { return s.keyWidth }
+
+// AppendBinaryKey appends the fixed-width binary encoding of st —
+// exactly BinaryKeyWidth bytes — and returns the extended buffer. Each
+// atom contributes its interned-location record (behavior.AppendBinaryKey)
+// in atom order; fixed widths mean no separators are needed and the
+// encoding is equality-compatible with State.Equal. Exploration's
+// seen-sets store these records in flat per-shard arenas instead of one
+// Go string per state. The system must have been validated.
+func (s *System) AppendBinaryKey(buf []byte, st State) []byte {
+	for i, a := range s.Atoms {
+		buf = a.AppendBinaryKey(buf, behavior.State{Loc: st.Locs[i], Vars: st.Vars[i]})
+	}
+	return buf
+}
+
 // Equal reports whether two states coincide.
 func (st State) Equal(o State) bool {
 	if len(st.Locs) != len(o.Locs) {
@@ -153,8 +171,10 @@ func (s *System) Label(m Move) string { return s.Interactions[m.Interaction].Nam
 // movesOfInteraction appends the moves of interaction index ii at st to
 // buf. Priorities are not applied here. This is the single-interaction
 // primitive both the from-scratch API and the incremental step context
-// build on.
-func (s *System) movesOfInteraction(st *State, ii int, buf []Move) ([]Move, error) {
+// build on. frame is the caller's scratch for compiled guard evaluation
+// (sized by newIFrame); it may be nil only when no interaction exports
+// variables.
+func (s *System) movesOfInteraction(st *State, ii int, buf []Move, frame []expr.Value) ([]Move, error) {
 	in := s.Interactions[ii]
 	pa := s.portAtoms[ii]
 	// Per-port enabled local transitions, on the stack for typical arities.
@@ -176,10 +196,19 @@ func (s *System) movesOfInteraction(st *State, ii int, buf []Move) ([]Move, erro
 		}
 		options[pi] = en
 	}
-	// Interaction guard over exported variables.
+	// Interaction guard over exported variables: compiled against the
+	// interaction's slot layout when possible (one map read per slot, no
+	// per-access string splitting), interpreted through qualEnv otherwise.
 	if in.Guard != nil {
-		env := &qualEnv{sys: s, st: st, restrict: s.scopes[ii]}
-		ok, err := expr.EvalBool(in.Guard, env)
+		ic := &s.icomp[ii]
+		var ok bool
+		var err error
+		if ic.guard != nil {
+			ok, err = ic.guard(ic.fillIFrame(frame, st))
+		} else {
+			env := &qualEnv{sys: s, st: st, restrict: s.scopes[ii]}
+			ok, err = expr.EvalBool(in.Guard, env)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("interaction %q: %w", in.Name, err)
 		}
@@ -214,8 +243,9 @@ func (s *System) movesOfInteraction(st *State, ii int, buf []Move) ([]Move, erro
 func (s *System) EnabledRaw(st State) ([]Move, error) {
 	var out []Move
 	var err error
+	frame := s.newIFrame()
 	for ii := range s.Interactions {
-		out, err = s.movesOfInteraction(&st, ii, out)
+		out, err = s.movesOfInteraction(&st, ii, out, frame)
 		if err != nil {
 			return nil, err
 		}
@@ -269,7 +299,7 @@ func (s *System) Exec(st State, m Move) (State, error) {
 	for _, ai := range pa {
 		next.Vars[ai] = st.Vars[ai].Clone()
 	}
-	if err := s.execInto(&next, m); err != nil {
+	if err := s.execInto(&next, m, s.newIFrame()); err != nil {
 		return State{}, err
 	}
 	return next, nil
@@ -277,14 +307,23 @@ func (s *System) Exec(st State, m Move) (State, error) {
 
 // execInto fires m on next, whose participant variable stores must be
 // exclusively owned by the caller. On error next is partially updated and
-// must be discarded.
-func (s *System) execInto(next *State, m Move) error {
+// must be discarded. frame is the caller's scratch for the compiled data
+// transfer (see movesOfInteraction).
+func (s *System) execInto(next *State, m Move, frame []expr.Value) error {
 	in := s.Interactions[m.Interaction]
 	pa := s.portAtoms[m.Interaction]
 	if in.Action != nil {
-		env := &qualEnv{sys: s, st: next, restrict: s.scopes[m.Interaction]}
-		if err := in.Action.Exec(env); err != nil {
-			return fmt.Errorf("interaction %q: %w", in.Name, err)
+		if ic := &s.icomp[m.Interaction]; ic.action != nil {
+			f := ic.fillIFrame(frame, next)
+			if err := ic.action(f); err != nil {
+				return fmt.Errorf("interaction %q: %w", in.Name, err)
+			}
+			ic.storeIFrame(f, next)
+		} else {
+			env := &qualEnv{sys: s, st: next, restrict: s.scopes[m.Interaction]}
+			if err := in.Action.Exec(env); err != nil {
+				return fmt.Errorf("interaction %q: %w", in.Name, err)
+			}
 		}
 	}
 	for pi, ai := range pa {
@@ -302,9 +341,10 @@ func (s *System) execInto(next *State, m Move) error {
 // — without allocating anything. Only genuinely new states are
 // materialized. Not safe for concurrent use.
 type ScratchExec struct {
-	sys  *System
-	st   State
-	maps []expr.MapEnv // reusable per-atom variable stores
+	sys   *System
+	st    State
+	maps  []expr.MapEnv // reusable per-atom variable stores
+	frame []expr.Value  // scratch for compiled interaction actions
 }
 
 // NewScratchExec returns a scratch executor for s.
@@ -315,7 +355,7 @@ func (s *System) NewScratchExec() *ScratchExec {
 			maps[i] = make(expr.MapEnv, len(a.Vars))
 		}
 	}
-	return &ScratchExec{sys: s, maps: maps}
+	return &ScratchExec{sys: s, maps: maps, frame: s.newIFrame()}
 }
 
 // Exec fires m from st into the scratch buffers and returns a read-only
@@ -343,7 +383,7 @@ func (x *ScratchExec) Exec(st State, m Move) (*State, error) {
 		}
 		x.st.Vars[ai] = dst
 	}
-	if err := s.execInto(&x.st, m); err != nil {
+	if err := s.execInto(&x.st, m, x.frame); err != nil {
 		return nil, err
 	}
 	return &x.st, nil

@@ -41,8 +41,9 @@ type Stepper struct {
 	dirty     []bool
 	dirtyList []int
 
-	enabledInter []bool // scratch for priority filtering
-	out          []Move // scratch for assembled results
+	enabledInter []bool       // scratch for priority filtering
+	out          []Move       // scratch for assembled results
+	frame        []expr.Value // scratch for compiled interaction code
 	sticky       error
 }
 
@@ -55,6 +56,7 @@ func (s *System) NewStepper() *Stepper {
 		dirty:        make([]bool, len(s.Interactions)),
 		dirtyList:    make([]int, 0, len(s.Interactions)),
 		enabledInter: make([]bool, len(s.Interactions)),
+		frame:        s.newIFrame(),
 	}
 	sp.jumpTo(s.Initial())
 	return sp
@@ -95,7 +97,7 @@ func (sp *Stepper) refresh() error {
 		return sp.sticky
 	}
 	for _, ii := range sp.dirtyList {
-		ms, err := sp.sys.movesOfInteraction(&sp.st, ii, sp.cache[ii][:0])
+		ms, err := sp.sys.movesOfInteraction(&sp.st, ii, sp.cache[ii][:0], sp.frame)
 		if err != nil {
 			sp.sticky = err
 			return err
@@ -151,7 +153,7 @@ func (sp *Stepper) Exec(m Move) error {
 		return fmt.Errorf("system %s: move for %q has %d choices, want %d",
 			sys.Name, sys.Interactions[m.Interaction].Name, len(m.Choices), len(sys.Interactions[m.Interaction].Ports))
 	}
-	if err := sys.execInto(&sp.st, m); err != nil {
+	if err := sys.execInto(&sp.st, m, sp.frame); err != nil {
 		sp.sticky = err
 		return err
 	}
@@ -222,8 +224,9 @@ func (s *System) enabledFromTable(table [][]Move, st *State, enabledInter []bool
 // successors' tables incrementally with a TableDeriver.
 func (s *System) EnabledVector(st State) ([][]Move, error) {
 	vec := make([][]Move, len(s.Interactions))
+	frame := s.newIFrame()
 	for ii := range s.Interactions {
-		ms, err := s.movesOfInteraction(&st, ii, nil)
+		ms, err := s.movesOfInteraction(&st, ii, nil, frame)
 		if err != nil {
 			return nil, err
 		}
@@ -248,6 +251,7 @@ type TableDeriver struct {
 	dirty        []bool
 	dirtyList    []int
 	enabledInter []bool
+	frame        []expr.Value // scratch for compiled interaction guards
 }
 
 // NewTableDeriver returns a deriver for s.
@@ -256,6 +260,7 @@ func (s *System) NewTableDeriver() *TableDeriver {
 		sys:          s,
 		dirty:        make([]bool, len(s.Interactions)),
 		enabledInter: make([]bool, len(s.Interactions)),
+		frame:        s.newIFrame(),
 	}
 }
 
@@ -296,7 +301,7 @@ func (d *TableDeriver) Derive(parent [][]Move, m Move, st State) ([][]Move, erro
 	}
 	var err error
 	for _, ii := range d.dirtyList {
-		vec[ii], err = sys.movesOfInteraction(&st, ii, nil)
+		vec[ii], err = sys.movesOfInteraction(&st, ii, nil, d.frame)
 		if err != nil {
 			return nil, err
 		}

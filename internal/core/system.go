@@ -120,6 +120,14 @@ type System struct {
 	// scopes[i] is interaction i's exported variable scope, precomputed so
 	// guard/action evaluation does not rebuild it per state.
 	scopes []map[string]bool
+	// icomp[i] is interaction i's compiled guard/action over a
+	// per-interaction qualified-variable slot layout (icompile.go);
+	// maxISlots sizes the scratch frames the compiled code runs on.
+	icomp     []interComp
+	maxISlots int
+	// keyWidth is the size of the fixed-width binary state key
+	// (AppendBinaryKey): the sum of the atoms' record widths.
+	keyWidth int
 }
 
 // PriorityRule is a pre-resolved priority edge: the owning (low)
@@ -203,6 +211,11 @@ func (s *System) Validate() error {
 			}
 		}
 		s.higher[lo] = append(s.higher[lo], PriorityRule{High: hi, When: p.When})
+	}
+	s.compileInteractions()
+	s.keyWidth = 0
+	for _, a := range s.Atoms {
+		s.keyWidth += a.BinaryKeyWidth()
 	}
 	return nil
 }

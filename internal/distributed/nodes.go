@@ -99,7 +99,14 @@ func (c *compNode) offer() offerMsg {
 			enabled[p.Name] = ts
 		}
 	}
-	return offerMsg{Comp: c.atom.Name, Seq: c.seq, Enabled: enabled, Vars: c.st.Vars.Clone()}
+	// The offer shares the component's variable store instead of cloning
+	// it per round. This is the MT engine's channel-ordering argument
+	// transplanted to the protocol layer: a published store is never
+	// written again — a commit builds the successor state on a fresh
+	// store (see the commitMsg case) — so IPs may keep reading their
+	// snapshots (guards, data transfer) long after the component moved
+	// on. TestOfferStoresImmutableAfterCommit pins this discipline.
+	return offerMsg{Comp: c.atom.Name, Seq: c.seq, Enabled: enabled, Vars: c.st.Vars}
 }
 
 func (c *compNode) broadcastOffer(ctx network.Context) {
@@ -131,15 +138,21 @@ func (c *compNode) Recv(ctx network.Context, from network.NodeID, msg any) {
 			// A commit outside a valid reservation is a protocol bug.
 			panic(fmt.Sprintf("distributed: %s: commit without reservation", c.atom.Name))
 		}
+		// Never mutate the published store: apply the interaction's
+		// updates and the local action on a fresh clone, so every offer
+		// that shares the old store stays a faithful snapshot of the
+		// state it advertised.
+		next := behavior.State{Loc: c.st.Loc, Vars: c.st.Vars.Clone()}
 		for k, v := range m.Updates {
-			if err := c.st.Vars.Set(k, v); err != nil {
+			if err := next.Vars.Set(k, v); err != nil {
 				panic(fmt.Sprintf("distributed: %s: %v", c.atom.Name, err))
 			}
 		}
-		next, err := c.atom.Exec(c.st, m.Trans)
+		loc, err := c.atom.ExecInPlace(next, m.Trans)
 		if err != nil {
 			panic(fmt.Sprintf("distributed: %s: %v", c.atom.Name, err))
 		}
+		next.Loc = loc
 		c.st = next
 		c.seq++
 		c.clearReservation()

@@ -101,6 +101,32 @@ func (v Value) AppendText(buf []byte) []byte {
 	}
 }
 
+// BinaryWidth is the size of a Value's fixed-width binary encoding
+// (AppendBinary): one tag byte plus an 8-byte payload.
+const BinaryWidth = 9
+
+// AppendBinary appends a fixed-width canonical encoding of the value —
+// exactly BinaryWidth bytes — and returns the extended buffer. Two
+// values get equal encodings iff they are Equal, so concatenations of
+// encodings in a fixed order form collision-free, fixed-width state
+// keys; exploration's sharded seen-set stores them in flat arenas.
+func (v Value) AppendBinary(buf []byte) []byte {
+	var tag byte
+	var p uint64
+	switch v.kind {
+	case KindInt:
+		tag, p = 1, uint64(v.i)
+	case KindBool:
+		tag = 2
+		if v.b {
+			tag = 3
+		}
+	}
+	return append(buf, tag,
+		byte(p), byte(p>>8), byte(p>>16), byte(p>>24),
+		byte(p>>32), byte(p>>40), byte(p>>48), byte(p>>56))
+}
+
 // Env is the variable store expressions evaluate against.
 type Env interface {
 	// Get returns the value bound to name, reporting whether it exists.

@@ -11,6 +11,7 @@ package lts
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 
 	"bip/internal/core"
@@ -43,6 +44,13 @@ type Options struct {
 	// Raw ignores priority filtering (explores the unrestricted
 	// interaction semantics).
 	Raw bool
+	// Workers is the number of exploration workers. 0 and 1 select the
+	// sequential explorer; n > 1 the sharded parallel explorer with n
+	// workers; a negative value means GOMAXPROCS. Both explorers build
+	// the identical LTS — same state numbering, edges, BFS tree, and
+	// truncation verdict — so every analysis on top of the LTS is
+	// worker-count independent.
+	Workers int
 }
 
 // Explore builds the reachable LTS of sys by breadth-first search.
@@ -53,17 +61,30 @@ type Options struct {
 // move that produced it (core.TableDeriver) instead of rescanning the
 // whole glue per state. Tables are dropped once a state is expanded —
 // the cache lives exactly on the BFS frontier.
+//
+// Dedup is keyed by the system's fixed-width binary state keys
+// (core.System.AppendBinaryKey). With Options.Workers > 1 the BFS is
+// sharded across workers (see parallel.go); the result is bit-for-bit
+// the LTS the sequential explorer builds.
 func Explore(sys *core.System, opts Options) (*LTS, error) {
 	maxStates := opts.MaxStates
 	if maxStates <= 0 {
 		maxStates = 1 << 21
+	}
+	workers := opts.Workers
+	if workers < 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > 1 {
+		return exploreParallel(sys, opts, workers, maxStates)
 	}
 	l := &LTS{
 		sys:   sys,
 		index: make(map[string]int),
 	}
 	init := sys.Initial()
-	l.push(sys.StateKey(init), init, -1, "")
+	ctx := sys.NewExploreCtx()
+	l.push(string(sys.AppendBinaryKey(nil, init)), init, -1, "")
 	initVec, err := sys.EnabledVector(init)
 	if err != nil {
 		return nil, fmt.Errorf("explore state 0: %w", err)
@@ -71,42 +92,36 @@ func Explore(sys *core.System, opts Options) (*LTS, error) {
 	// tables[i] is the move table of state i while it waits on the
 	// frontier; entries are released as soon as the state is expanded.
 	tables := [][][]core.Move{initVec}
-	deriver := sys.NewTableDeriver()
-	scratch := sys.NewScratchExec()
-	var (
-		moveBuf []core.Move
-		keyBuf  []byte
-	)
 	for head := 0; head < len(l.states); head++ {
 		st := l.states[head]
 		vec := tables[head]
 		tables[head] = nil
 		var moves []core.Move
 		if opts.Raw {
-			moves = deriver.Raw(vec, moveBuf[:0])
+			moves = ctx.Deriver.Raw(vec, ctx.Moves[:0])
 		} else {
-			moves, err = deriver.Enabled(vec, st, moveBuf[:0])
+			moves, err = ctx.Deriver.Enabled(vec, st, ctx.Moves[:0])
 			if err != nil {
 				return nil, fmt.Errorf("explore state %d: %w", head, err)
 			}
 		}
-		moveBuf = moves
+		ctx.Moves = moves
 		for _, m := range moves {
-			view, err := scratch.Exec(st, m)
+			view, err := ctx.Scratch.Exec(st, m)
 			if err != nil {
 				return nil, fmt.Errorf("explore state %d: %w", head, err)
 			}
 			label := sys.Label(m)
-			keyBuf = sys.AppendStateKey(keyBuf[:0], *view)
-			to, seen := l.index[string(keyBuf)]
+			ctx.Key = sys.AppendBinaryKey(ctx.Key[:0], *view)
+			to, seen := l.index[string(ctx.Key)]
 			if !seen {
 				if len(l.states) >= maxStates {
 					l.truncated = true
 					continue
 				}
-				next := scratch.Materialize(m)
-				to = l.push(string(keyBuf), next, head, label)
-				nextVec, err := deriver.Derive(vec, m, next)
+				next := ctx.Scratch.Materialize(m)
+				to = l.push(string(ctx.Key), next, head, label)
+				nextVec, err := ctx.Deriver.Derive(vec, m, next)
 				if err != nil {
 					return nil, fmt.Errorf("explore state %d: %w", head, err)
 				}

@@ -1,0 +1,341 @@
+package lts
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"bip/internal/core"
+)
+
+// This file implements the sharded parallel breadth-first explorer.
+//
+// The BFS runs level-synchronized: all states at distance d are expanded
+// by a pool of workers before any state at distance d+1 is numbered.
+// Workers claim slices of the current level from an atomic cursor and
+// expand them with worker-local core.ExploreCtx machinery (the System
+// itself is read-only after Validate). Successor dedup goes through a
+// sharded seen-set: fixed-width binary state keys are hashed, the hash
+// picks a shard, and the shard stores the key bytes in a flat append-only
+// arena — one mutex hold per successor, no Go string per state.
+//
+// Determinism. The sequential explorer numbers states in discovery
+// order, which for BFS is: level by level, and within a level by the
+// lexicographic (parent id, move index) of the state's first discovery.
+// The parallel explorer reproduces that numbering exactly: a state first
+// discovered this level records the smallest (parent, move) pair that
+// reached it (workers race, but the minimum is commutative), and at the
+// level barrier the fresh states are sorted by that pair and numbered in
+// order. Edge targets to still-unnumbered states are patched after the
+// barrier. Truncation is exact as well: the sequential explorer admits
+// the first MaxStates-many distinct keys in discovery order and emits no
+// edge to a rejected key, ever — so rejected entries are kept as
+// tombstones and the sorted admission does the same cut. The result is
+// bit-for-bit the sequential LTS, which the differential tests pin.
+
+// Sentinel ids of seen-set entries that have no state number (yet).
+const (
+	pendingID  int32 = -1 // discovered this level, numbered at the barrier
+	rejectedID int32 = -2 // refused by MaxStates; tombstone, never an edge target
+)
+
+// pentry is one seen-set entry: an interned key plus, while the state
+// waits on the frontier, its materialized state and move table.
+type pentry struct {
+	key   []byte
+	state core.State
+	vec   [][]core.Move
+	id    int32
+
+	// The lexicographically smallest (parent id, move index) that
+	// produced this state, and that move's interaction — the BFS-tree
+	// edge and the numbering sort key. Guarded by the owning shard's
+	// mutex until the level barrier.
+	claimParent int32
+	claimMove   int32
+	claimInter  int32
+}
+
+// shard is one lock stripe of the seen-set.
+type shard struct {
+	mu sync.Mutex
+	// table buckets entries by key hash; the rare colliding hashes
+	// chain, compared by full key.
+	table map[uint64][]*pentry
+	// arena backs the interned key bytes in fixed-width records; chunks
+	// are replaced, never grown, so interned slices stay valid.
+	arena []byte
+	// fresh lists the entries created during the current level.
+	fresh []*pentry
+}
+
+const arenaChunk = 1 << 16
+
+// intern copies key into the shard's arena and returns the stable copy.
+func (sh *shard) intern(key []byte) []byte {
+	if len(sh.arena)+len(key) > cap(sh.arena) {
+		size := arenaChunk
+		if len(key) > size {
+			size = len(key)
+		}
+		sh.arena = make([]byte, 0, size)
+	}
+	off := len(sh.arena)
+	sh.arena = append(sh.arena, key...)
+	return sh.arena[off : off+len(key) : off+len(key)]
+}
+
+// hashKey is FNV-1a over the key bytes — deterministic across runs, so
+// shard assignment (and therefore nothing observable) depends only on
+// the state.
+func hashKey(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// fixup defers an edge target to the level barrier: edge pos of state
+// from points at target, which is numbered (or rejected) there.
+type fixup struct {
+	from   int32
+	pos    int32
+	target *pentry
+}
+
+// pworker is one exploration worker with its private machinery.
+type pworker struct {
+	ctx    *core.ExploreCtx
+	fixups []fixup
+	err    error
+}
+
+func exploreParallel(sys *core.System, opts Options, workers, maxStates int) (*LTS, error) {
+	nShards := 1
+	for nShards < workers*8 {
+		nShards <<= 1
+	}
+	if nShards > 256 {
+		nShards = 256
+	}
+	shards := make([]shard, nShards)
+	for i := range shards {
+		shards[i].table = make(map[uint64][]*pentry)
+	}
+	mask := uint64(nShards - 1)
+
+	init := sys.Initial()
+	initVec, err := sys.EnabledVector(init)
+	if err != nil {
+		return nil, fmt.Errorf("explore state 0: %w", err)
+	}
+	key := sys.AppendBinaryKey(nil, init)
+	e0 := &pentry{key: key, state: init, vec: initVec, id: 0, claimParent: -1}
+	h0 := hashKey(key)
+	shards[h0&mask].table[h0] = append(shards[h0&mask].table[h0], e0)
+
+	l := &LTS{
+		sys:         sys,
+		states:      []core.State{init},
+		edges:       [][]Edge{nil},
+		parent:      []int{-1},
+		parentLabel: []string{""},
+	}
+
+	ws := make([]*pworker, workers)
+	for i := range ws {
+		ws[i] = &pworker{ctx: sys.NewExploreCtx()}
+	}
+
+	level := []*pentry{e0}
+	var freshBuf []*pentry
+	for len(level) > 0 {
+		// Expand the level. Small levels get fewer goroutines; a lone
+		// state is expanded by a single worker with no extra scheduling.
+		const batch = 16
+		nw := (len(level) + batch - 1) / batch
+		if nw > workers {
+			nw = workers
+		}
+		var cursor atomic.Int64
+		var wg sync.WaitGroup
+		for _, w := range ws[:nw] {
+			wg.Add(1)
+			go func(w *pworker) {
+				defer wg.Done()
+				for {
+					start := int(cursor.Add(batch)) - batch
+					if start >= len(level) || w.err != nil {
+						return
+					}
+					end := start + batch
+					if end > len(level) {
+						end = len(level)
+					}
+					for _, e := range level[start:end] {
+						if err := w.expand(l, sys, opts.Raw, e, shards, mask); err != nil {
+							w.err = err
+							return
+						}
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		for _, w := range ws[:nw] {
+			if w.err != nil {
+				return nil, w.err
+			}
+		}
+		// Expanded states no longer need their move tables.
+		for _, e := range level {
+			e.vec = nil
+		}
+
+		// Barrier: gather this level's discoveries, number them in the
+		// sequential explorer's discovery order, cut at the state bound.
+		fresh := freshBuf[:0]
+		for i := range shards {
+			fresh = append(fresh, shards[i].fresh...)
+			shards[i].fresh = shards[i].fresh[:0]
+		}
+		sort.Slice(fresh, func(i, j int) bool {
+			if fresh[i].claimParent != fresh[j].claimParent {
+				return fresh[i].claimParent < fresh[j].claimParent
+			}
+			return fresh[i].claimMove < fresh[j].claimMove
+		})
+		next := level[:0]
+		for _, e := range fresh {
+			if len(l.states) >= maxStates {
+				l.truncated = true
+				e.id = rejectedID
+				e.state = core.State{}
+				e.vec = nil
+				continue
+			}
+			e.id = int32(len(l.states))
+			l.states = append(l.states, e.state)
+			l.parent = append(l.parent, int(e.claimParent))
+			l.parentLabel = append(l.parentLabel, sys.Interactions[e.claimInter].Name)
+			l.edges = append(l.edges, nil)
+			next = append(next, e)
+		}
+		freshBuf = fresh
+
+		// Patch edges that pointed at now-numbered entries; edges to
+		// rejected entries are removed (the sequential explorer never
+		// emits them).
+		var pruned []int32
+		for _, w := range ws[:nw] {
+			for _, f := range w.fixups {
+				if f.target.id == rejectedID {
+					l.edges[f.from][f.pos].To = -1
+					pruned = append(pruned, f.from)
+				} else {
+					l.edges[f.from][f.pos].To = int(f.target.id)
+				}
+			}
+			w.fixups = w.fixups[:0]
+		}
+		for _, from := range pruned {
+			es := l.edges[from]
+			out := es[:0]
+			for _, e := range es {
+				if e.To != -1 {
+					out = append(out, e)
+				}
+			}
+			l.edges[from] = out
+		}
+		level = next
+	}
+	return l, nil
+}
+
+// expand enumerates e's moves and routes each successor through the
+// sharded seen-set, recording e's outgoing edges.
+func (w *pworker) expand(l *LTS, sys *core.System, raw bool, e *pentry, shards []shard, mask uint64) error {
+	ctx := w.ctx
+	var moves []core.Move
+	var err error
+	if raw {
+		moves = ctx.Deriver.Raw(e.vec, ctx.Moves[:0])
+	} else {
+		moves, err = ctx.Deriver.Enabled(e.vec, e.state, ctx.Moves[:0])
+		if err != nil {
+			return fmt.Errorf("explore state %d: %w", e.id, err)
+		}
+	}
+	ctx.Moves = moves
+	if len(moves) == 0 {
+		return nil
+	}
+	edges := make([]Edge, 0, len(moves))
+	for mi, m := range moves {
+		view, err := ctx.Scratch.Exec(e.state, m)
+		if err != nil {
+			return fmt.Errorf("explore state %d: %w", e.id, err)
+		}
+		ctx.Key = sys.AppendBinaryKey(ctx.Key[:0], *view)
+		h := hashKey(ctx.Key)
+		sh := &shards[h&mask]
+
+		sh.mu.Lock()
+		var t *pentry
+		for _, cand := range sh.table[h] {
+			if bytes.Equal(cand.key, ctx.Key) {
+				t = cand
+				break
+			}
+		}
+		created := false
+		if t == nil {
+			t = &pentry{
+				key:         sh.intern(ctx.Key),
+				id:          pendingID,
+				claimParent: e.id,
+				claimMove:   int32(mi),
+				claimInter:  int32(m.Interaction),
+			}
+			sh.table[h] = append(sh.table[h], t)
+			sh.fresh = append(sh.fresh, t)
+			created = true
+		} else if t.id == pendingID {
+			if e.id < t.claimParent || (e.id == t.claimParent && int32(mi) < t.claimMove) {
+				t.claimParent, t.claimMove, t.claimInter = e.id, int32(mi), int32(m.Interaction)
+			}
+		}
+		sh.mu.Unlock()
+
+		if created {
+			// Only the creating worker touches state/vec; everyone else
+			// first observes them after the level barrier.
+			t.state = ctx.Scratch.Materialize(m)
+			vec, err := ctx.Deriver.Derive(e.vec, m, t.state)
+			if err != nil {
+				return fmt.Errorf("explore state %d: %w", e.id, err)
+			}
+			t.vec = vec
+		}
+		label := sys.Label(m)
+		switch {
+		case t.id >= 0:
+			edges = append(edges, Edge{To: int(t.id), Label: label})
+		case t.id == rejectedID:
+			// No edge: matches the sequential explorer's treatment of
+			// states refused by the bound.
+		default:
+			w.fixups = append(w.fixups, fixup{from: e.id, pos: int32(len(edges)), target: t})
+			edges = append(edges, Edge{To: -1, Label: label})
+		}
+	}
+	if len(edges) > 0 {
+		l.edges[e.id] = edges
+	}
+	return nil
+}

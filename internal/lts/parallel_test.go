@@ -1,0 +1,302 @@
+package lts
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"bip/internal/behavior"
+	"bip/internal/core"
+	"bip/internal/expr"
+	"bip/internal/models"
+)
+
+// requireSameLTS asserts bit-for-bit agreement of two explorations: the
+// parallel explorer promises the sequential numbering exactly, so state
+// lists, edge lists (order included), the BFS tree, deadlock sets,
+// truncation — everything — must coincide.
+func requireSameLTS(t *testing.T, name string, a, b *LTS) {
+	t.Helper()
+	if a.NumStates() != b.NumStates() {
+		t.Fatalf("%s: NumStates %d != %d", name, a.NumStates(), b.NumStates())
+	}
+	if a.NumTransitions() != b.NumTransitions() {
+		t.Fatalf("%s: NumTransitions %d != %d", name, a.NumTransitions(), b.NumTransitions())
+	}
+	if a.Truncated() != b.Truncated() {
+		t.Fatalf("%s: Truncated %v != %v", name, a.Truncated(), b.Truncated())
+	}
+	for i := 0; i < a.NumStates(); i++ {
+		if !a.State(i).Equal(b.State(i)) {
+			t.Fatalf("%s: state %d differs", name, i)
+		}
+		ea, eb := a.Edges(i), b.Edges(i)
+		if len(ea) != len(eb) {
+			t.Fatalf("%s: state %d has %d vs %d edges", name, i, len(ea), len(eb))
+		}
+		for j := range ea {
+			if ea[j] != eb[j] {
+				t.Fatalf("%s: state %d edge %d: %+v != %+v", name, i, j, ea[j], eb[j])
+			}
+		}
+		if a.parent[i] != b.parent[i] || a.parentLabel[i] != b.parentLabel[i] {
+			t.Fatalf("%s: BFS tree differs at state %d: (%d,%q) != (%d,%q)",
+				name, i, a.parent[i], a.parentLabel[i], b.parent[i], b.parentLabel[i])
+		}
+	}
+	da, db := a.Deadlocks(), b.Deadlocks()
+	if len(da) != len(db) {
+		t.Fatalf("%s: deadlock sets differ: %v vs %v", name, da, db)
+	}
+	for i := range da {
+		if da[i] != db[i] {
+			t.Fatalf("%s: deadlock sets differ: %v vs %v", name, da, db)
+		}
+	}
+}
+
+func workerCounts() []int {
+	out := []int{2, 4}
+	if g := runtime.GOMAXPROCS(0); g > 1 && g != 2 && g != 4 {
+		out = append(out, g)
+	}
+	return out
+}
+
+// TestExploreParallelMatchesSequentialModels runs the differential over
+// the model zoo: pure control, data guards, priorities (temperature),
+// deadlocking systems with counterexample paths, and a truncated space.
+func TestExploreParallelMatchesSequentialModels(t *testing.T) {
+	type tc struct {
+		name string
+		sys  *core.System
+		opts Options
+	}
+	var cases []tc
+	add := func(name string, sys *core.System, err error, opts Options) {
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		cases = append(cases, tc{name: name, sys: sys, opts: opts})
+	}
+	phil, err := models.Philosophers(3)
+	add("philosophers-ctl", stripData(t, phil), err, Options{})
+	twoPhase, err := models.PhilosophersDeadlocking(3)
+	add("philosophers-2p", twoPhase, err, Options{})
+	temp, err := models.Temperature(0, 2, 1)
+	add("temperature-priorities", temp, err, Options{MaxStates: 10000})
+	tempRaw, err := models.Temperature(0, 2, 1)
+	add("temperature-raw", tempRaw, err, Options{MaxStates: 10000, Raw: true})
+	gcd, err := models.GCD(36, 60)
+	add("gcd", gcd, err, Options{})
+	pc, err := models.ProducerConsumer(2)
+	add("prodcons-truncated", pc, err, Options{MaxStates: 1500})
+	gas, err := models.GasStation(2, 3)
+	add("gasstation", gas, err, Options{})
+
+	for _, c := range cases {
+		seq := explore(t, c.sys, c.opts)
+		for _, w := range workerCounts() {
+			opts := c.opts
+			opts.Workers = w
+			par := explore(t, c.sys, opts)
+			requireSameLTS(t, fmt.Sprintf("%s/workers=%d", c.name, w), seq, par)
+		}
+	}
+}
+
+// randExploreSystem builds a random finite-state system: data-carrying
+// nondeterministic atoms, guarded interactions with data transfer, and
+// conditional priorities — the exploration analogue of core's
+// randomized differential workload. All counters are bounded (mod 5),
+// so the state space is finite.
+func randExploreSystem(t *testing.T, rng *rand.Rand) *core.System {
+	t.Helper()
+	nAtoms := 2 + rng.Intn(3)
+	b := core.NewSystem(fmt.Sprintf("randx-%d", nAtoms))
+	type portInfo struct{ comp, port string }
+	var ports []portInfo
+	for ai := 0; ai < nAtoms; ai++ {
+		name := fmt.Sprintf("c%d", ai)
+		nLocs := 1 + rng.Intn(3)
+		locs := make([]string, nLocs)
+		for i := range locs {
+			locs[i] = fmt.Sprintf("l%d", i)
+		}
+		ab := behavior.NewBuilder(name).Location(locs...).Int("x", int64(rng.Intn(3)))
+		nPorts := 1 + rng.Intn(2)
+		for pi := 0; pi < nPorts; pi++ {
+			pname := fmt.Sprintf("p%d", pi)
+			ab.Port(pname, "x")
+			ports = append(ports, portInfo{comp: name, port: pname})
+			nTrans := 1 + rng.Intn(3)
+			for ti := 0; ti < nTrans; ti++ {
+				from := locs[rng.Intn(nLocs)]
+				to := locs[rng.Intn(nLocs)]
+				var guard expr.Expr
+				if rng.Intn(2) == 0 {
+					guard = expr.Lt(expr.V("x"), expr.I(int64(1+rng.Intn(4))))
+				}
+				var action expr.Stmt
+				if rng.Intn(2) == 0 {
+					action = expr.Set("x", expr.Mod(expr.Add(expr.V("x"), expr.I(1)), expr.I(5)))
+				}
+				ab.TransitionG(from, pname, to, guard, action)
+			}
+		}
+		atom, err := ab.Build()
+		if err != nil {
+			t.Fatalf("random atom: %v", err)
+		}
+		b.Add(atom)
+	}
+	nInter := 2 + rng.Intn(5)
+	for ii := 0; ii < nInter; ii++ {
+		perm := rng.Perm(len(ports))
+		var refs []core.PortRef
+		var quals []string
+		seen := map[string]bool{}
+		want := 1 + rng.Intn(3)
+		for _, pi := range perm {
+			p := ports[pi]
+			if seen[p.comp] {
+				continue
+			}
+			seen[p.comp] = true
+			refs = append(refs, core.P(p.comp, p.port))
+			quals = append(quals, p.comp+".x")
+			if len(refs) == want {
+				break
+			}
+		}
+		var guard expr.Expr
+		if rng.Intn(3) == 0 {
+			guard = expr.Le(expr.V(quals[0]), expr.I(int64(1+rng.Intn(4))))
+		}
+		var action expr.Stmt
+		if len(quals) > 1 && rng.Intn(3) == 0 {
+			action = expr.Set(quals[0], expr.Mod(expr.Add(expr.V(quals[1]), expr.I(1)), expr.I(5)))
+		}
+		b.ConnectGD(fmt.Sprintf("i%d", ii), guard, action, refs...)
+	}
+	for k := 0; k < rng.Intn(4); k++ {
+		lo, hi := rng.Intn(nInter), rng.Intn(nInter)
+		if lo == hi {
+			continue
+		}
+		if rng.Intn(2) == 0 {
+			b.Priority(fmt.Sprintf("i%d", lo), fmt.Sprintf("i%d", hi))
+		} else {
+			b.PriorityWhen(fmt.Sprintf("i%d", lo), fmt.Sprintf("i%d", hi),
+				expr.Gt(expr.V("c0.x"), expr.I(int64(rng.Intn(3)))))
+		}
+	}
+	sys, err := b.Build()
+	if err != nil {
+		t.Fatalf("random system: %v", err)
+	}
+	return sys
+}
+
+// TestExploreParallelRandomDifferential is the randomized oracle for the
+// sharded explorer: workers=1, 2, 4 and GOMAXPROCS must agree with the
+// sequential numbering on generated systems, bounded so that truncation
+// paths are exercised too.
+func TestExploreParallelRandomDifferential(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		sys := randExploreSystem(t, rng)
+		opts := Options{MaxStates: 4000}
+		seq := explore(t, sys, opts)
+		for _, w := range workerCounts() {
+			po := opts
+			po.Workers = w
+			par := explore(t, sys, po)
+			requireSameLTS(t, fmt.Sprintf("seed=%d/workers=%d", seed, w), seq, par)
+		}
+	}
+}
+
+// TestExploreParallelContended explores a system where every interaction
+// touches the same shared-variable component (the buffer), so successors
+// constantly cross shard boundaries and workers contend on the same
+// seen-set stripes. Run under -race in CI, this is the data-race
+// regression test for the parallel explorer.
+func TestExploreParallelContended(t *testing.T) {
+	sys, err := models.ProducerConsumer(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{MaxStates: 3000}
+	seq := explore(t, sys, opts)
+	for _, w := range []int{4, runtime.GOMAXPROCS(0)} {
+		po := opts
+		po.Workers = w
+		par := explore(t, sys, po)
+		requireSameLTS(t, fmt.Sprintf("contended/workers=%d", w), seq, par)
+		if !par.Truncated() {
+			t.Fatal("bounded exploration of the unbounded producer/consumer must truncate")
+		}
+		if _, err := par.DeadlockFree(); err == nil {
+			t.Fatal("DeadlockFree on a truncated parallel LTS must refuse to answer")
+		}
+	}
+}
+
+// TestExploreParallelAnalyses checks the LTS-consuming analyses on the
+// parallel result directly: counterexample paths, invariant violations,
+// and bisimulation between sequentially and parallelly explored LTSs.
+func TestExploreParallelAnalyses(t *testing.T) {
+	sys, err := models.PhilosophersDeadlocking(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := explore(t, sys, Options{Workers: 4})
+	dls := l.Deadlocks()
+	if len(dls) == 0 {
+		t.Fatal("two-phase philosophers must deadlock")
+	}
+	path := l.PathTo(dls[0])
+	if len(path) != 3 {
+		t.Fatalf("deadlock path %v, want 3 steps", path)
+	}
+
+	unsafe, err := models.UnsafeElevator(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls := explore(t, unsafe, Options{})
+	lp := explore(t, unsafe, Options{Workers: 4})
+	okS, badS, pathS := ls.CheckInvariant(func(st core.State) bool { return !models.MovingWithDoorOpen(unsafe)(st) })
+	okP, badP, pathP := lp.CheckInvariant(func(st core.State) bool { return !models.MovingWithDoorOpen(unsafe)(st) })
+	if okS || okP {
+		t.Fatal("unsafe elevator must violate the requirement in both explorations")
+	}
+	if badS != badP || len(pathS) != len(pathP) {
+		t.Fatalf("invariant verdicts diverge: state %d/%d path %v/%v", badS, badP, pathS, pathP)
+	}
+
+	phil, err := models.Philosophers(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl := stripData(t, phil)
+	if !Bisimilar(explore(t, ctl, Options{}), explore(t, ctl, Options{Workers: 4}), nil, nil) {
+		t.Fatal("sequential and parallel explorations of one system must be bisimilar")
+	}
+}
+
+// TestExploreWorkersDefaults pins the Workers knob: 0 and 1 are
+// sequential, negative resolves to GOMAXPROCS — all equivalent results.
+func TestExploreWorkersDefaults(t *testing.T) {
+	sys, err := models.GCD(35, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := explore(t, sys, Options{})
+	b := explore(t, sys, Options{Workers: 1})
+	c := explore(t, sys, Options{Workers: -1})
+	requireSameLTS(t, "workers=1", a, b)
+	requireSameLTS(t, "workers=-1", a, c)
+}
