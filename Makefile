@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all fmt vet build test race bench verify
+.PHONY: all fmt vet build test race bench verify apicheck examples
 
 all: verify
 
@@ -30,9 +30,26 @@ test:
 race:
 	$(GO) test -race ./...
 
-# bench prints one line per paper experiment (E1–E14); full tables via
+# bench prints one line per paper experiment (E1–E16); full tables via
 # `go run ./cmd/bipbench` (reference run recorded in EXPERIMENTS.md).
 bench:
 	$(GO) test -bench . -benchtime=1x -run '^$$' .
 
-verify: fmt vet build test
+# apicheck enforces the public-API boundary: tools and examples must be
+# buildable by an external consumer, so nothing under cmd/ or examples/
+# may import bip/internal.
+apicheck:
+	@if grep -rn "bip/internal" cmd examples; then \
+		echo "bip/internal imports leaked into cmd/ or examples/"; exit 1; \
+	else echo "apicheck: cmd/ and examples/ use only the public API"; fi
+
+# examples builds and runs every example as a smoke test of the public
+# API surface (small sizes; each exits 0 on success).
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/elevator
+	$(GO) run ./examples/temperature
+	$(GO) run ./examples/philosophers -n 4
+	$(GO) run ./examples/lustre-integrator
+
+verify: fmt vet build test apicheck

@@ -1,0 +1,48 @@
+package bip
+
+import "bip/internal/arch"
+
+// Architectures: reusable glue patterns with characteristic properties
+// (§5.5.2), re-exported from the architecture package.
+type (
+	// Architecture is coordinating components plus interactions and
+	// priorities over the target components' ports; Apply installs it
+	// into a SystemBuilder.
+	Architecture = arch.Architecture
+	// MutexClient names a component's acquire/release ports for the
+	// mutual-exclusion architecture.
+	MutexClient = arch.MutexClient
+	// TMRReplica names a replica's output port and variable for the
+	// triple-modular-redundancy architecture.
+	TMRReplica = arch.TMRReplica
+)
+
+// Mutex builds the token-based mutual-exclusion architecture.
+// Characteristic property: at most one client holds the resource.
+func Mutex(name string, clients []MutexClient) (*Architecture, error) {
+	return arch.Mutex(name, clients)
+}
+
+// FixedPriority builds the scheduling architecture: earlier interaction
+// names win conflicts against later ones.
+func FixedPriority(name string, orderedHighFirst []string) *Architecture {
+	return arch.FixedPriority(name, orderedHighFirst)
+}
+
+// TMR builds the triple-modular-redundancy architecture: a voter masks a
+// single faulty replica.
+func TMR(name string, replicas [3]TMRReplica) (*Architecture, error) {
+	return arch.TMR(name, replicas)
+}
+
+// ComposeArch is the ⊕ operation on architectures: the union of their
+// constraints, enforcing both characteristic properties when the
+// architectures do not contradict each other.
+func ComposeArch(a1, a2 *Architecture) (*Architecture, error) { return arch.Compose(a1, a2) }
+
+// AtMostOneAt returns the characteristic-property predicate of Mutex: at
+// most one of the listed components sits at its critical location. Use
+// it with Invariant or check.InvariantCheck.
+func AtMostOneAt(sys *System, critical map[string]string) func(State) bool {
+	return arch.AtMostOneAt(sys, critical)
+}

@@ -1,8 +1,10 @@
 // Package bench implements the experiment drivers that regenerate every
-// figure/claim of the paper indexed in DESIGN.md (E1–E14). Each driver
+// figure/claim of the paper indexed in DESIGN.md (E1–E16). Each driver
 // returns a Table whose rows are what cmd/bipbench prints and what
 // EXPERIMENTS.md records; the root-level Go benchmarks reuse the same
-// drivers so `go test -bench` and `bipbench` cannot drift apart.
+// drivers so `go test -bench` and `bipbench` cannot drift apart. The
+// package is public (import "bip/bench") so the tools stay buildable by
+// external consumers.
 package bench
 
 import (
@@ -19,9 +21,9 @@ import (
 	"bip/internal/invariant"
 	"bip/internal/lts"
 	"bip/internal/lustre"
-	"bip/internal/models"
 	"bip/internal/refine"
 	"bip/internal/timed"
+	"bip/models"
 )
 
 // Table is a printable experiment result.
@@ -736,4 +738,5 @@ func E15ExploreScaling(workerCounts []int) (*Table, error) {
 	return t, nil
 }
 
-// E9Arch is implemented in arch_driver.go to keep this file readable.
+// E9Arch is implemented in helpers.go to keep this file readable;
+// E16StreamingMemory lives in e16.go.

@@ -1,17 +1,17 @@
-// Package repro_test holds the root benchmark harness: one Go benchmark
-// per experiment of DESIGN.md's paper↔experiment index (E1–E14). Each
+// This file holds the root benchmark harness: one Go benchmark per
+// experiment of DESIGN.md's paper↔experiment index (E1–E16). Each
 // benchmark drives the same code as `bipbench -e <id>`, so the numbers
 // printed by `go test -bench` regenerate the tables of EXPERIMENTS.md.
-package repro_test
+package bip_test
 
 import (
 	"fmt"
 	"testing"
 
-	"bip/internal/bench"
+	"bip/bench"
 	"bip/internal/core"
 	"bip/internal/lts"
-	"bip/internal/models"
+	"bip/models"
 )
 
 func run(b *testing.B, f func() (*bench.Table, error)) {
@@ -81,6 +81,46 @@ func BenchmarkE13Flattening(b *testing.B) {
 
 func BenchmarkE14Elevator(b *testing.B) {
 	run(b, bench.E14Elevator)
+}
+
+func BenchmarkE16StreamingMemory(b *testing.B) {
+	run(b, func() (*bench.Table, error) { return bench.E16StreamingMemory(3) })
+}
+
+// BenchmarkStreamDeadlock measures the streaming deadlock check against
+// materialized exploration on the E16 workload: same visited space, but
+// the streaming side retains only the frontier.
+func BenchmarkStreamDeadlock(b *testing.B) {
+	rings, err := models.PhilosopherRings(4, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctl, err := models.ControlOnly(rings)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("streaming", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			dl := &lts.DeadlockCheck{}
+			if _, err := lts.Stream(ctl, lts.Options{}, dl); err != nil {
+				b.Fatal(err)
+			}
+			if dl.Found || !dl.Exhaustive {
+				b.Fatal("rings must be deadlock-free with full coverage")
+			}
+		}
+	})
+	b.Run("materialized", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			l, err := lts.Explore(ctl, lts.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if free, err := l.DeadlockFree(); err != nil || !free {
+				b.Fatal("rings must be deadlock-free")
+			}
+		}
+	})
 }
 
 // BenchmarkExplore measures state-space exploration with a worker-count

@@ -1,0 +1,121 @@
+// Package check exposes the verification machinery underneath
+// bip.Verify: the streaming exploration drivers and their Sink
+// interface, the composable on-the-fly checkers, the materialized LTS
+// with its analyses (reachability, bisimulation, trace inclusion), and
+// the compositional D-Finder-style verifier that proves deadlock-freedom
+// without touching the product state space.
+//
+// The streaming surface is the one to build on: Stream drives a
+// breadth-first exploration — sequential or sharded-parallel, with a
+// bit-identical event stream either way — into any Sink. A Sink observes
+// OnState / OnEdge / OnExpanded / Done events in deterministic order and
+// may stop the exploration early by returning ErrStop; checkers retain
+// O(frontier) live memory and capture counterexample paths from the
+// frontier-resident BFS tree (Discovery.Path). Explore materializes the
+// whole graph by running the LTS itself as the sink.
+package check
+
+import (
+	"bip"
+	"bip/internal/invariant"
+	"bip/internal/lts"
+)
+
+// Streaming exploration surface.
+type (
+	// Sink consumes the exploration event stream; see the field and
+	// method contracts on the underlying type.
+	Sink = lts.Sink
+	// Discovery describes how a state was first reached and yields its
+	// path from the initial state.
+	Discovery = lts.Discovery
+	// Options configures an exploration (bound, raw semantics, workers).
+	Options = lts.Options
+	// Stats summarizes a streaming run, including the peak-frontier
+	// memory high-water mark.
+	Stats = lts.Stats
+	// Verdict is the outcome block embedded by every checker (Found,
+	// State, Path, Exhaustive).
+	Verdict = lts.Verdict
+	// DeadlockCheck detects reachable deadlocks on the fly.
+	DeadlockCheck = lts.DeadlockCheck
+	// InvariantCheck verifies a state predicate on the fly.
+	InvariantCheck = lts.InvariantCheck
+	// ReachCheck searches for a target state on the fly.
+	ReachCheck = lts.ReachCheck
+	// Multi fans the event stream out to several sinks.
+	Multi = lts.Multi
+	// LTS is the materialized state space and its analyses.
+	LTS = lts.LTS
+	// Edge is an outgoing transition of an explored state.
+	Edge = lts.Edge
+	// Relabel maps transition labels for comparison purposes
+	// (bisimulation, trace inclusion).
+	Relabel = lts.Relabel
+)
+
+// ErrStop is the sentinel a Sink returns to end exploration early
+// without error.
+var ErrStop = lts.ErrStop
+
+// DefaultMaxStates is the exploration bound applied when
+// Options.MaxStates is zero — shared by the library and the command-line
+// tools.
+const DefaultMaxStates = lts.DefaultMaxStates
+
+// Stream explores the reachable state space of sys breadth-first and
+// feeds the deterministic event stream to sink.
+func Stream(sys *bip.System, opts Options, sink Sink) (Stats, error) {
+	return lts.Stream(sys, opts, sink)
+}
+
+// Explore materializes the reachable LTS of sys (the LTS is just one
+// sink over the same stream).
+func Explore(sys *bip.System, opts Options) (*LTS, error) {
+	return lts.Explore(sys, opts)
+}
+
+// NewMulti combines sinks so one exploration answers many queries; see
+// Multi.
+func NewMulti(sinks ...Sink) *Multi { return lts.NewMulti(sinks...) }
+
+// Bisimilar decides strong bisimilarity of the initial states of two
+// materialized LTSs after relabeling.
+func Bisimilar(a, b *LTS, ra, rb Relabel) bool { return lts.Bisimilar(a, b, ra, rb) }
+
+// ObsTraceIncluded decides observational (weak) trace inclusion of a in
+// b after relabeling, returning a distinguishing trace on failure.
+func ObsTraceIncluded(a, b *LTS, ra, rb Relabel) (bool, []string) {
+	return lts.ObsTraceIncluded(a, b, ra, rb)
+}
+
+// Identity observes every label as itself.
+func Identity(label string) (string, bool) { return lts.Identity(label) }
+
+// Hide returns a Relabel silencing the listed labels.
+func Hide(hidden ...string) Relabel { return lts.Hide(hidden...) }
+
+// MapLabels returns a Relabel applying the mapping; labels mapped to ""
+// become silent.
+func MapLabels(m map[string]string) Relabel { return lts.MapLabels(m) }
+
+// Compositional verification (the paper's D-Finder method, §5.6):
+// deadlock-freedom from component invariants, trap-based interaction
+// invariants and a SAT check, never exploring the product state space.
+type (
+	// CompositionalOptions configures the compositional verifier.
+	CompositionalOptions = invariant.Options
+	// CompositionalResult is its outcome: a proof or an irrefutable
+	// candidate deadlock (inconclusive).
+	CompositionalResult = invariant.Result
+	// PlaceRef names a control location in the Petri-net abstraction.
+	PlaceRef = invariant.PlaceRef
+)
+
+// Compositional runs the compositional deadlock-freedom analysis.
+func Compositional(sys *bip.System, opts CompositionalOptions) (*CompositionalResult, error) {
+	return invariant.Verify(sys, opts)
+}
+
+// FormatCompositional renders a compositional result for tool output.
+func FormatCompositional(r *CompositionalResult) string { return invariant.FormatResult(r) }

@@ -1,6 +1,7 @@
 // Command bipbench regenerates the paper-reproduction experiments
-// (E1–E14 of DESIGN.md, plus the E15 parallel-exploration scaling
-// table) and prints them; EXPERIMENTS.md records a reference run.
+// (E1–E14 of DESIGN.md, plus the E15 parallel-exploration scaling table
+// and the E16 streaming-memory comparison) and prints them;
+// EXPERIMENTS.md records a reference run.
 //
 // Usage:
 //
@@ -15,11 +16,11 @@ import (
 	"os"
 	"strings"
 
-	"bip/internal/bench"
+	"bip/bench"
 )
 
 func main() {
-	exp := flag.String("e", "all", "experiment id (e1..e15) or all")
+	exp := flag.String("e", "all", "experiment id (e1..e16) or all")
 	quick := flag.Bool("quick", false, "reduced problem sizes")
 	flag.Parse()
 	if err := run(*exp, *quick); err != nil {
@@ -40,6 +41,7 @@ func run(exp string, quick bool) error {
 	crpCommits := 200
 	depths := []int{1, 2, 3, 4}
 	exploreWorkers := []int{1, 2, 4, 8}
+	memRings := 5
 	if quick {
 		rings = 4
 		enginePairs = []int{1, 2}
@@ -48,6 +50,7 @@ func run(exp string, quick bool) error {
 		crpCommits = 50
 		depths = []int{1, 2}
 		exploreWorkers = []int{1, 4}
+		memRings = 4
 	}
 	drivers := []driver{
 		{"e1", func() (*bench.Table, error) { return bench.E1DFinderVsMonolithic(rings) }},
@@ -65,6 +68,7 @@ func run(exp string, quick bool) error {
 		{"e13", func() (*bench.Table, error) { return bench.E13Flattening(depths) }},
 		{"e14", bench.E14Elevator},
 		{"e15", func() (*bench.Table, error) { return bench.E15ExploreScaling(exploreWorkers) }},
+		{"e16", func() (*bench.Table, error) { return bench.E16StreamingMemory(memRings) }},
 	}
 	want := strings.ToLower(exp)
 	found := false
@@ -80,7 +84,7 @@ func run(exp string, quick bool) error {
 		fmt.Println(t.String())
 	}
 	if !found {
-		return fmt.Errorf("unknown experiment %q (want e1..e15 or all)", exp)
+		return fmt.Errorf("unknown experiment %q (want e1..e16 or all)", exp)
 	}
 	return nil
 }

@@ -1,11 +1,14 @@
 // Command bipc is the front-end of the BIP textual language: it parses
 // and validates a .bip file, reports the model's structure, and can run
-// quick analyses (deadlock check, compositional verification).
+// quick analyses — compositional verification, on-the-fly streaming
+// checks, or explicit-state exploration. It is built entirely on the
+// public bip / bip/check API.
 //
 // Usage:
 //
 //	bipc model.bip
 //	bipc -verify model.bip
+//	bipc -check model.bip
 //	bipc -explore model.bip
 package main
 
@@ -14,33 +17,33 @@ import (
 	"fmt"
 	"os"
 
-	"bip/internal/dsl"
-	"bip/internal/invariant"
-	"bip/internal/lts"
+	"bip"
+	"bip/check"
 )
 
 func main() {
 	verify := flag.Bool("verify", false, "run compositional verification")
-	explore := flag.Bool("explore", false, "run explicit-state exploration")
-	maxStates := flag.Int("max-states", 1<<20, "exploration bound")
+	chk := flag.Bool("check", false, "run streaming on-the-fly verification (deadlock + atom invariants, early-exit)")
+	explore := flag.Bool("explore", false, "run explicit-state exploration (materialized LTS)")
+	maxStates := flag.Int("max-states", 0, fmt.Sprintf("exploration bound (0 = library default, %d)", check.DefaultMaxStates))
 	workers := flag.Int("workers", 1, "exploration workers (<0 = GOMAXPROCS)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: bipc [-verify] [-explore] [-workers n] file.bip")
+		fmt.Fprintln(os.Stderr, "usage: bipc [-verify] [-check] [-explore] [-workers n] file.bip")
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *verify, *explore, *maxStates, *workers); err != nil {
+	if err := run(flag.Arg(0), *verify, *chk, *explore, *maxStates, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "bipc:", err)
 		os.Exit(1)
 	}
 }
 
-func run(path string, verify, explore bool, maxStates, workers int) error {
+func run(path string, verify, chk, explore bool, maxStates, workers int) error {
 	src, err := os.ReadFile(path)
 	if err != nil {
 		return err
 	}
-	sys, err := dsl.Parse(string(src))
+	sys, err := bip.Parse(string(src))
 	if err != nil {
 		return fmt.Errorf("%s:%w", path, err)
 	}
@@ -56,14 +59,23 @@ func run(path string, verify, explore bool, maxStates, workers int) error {
 	}
 
 	if verify {
-		res, err := invariant.Verify(sys, invariant.Options{})
+		res, err := check.Compositional(sys, check.CompositionalOptions{})
 		if err != nil {
 			return err
 		}
-		fmt.Println(invariant.FormatResult(res))
+		fmt.Println(check.FormatCompositional(res))
+	}
+	if chk {
+		rep, err := bip.Verify(sys,
+			bip.Deadlock(), bip.AtomInvariants(),
+			bip.MaxStates(maxStates), bip.Workers(workers))
+		if err != nil {
+			return err
+		}
+		fmt.Println(rep.String())
 	}
 	if explore {
-		l, err := lts.Explore(sys, lts.Options{MaxStates: maxStates, Workers: workers})
+		l, err := bip.Explore(sys, bip.MaxStates(maxStates), bip.Workers(workers))
 		if err != nil {
 			return err
 		}

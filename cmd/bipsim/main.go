@@ -1,6 +1,7 @@
 // Command bipsim executes a BIP model — a built-in benchmark or a .bip
 // source file — on the single-threaded or multi-threaded engine and
-// prints the interaction trace.
+// prints the interaction trace. It is built entirely on the public
+// bip / bip/models API.
 //
 // Usage:
 //
@@ -14,10 +15,8 @@ import (
 	"fmt"
 	"os"
 
-	"bip/internal/core"
-	"bip/internal/dsl"
-	"bip/internal/engine"
-	"bip/internal/models"
+	"bip"
+	"bip/models"
 )
 
 func main() {
@@ -36,7 +35,7 @@ func main() {
 }
 
 func run(model, file string, n, steps int, seed int64, first, mt bool) error {
-	var sys *core.System
+	var sys *bip.System
 	var err error
 	switch {
 	case file != "":
@@ -44,7 +43,7 @@ func run(model, file string, n, steps int, seed int64, first, mt bool) error {
 		if rerr != nil {
 			return rerr
 		}
-		sys, err = dsl.Parse(string(src))
+		sys, err = bip.Parse(string(src))
 	case model != "":
 		sys, err = builtin(model, n)
 	default:
@@ -56,7 +55,7 @@ func run(model, file string, n, steps int, seed int64, first, mt bool) error {
 	fmt.Println(sys.Stats())
 
 	if mt {
-		res, err := engine.RunMT(sys, engine.MTOptions{MaxSteps: steps})
+		res, err := bip.RunMT(sys, bip.MTOptions{MaxSteps: steps})
 		if err != nil {
 			return err
 		}
@@ -66,18 +65,18 @@ func run(model, file string, n, steps int, seed int64, first, mt bool) error {
 		if res.Deadlocked {
 			fmt.Println("-- deadlock --")
 		}
-		if _, err := engine.Replay(sys, res.Moves); err != nil {
+		if _, err := bip.Replay(sys, res.Moves); err != nil {
 			return fmt.Errorf("MT linearization invalid: %w", err)
 		}
 		fmt.Println("MT linearization validated against reference semantics")
 		return nil
 	}
 
-	var sched engine.Scheduler = engine.NewRandomScheduler(seed)
+	var sched bip.Scheduler = bip.NewRandomScheduler(seed)
 	if first {
-		sched = engine.FirstScheduler{}
+		sched = bip.FirstScheduler{}
 	}
-	res, err := engine.Run(sys, engine.Options{
+	res, err := bip.Run(sys, bip.RunOptions{
 		MaxSteps:  steps,
 		Scheduler: sched,
 	})
@@ -93,7 +92,7 @@ func run(model, file string, n, steps int, seed int64, first, mt bool) error {
 	return nil
 }
 
-func builtin(model string, n int) (*core.System, error) {
+func builtin(model string, n int) (*bip.System, error) {
 	switch model {
 	case "philosophers":
 		return models.Philosophers(n)

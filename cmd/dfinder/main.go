@@ -1,7 +1,9 @@
 // Command dfinder runs compositional deadlock-freedom verification
 // (component invariants + trap-based interaction invariants + DIS
 // satisfiability) on the built-in benchmark models, optionally comparing
-// against the monolithic explicit-state checker.
+// against the monolithic checker — which now streams: the explicit-state
+// side early-exits on the first deadlock instead of materializing the
+// state space.
 //
 // Usage:
 //
@@ -16,17 +18,16 @@ import (
 	"os"
 	"time"
 
-	"bip/internal/core"
-	"bip/internal/invariant"
-	"bip/internal/lts"
-	"bip/internal/models"
+	"bip"
+	"bip/check"
+	"bip/models"
 )
 
 func main() {
 	model := flag.String("model", "philosophers", "philosophers | philosophers2p | tokenring | gasstation | elevator | prodcons")
 	n := flag.Int("n", 4, "size parameter (philosophers/ring stations/pumps/floors)")
 	m := flag.Int("m", 2, "second size parameter (gas station customers)")
-	mono := flag.Bool("mono", false, "also run the monolithic explicit-state checker")
+	mono := flag.Bool("mono", false, "also run the monolithic streaming deadlock checker")
 	traps := flag.Int("traps", 0, "max interaction invariants (0 = auto)")
 	workers := flag.Int("workers", 1, "monolithic exploration workers (<0 = GOMAXPROCS)")
 	flag.Parse()
@@ -36,7 +37,7 @@ func main() {
 	}
 }
 
-func buildModel(model string, n, m int) (*core.System, error) {
+func buildModel(model string, n, m int) (*bip.System, error) {
 	switch model {
 	case "philosophers":
 		return models.Philosophers(n)
@@ -63,12 +64,12 @@ func run(model string, n, m int, mono bool, maxTraps, workers int) error {
 	fmt.Println(sys.Stats())
 
 	t0 := time.Now()
-	res, err := invariant.Verify(sys, invariant.Options{MaxTraps: maxTraps})
+	res, err := check.Compositional(sys, check.CompositionalOptions{MaxTraps: maxTraps})
 	if err != nil {
 		return err
 	}
 	fmt.Printf("compositional (%.2fms): %s\n",
-		float64(time.Since(t0).Microseconds())/1000, invariant.FormatResult(res))
+		float64(time.Since(t0).Microseconds())/1000, check.FormatCompositional(res))
 
 	if !mono {
 		return nil
@@ -78,19 +79,19 @@ func run(model string, n, m int, mono bool, maxTraps, workers int) error {
 		return err
 	}
 	t1 := time.Now()
-	l, err := lts.Explore(ctl, lts.Options{Workers: workers})
+	rep, err := bip.Verify(ctl, bip.Deadlock(), bip.Workers(workers))
 	if err != nil {
 		return err
 	}
-	free, err := l.DeadlockFree()
+	dl, _ := rep.Property("deadlock")
 	verdict := "DEADLOCK-FREE"
-	if err != nil {
-		verdict = err.Error()
-	} else if !free {
-		dl := l.Deadlocks()[0]
-		verdict = fmt.Sprintf("DEADLOCK after %v", l.PathTo(dl))
+	switch {
+	case dl.Violated:
+		verdict = fmt.Sprintf("DEADLOCK after %v", dl.Path)
+	case !dl.Conclusive:
+		verdict = fmt.Sprintf("undecided (bound hit after %d states)", rep.States)
 	}
-	fmt.Printf("monolithic   (%.2fms): %d states, %d transitions — %s\n",
-		float64(time.Since(t1).Microseconds())/1000, l.NumStates(), l.NumTransitions(), verdict)
+	fmt.Printf("monolithic   (%.2fms): %d states, %d transitions streamed — %s\n",
+		float64(time.Since(t1).Microseconds())/1000, rep.States, rep.Transitions, verdict)
 	return nil
 }

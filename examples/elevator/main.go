@@ -1,8 +1,10 @@
 // Elevator: the requirement from the paper's introduction — "when the
 // cabin is moving all doors must be closed" — established by
 // construction (the door participates in every movement interaction) and
-// verified two ways. The unsafe variant shows the same checkers catching
-// the violation with a counterexample path.
+// verified two ways. The unsafe variant shows the streaming checker
+// catching the violation with a counterexample path while early-exiting:
+// it stops at the first bad state instead of materializing the full
+// state space.
 //
 // Run with: go run ./examples/elevator
 package main
@@ -12,10 +14,9 @@ import (
 	"os"
 	"strings"
 
-	"bip/internal/core"
-	"bip/internal/invariant"
-	"bip/internal/lts"
-	"bip/internal/models"
+	"bip"
+	"bip/check"
+	"bip/models"
 )
 
 func main() {
@@ -34,25 +35,25 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	for _, sys := range []*core.System{safe, unsafe} {
+	for _, sys := range []*bip.System{safe, unsafe} {
 		fmt.Println("==", sys.Name, "==")
-		l, err := lts.Explore(sys, lts.Options{})
+		bad := models.MovingWithDoorOpen(sys)
+		rep, err := bip.Verify(sys, bip.Invariant(func(st bip.State) bool { return !bad(st) }))
 		if err != nil {
 			return err
 		}
-		ok, _, path := l.CheckInvariant(func(st core.State) bool {
-			return !models.MovingWithDoorOpen(sys)(st)
-		})
-		if ok {
-			fmt.Printf("  requirement holds on all %d reachable states\n", l.NumStates())
+		inv, _ := rep.Property("invariant")
+		if !inv.Violated {
+			fmt.Printf("  requirement holds on all %d reachable states\n", rep.States)
 		} else {
-			fmt.Printf("  VIOLATION: cabin moves with door open after [%s]\n", strings.Join(path, " "))
+			fmt.Printf("  VIOLATION: cabin moves with door open after [%s] (found after streaming %d states)\n",
+				strings.Join(inv.Path, " "), rep.States)
 		}
-		vr, err := invariant.Verify(sys, invariant.Options{})
+		vr, err := check.Compositional(sys, check.CompositionalOptions{})
 		if err != nil {
 			return err
 		}
-		fmt.Println("  compositional:", invariant.FormatResult(vr))
+		fmt.Println("  compositional:", check.FormatCompositional(vr))
 	}
 	return nil
 }

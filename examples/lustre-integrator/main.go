@@ -1,6 +1,6 @@
 // Lustre integrator: the paper's Fig. 5.2 — the synchronous data-flow
 // program Y = X + pre(Y) embedded into BIP, executed side by side with
-// the reference interpreter.
+// the reference interpreter. Imports only the public bip/lustre facade.
 //
 // Run with: go run ./examples/lustre-integrator
 package main
@@ -9,7 +9,7 @@ import (
 	"fmt"
 	"os"
 
-	"bip/internal/lustre"
+	"bip/lustre"
 )
 
 func main() {

@@ -3,7 +3,7 @@
 // distributed S/R transformation under each conflict-resolution protocol
 // (centralized arbiter, token ring, dining-philosophers ordering). Every
 // distributed run's commit order is validated against the reference
-// semantics.
+// semantics. Everything here imports only the public bip packages.
 //
 // Run with: go run ./examples/philosophers [-n 5]
 package main
@@ -13,10 +13,10 @@ import (
 	"fmt"
 	"os"
 
-	"bip/internal/distributed"
-	"bip/internal/engine"
-	"bip/internal/invariant"
-	"bip/internal/models"
+	"bip"
+	"bip/check"
+	"bip/distributed"
+	"bip/models"
 )
 
 func main() {
@@ -36,16 +36,16 @@ func run(n int) error {
 	fmt.Println(sys.Stats())
 
 	// Correct by construction: prove deadlock-freedom compositionally.
-	vr, err := invariant.Verify(sys, invariant.Options{})
+	vr, err := check.Compositional(sys, check.CompositionalOptions{})
 	if err != nil {
 		return err
 	}
-	fmt.Println(invariant.FormatResult(vr))
+	fmt.Println(check.FormatCompositional(vr))
 
 	// Reference run.
-	res, err := engine.Run(sys, engine.Options{
+	res, err := bip.Run(sys, bip.RunOptions{
 		MaxSteps:  10,
-		Scheduler: engine.NewRandomScheduler(42),
+		Scheduler: bip.NewRandomScheduler(42),
 	})
 	if err != nil {
 		return err

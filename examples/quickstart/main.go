@@ -1,7 +1,9 @@
 // Quickstart: build a BIP system with the public API — two workers
 // sharing a resource through the mutual-exclusion architecture — run it
 // on the engine, and verify the characteristic property both by checking
-// (explicit-state) and by construction (compositional invariants).
+// (streaming, on-the-fly) and by construction (compositional
+// invariants). Everything here imports only the public bip and
+// bip/check packages.
 //
 // Run with: go run ./examples/quickstart
 package main
@@ -10,12 +12,8 @@ import (
 	"fmt"
 	"os"
 
-	"bip/internal/arch"
-	"bip/internal/behavior"
-	"bip/internal/core"
-	"bip/internal/engine"
-	"bip/internal/invariant"
-	"bip/internal/lts"
+	"bip"
+	"bip/check"
 )
 
 func main() {
@@ -27,7 +25,7 @@ func main() {
 
 func run() error {
 	// 1. Behaviour: an atomic component is an automaton with ports.
-	worker := behavior.NewBuilder("worker").
+	worker := bip.NewAtom("worker").
 		Location("idle", "critical").
 		Port("enter").
 		Port("leave").
@@ -38,18 +36,18 @@ func run() error {
 	// 2. Interaction + Priority, packaged as an architecture: the
 	// token-based mutual-exclusion coordinator, composed (⊕) with a
 	// fixed-priority scheduling policy.
-	b := core.NewSystem("quickstart").
+	b := bip.NewSystem("quickstart").
 		AddAs("alice", worker).
 		AddAs("bob", worker)
-	mutex, err := arch.Mutex("mx", []arch.MutexClient{
+	mutex, err := bip.Mutex("mx", []bip.MutexClient{
 		{Comp: "alice", Acquire: "enter", Release: "leave"},
 		{Comp: "bob", Acquire: "enter", Release: "leave"},
 	})
 	if err != nil {
 		return err
 	}
-	sched := arch.FixedPriority("fp", []string{"acq_alice", "acq_bob"})
-	both, err := arch.Compose(mutex, sched)
+	sched := bip.FixedPriority("fp", []string{"acq_alice", "acq_bob"})
+	both, err := bip.ComposeArch(mutex, sched)
 	if err != nil {
 		return err
 	}
@@ -60,33 +58,33 @@ func run() error {
 	fmt.Println(sys.Stats())
 
 	// 3. Execute on the engine.
-	res, err := engine.Run(sys, engine.Options{MaxSteps: 8})
+	res, err := bip.Run(sys, bip.RunOptions{MaxSteps: 8})
 	if err != nil {
 		return err
 	}
 	fmt.Println("trace:", res.Labels)
 
-	// 4. Correctness by checking: explore the state space.
-	l, err := lts.Explore(sys, lts.Options{})
+	// 4. Correctness by checking: one streaming exploration verifies
+	// both properties on the fly — no materialized state space.
+	rep, err := bip.Verify(sys,
+		bip.Deadlock(),
+		bip.Invariant(bip.AtMostOneAt(sys, map[string]string{
+			"alice": "critical", "bob": "critical",
+		})))
 	if err != nil {
 		return err
 	}
-	okMutex, _, _ := l.CheckInvariant(arch.AtMostOneAt(sys, map[string]string{
-		"alice": "critical", "bob": "critical",
-	}))
-	free, err := l.DeadlockFree()
-	if err != nil {
-		return err
-	}
-	fmt.Printf("explicit-state: %d states, mutual exclusion=%v, deadlock-free=%v\n",
-		l.NumStates(), okMutex, free)
+	mutexOK, _ := rep.Property("invariant")
+	deadlockOK, _ := rep.Property("deadlock")
+	fmt.Printf("streaming: %d states, mutual exclusion=%v, deadlock-free=%v\n",
+		rep.States, !mutexOK.Violated, !deadlockOK.Violated && deadlockOK.Conclusive)
 
 	// 5. Correctness by construction: the compositional verifier proves
 	// deadlock-freedom without touching the product state space.
-	vr, err := invariant.Verify(sys, invariant.Options{})
+	vr, err := check.Compositional(sys, check.CompositionalOptions{})
 	if err != nil {
 		return err
 	}
-	fmt.Println("compositional:", invariant.FormatResult(vr))
+	fmt.Println("compositional:", check.FormatCompositional(vr))
 	return nil
 }

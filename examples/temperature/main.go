@@ -2,7 +2,9 @@
 // must cool through one of two rods, with conditional priorities acting
 // as the scheduling policy ("priorities steer system evolution to meet
 // performance requirements", §1.2). The run shows the rods alternating
-// under the most-rested-first policy.
+// under the most-rested-first policy; the per-step invariant check runs
+// the slot-compiled invariant forms. Everything here imports only the
+// public bip packages.
 //
 // Run with: go run ./examples/temperature
 package main
@@ -11,9 +13,8 @@ import (
 	"fmt"
 	"os"
 
-	"bip/internal/core"
-	"bip/internal/engine"
-	"bip/internal/models"
+	"bip"
+	"bip/models"
 )
 
 func main() {
@@ -31,10 +32,10 @@ func run() error {
 	fmt.Println(sys.Stats())
 	ci := sys.AtomIndex("controller")
 	cool1, cool2 := 0, 0
-	res, err := engine.Run(sys, engine.Options{
+	res, err := bip.Run(sys, bip.RunOptions{
 		MaxSteps:        60,
 		CheckInvariants: true,
-		OnStep: func(step int, label string, st core.State) {
+		OnStep: func(step int, label string, st bip.State) {
 			switch label {
 			case "cool1":
 				cool1++

@@ -1,0 +1,60 @@
+package bip
+
+import "bip/internal/expr"
+
+// Expression and statement constructors for guards, actions and
+// invariants, re-exported from the expression language. Variables are
+// referenced by name: bare ("x") inside an atom, qualified ("comp.x")
+// inside interaction guards/actions and priority conditions.
+type (
+	// Expr is a side-effect-free expression over integer and boolean
+	// variables.
+	Expr = expr.Expr
+	// Stmt is an imperative action: assignments, sequences,
+	// conditionals, bounded repetition.
+	Stmt = expr.Stmt
+	// Value is a runtime value (integer or boolean).
+	Value = expr.Value
+)
+
+// I is an integer literal.
+func I(i int64) Expr { return expr.I(i) }
+
+// B is a boolean literal.
+func B(b bool) Expr { return expr.B(b) }
+
+// V references a variable.
+func V(name string) Expr { return expr.V(name) }
+
+// Arithmetic.
+func Add(x, y Expr) Expr { return expr.Add(x, y) }
+func Sub(x, y Expr) Expr { return expr.Sub(x, y) }
+func Mul(x, y Expr) Expr { return expr.Mul(x, y) }
+func Div(x, y Expr) Expr { return expr.Div(x, y) }
+func Mod(x, y Expr) Expr { return expr.Mod(x, y) }
+func Neg(x Expr) Expr    { return expr.Neg(x) }
+
+// Comparisons.
+func Eq(x, y Expr) Expr { return expr.Eq(x, y) }
+func Ne(x, y Expr) Expr { return expr.Ne(x, y) }
+func Lt(x, y Expr) Expr { return expr.Lt(x, y) }
+func Le(x, y Expr) Expr { return expr.Le(x, y) }
+func Gt(x, y Expr) Expr { return expr.Gt(x, y) }
+func Ge(x, y Expr) Expr { return expr.Ge(x, y) }
+
+// Boolean connectives.
+func And(x, y Expr) Expr { return expr.And(x, y) }
+func Or(x, y Expr) Expr  { return expr.Or(x, y) }
+func Not(x Expr) Expr    { return expr.Not(x) }
+
+// If is the conditional expression (x ? then : else).
+func If(cond, then, els Expr) Expr { return expr.If(cond, then, els) }
+
+// Set assigns an expression to a variable.
+func Set(name string, rhs Expr) Stmt { return expr.Set(name, rhs) }
+
+// Do sequences statements.
+func Do(stmts ...Stmt) Stmt { return expr.Do(stmts...) }
+
+// When is the conditional statement.
+func When(cond Expr, then, els Stmt) Stmt { return expr.When(cond, then, els) }

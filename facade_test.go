@@ -1,0 +1,144 @@
+package bip_test
+
+import (
+	"strings"
+	"testing"
+
+	"bip"
+	"bip/check"
+	"bip/models"
+)
+
+// TestFacadeBuildRunVerify exercises the public surface end to end the
+// way an external consumer would: author a model with the builders, run
+// it on the engine, verify it streaming, and cross-check against the
+// materialized LTS and the compositional verifier — importing only bip
+// and bip/check.
+func TestFacadeBuildRunVerify(t *testing.T) {
+	worker := bip.NewAtom("worker").
+		Location("idle", "busy").
+		Int("n", 0).
+		Port("start", "n").
+		Port("done").
+		TransitionG("idle", "start", "busy", bip.Lt(bip.V("n"), bip.I(3)),
+			bip.Set("n", bip.Add(bip.V("n"), bip.I(1)))).
+		Transition("busy", "done", "idle").
+		Invariant(bip.Le(bip.V("n"), bip.I(3))).
+		MustBuild()
+	sys, err := bip.NewSystem("facade").
+		AddAs("w1", worker).
+		AddAs("w2", worker).
+		Connect("go", bip.P("w1", "start"), bip.P("w2", "start")).
+		Connect("fin", bip.P("w1", "done"), bip.P("w2", "done")).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := bip.Run(sys, bip.RunOptions{MaxSteps: 10, CheckInvariants: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Deadlocked || res.Steps != 6 {
+		t.Fatalf("run: steps=%d deadlocked=%v, want 6 steps into deadlock", res.Steps, res.Deadlocked)
+	}
+
+	rep, err := bip.Verify(sys,
+		bip.Deadlock(),
+		bip.AtomInvariants(),
+		bip.Reach(func(st bip.State) bool {
+			v, _ := st.Vars[0].Get("n")
+			i, _ := v.Int()
+			return i == 3
+		}),
+		bip.Workers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dl, ok := rep.Property("deadlock")
+	if !ok || !dl.Violated || !dl.Conclusive {
+		t.Fatalf("deadlock property: %+v", dl)
+	}
+	inv, _ := rep.Property("atom-invariants")
+	if inv.Violated {
+		t.Fatalf("atom invariants must hold: %+v", inv)
+	}
+	reach, _ := rep.Property("reach")
+	if !reach.Violated || len(reach.Path) != 5 {
+		t.Fatalf("reach n=3: %+v", reach)
+	}
+
+	// The streaming verdicts must agree with the materialized analyses.
+	l, err := check.Explore(sys, check.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dls := l.Deadlocks(); len(dls) == 0 || dls[0] != dl.State {
+		t.Fatalf("materialized deadlocks %v vs streaming state %d", dls, dl.State)
+	}
+	if got := l.PathTo(dl.State); strings.Join(got, " ") != strings.Join(dl.Path, " ") {
+		t.Fatalf("paths diverge: %v vs %v", got, dl.Path)
+	}
+}
+
+// TestExploreRejectsPropertyOptions pins that a property option passed
+// to Explore is an error, not a silently dropped check.
+func TestExploreRejectsPropertyOptions(t *testing.T) {
+	sys, err := models.Philosophers(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bip.Explore(sys, bip.Deadlock()); err == nil {
+		t.Fatal("Explore must reject Verify-only property options")
+	}
+	if _, err := bip.Explore(sys, bip.Workers(2), bip.MaxStates(100)); err != nil {
+		t.Fatalf("exploration options must be accepted: %v", err)
+	}
+}
+
+// TestFacadeParse pins the textual front door.
+func TestFacadeParse(t *testing.T) {
+	src := `
+system pingpong
+atom Player {
+  port hit
+  location l0, l1
+  init l0
+  from l0 to l1 on hit
+  from l1 to l0 on hit
+}
+instance a : Player
+instance b : Player
+connector rally = a.hit + b.hit
+`
+	sys, err := bip.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := bip.Verify(sys, bip.Deadlock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK {
+		t.Fatalf("pingpong must verify clean: %s", rep)
+	}
+	if rep.States != 2 {
+		t.Fatalf("pingpong has 2 states, verified %d", rep.States)
+	}
+}
+
+// TestFacadeCompositionalAndModels ties the model zoo to the
+// compositional checker through the public packages.
+func TestFacadeCompositionalAndModels(t *testing.T) {
+	sys, err := models.Philosophers(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vr, err := check.Compositional(sys, check.CompositionalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vr.DeadlockFree {
+		t.Fatalf("philosophers must be proved deadlock-free: %s", check.FormatCompositional(vr))
+	}
+}

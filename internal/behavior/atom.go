@@ -83,6 +83,10 @@ type Atom struct {
 	layout   *expr.Layout
 	cGuards  []expr.CompiledBool
 	cActions []expr.CompiledStmt
+	// cInvs are the invariants compiled against the same layout, so
+	// runtime invariant checking (engine, streaming verification) pays a
+	// slice index per variable access like the transition hot paths do.
+	cInvs []expr.CompiledBool
 }
 
 // locPort keys the transition index.
@@ -216,6 +220,12 @@ func (a *Atom) buildIndices() {
 			}
 		}
 	}
+	a.cInvs = make([]expr.CompiledBool, len(a.Invariants))
+	for i, inv := range a.Invariants {
+		if c, err := expr.CompileBool(inv, layout); err == nil {
+			a.cInvs[i] = c
+		}
+	}
 }
 
 // compiledGuard and compiledAction return the compiled form of
@@ -239,10 +249,16 @@ func (a *Atom) compiledAction(i int) expr.CompiledStmt {
 // false when vars does not bind exactly the declared variables, in which
 // case callers must use the map-based interpreter path.
 func (a *Atom) frameOf(vars expr.MapEnv) ([]expr.Value, bool) {
+	return a.fillFrame(vars, make([]expr.Value, len(a.Vars)))
+}
+
+// fillFrame copies vars into the caller-provided frame (len == number of
+// declared variables) in layout order, with the same exactness contract
+// as frameOf.
+func (a *Atom) fillFrame(vars expr.MapEnv, vals []expr.Value) ([]expr.Value, bool) {
 	if len(vars) != len(a.Vars) {
 		return nil, false
 	}
-	vals := make([]expr.Value, len(a.Vars))
 	for i, vd := range a.Vars {
 		v, ok := vars[vd.Name]
 		if !ok {
@@ -251,6 +267,38 @@ func (a *Atom) frameOf(vars expr.MapEnv) ([]expr.Value, bool) {
 		vals[i] = v
 	}
 	return vals, true
+}
+
+// BrokenInvariant evaluates the atom's invariants at vars and returns
+// the index of the first one that does not hold, or -1 when all hold. A
+// non-nil error reports an evaluation failure of invariant idx.
+// Invariants compiled at Validate time run over frame — the caller's
+// scratch, capacity ≥ len(a.Vars) — instead of the map env; the
+// interpreter remains the fallback (and the reference semantics).
+func (a *Atom) BrokenInvariant(vars expr.MapEnv, frame []expr.Value) (idx int, err error) {
+	if len(a.Invariants) == 0 {
+		return -1, nil
+	}
+	var vals []expr.Value
+	if a.cInvs != nil && cap(frame) >= len(a.Vars) {
+		vals, _ = a.fillFrame(vars, frame[:len(a.Vars)])
+	}
+	for i, inv := range a.Invariants {
+		var holds bool
+		var err error
+		if vals != nil && i < len(a.cInvs) && a.cInvs[i] != nil {
+			holds, err = a.cInvs[i](vals)
+		} else {
+			holds, err = expr.EvalBool(inv, vars)
+		}
+		if err != nil {
+			return i, err
+		}
+		if !holds {
+			return i, nil
+		}
+	}
+	return -1, nil
 }
 
 // HasPort reports whether the atom declares a port with the given name.

@@ -77,9 +77,54 @@ func (s *System) compileInteractions() {
 	}
 }
 
+// compilePriorities slot-compiles the conditional priority rules' When
+// expressions, one layout per rule over the (sorted) qualified variables
+// the condition reads. Called after compileInteractions in Validate, so
+// s.maxISlots can absorb the widest condition and a single iframe serves
+// both the interaction hot paths and the state-based priority filter
+// (dominatedAt). A compilation failure only disables the fast path for
+// that rule; the qualEnv interpreter remains the reference semantics.
+func (s *System) compilePriorities() {
+	for lo := range s.higher {
+		for ri := range s.higher[lo] {
+			rp := &s.higher[lo][ri]
+			rp.slots, rp.cond = nil, nil
+			if rp.When == nil {
+				continue
+			}
+			names := expr.Vars(rp.When)
+			refs := make([]slotRef, len(names))
+			ok := true
+			for k, n := range names {
+				ai, v, err := s.splitQualified(n)
+				if err != nil {
+					ok = false
+					break
+				}
+				refs[k] = slotRef{atom: ai, name: v}
+			}
+			if !ok {
+				continue
+			}
+			layout, err := expr.NewLayout(names)
+			if err != nil {
+				continue
+			}
+			cond, err := expr.CompileBool(rp.When, layout)
+			if err != nil {
+				continue
+			}
+			rp.slots, rp.cond = refs, cond
+			if len(names) > s.maxISlots {
+				s.maxISlots = len(names)
+			}
+		}
+	}
+}
+
 // newIFrame returns a scratch frame large enough for any interaction's
-// compiled guard or action, or nil when no interaction exports
-// variables. Frames are owned by step contexts (Stepper, TableDeriver,
+// compiled guard or action (and any compiled priority condition), or nil
+// when neither exists. Frames are owned by step contexts (Stepper, TableDeriver,
 // ScratchExec) or allocated per call by the from-scratch API, never by
 // the System itself — that is what keeps a validated System read-only
 // and therefore safe to share across exploration workers.

@@ -268,7 +268,7 @@ func (s *System) Enabled(st State) ([]Move, error) {
 	if err != nil {
 		return nil, err
 	}
-	return s.enabledFromTable(vec, &st, make([]bool, len(s.Interactions)), nil)
+	return s.enabledFromTable(vec, &st, make([]bool, len(s.Interactions)), s.newIFrame(), nil)
 }
 
 // Exec fires move m from st and returns the successor state. Execution
@@ -407,17 +407,42 @@ func (x *ScratchExec) Materialize(m Move) State {
 }
 
 // CheckInvariants evaluates every atom-level invariant at st and returns
-// the first violated one, if any.
+// the first violated one, if any. Repeated callers (engines, streaming
+// verification) should hold an InvariantChecker instead, which reuses
+// its evaluation frame across calls.
 func (s *System) CheckInvariants(st State) error {
-	for i, a := range s.Atoms {
-		for _, inv := range a.Invariants {
-			ok, err := expr.EvalBool(inv, st.Vars[i])
-			if err != nil {
-				return fmt.Errorf("component %s invariant %s: %w", a.Name, inv, err)
-			}
-			if !ok {
-				return fmt.Errorf("component %s violates invariant %s at %s", a.Name, inv, st.Local(i).Key())
-			}
+	return s.NewInvariantChecker().Check(st)
+}
+
+// InvariantChecker evaluates the atoms' designer-asserted invariants
+// over a reusable frame, running the slot-compiled forms built at
+// Validate time (behavior.Atom.BrokenInvariant). A checker owns its
+// scratch and is not safe for concurrent use; the System stays
+// read-only, so distinct checkers over the same System are independent.
+type InvariantChecker struct {
+	sys   *System
+	frame []expr.Value
+}
+
+// NewInvariantChecker returns a checker for s. The system must have been
+// validated.
+func (s *System) NewInvariantChecker() *InvariantChecker {
+	return &InvariantChecker{sys: s, frame: make([]expr.Value, s.maxAtomVars)}
+}
+
+// Check evaluates every atom-level invariant at st and returns the first
+// violated one, if any.
+func (c *InvariantChecker) Check(st State) error {
+	for i, a := range c.sys.Atoms {
+		if len(a.Invariants) == 0 {
+			continue
+		}
+		bad, err := a.BrokenInvariant(st.Vars[i], c.frame)
+		if err != nil {
+			return fmt.Errorf("component %s invariant %s: %w", a.Name, a.Invariants[bad], err)
+		}
+		if bad >= 0 {
+			return fmt.Errorf("component %s violates invariant %s at %s", a.Name, a.Invariants[bad], st.Local(i).Key())
 		}
 	}
 	return nil

@@ -129,7 +129,7 @@ func (sp *Stepper) Enabled() ([]Move, error) {
 	if err := sp.refresh(); err != nil {
 		return nil, err
 	}
-	out, err := sp.sys.enabledFromTable(sp.cache, &sp.st, sp.enabledInter, sp.out[:0])
+	out, err := sp.sys.enabledFromTable(sp.cache, &sp.st, sp.enabledInter, sp.frame, sp.out[:0])
 	if err != nil {
 		sp.sticky = err
 		return nil, err
@@ -172,8 +172,11 @@ func (sp *Stepper) Exec(m Move) error {
 // rule: some rule ii < High has High enabled (per the enabled vector)
 // and its condition holding in env. Domination depends only on the
 // interaction and the state, never on a particular choice vector, so it
-// is decided once per interaction. Both engines and the exploration
-// paths share this single implementation of the priority semantics.
+// is decided once per interaction. This interpreting form is the
+// reference semantics and serves callers whose conditions are evaluated
+// against something other than a global state (the multi-threaded
+// coordinator's offer environment); the state-based paths go through
+// dominatedAt, which runs the slot-compiled conditions.
 func (s *System) Dominated(ii int, enabled []bool, env expr.Env) (bool, error) {
 	for _, rp := range s.higher[ii] {
 		if !enabled[rp.High] {
@@ -191,9 +194,48 @@ func (s *System) Dominated(ii int, enabled []bool, env expr.Env) (bool, error) {
 	return false, nil
 }
 
+// dominatedAt is Dominated specialized to a global state: conditional
+// rules compiled at Validate time (compilePriorities) fill the caller's
+// scratch frame with one map read per slot and run a closure; rules the
+// compiler does not cover fall back to the qualEnv interpreter.
+func (s *System) dominatedAt(ii int, enabled []bool, st *State, frame []expr.Value) (bool, error) {
+	var env *qualEnv
+	for _, rp := range s.higher[ii] {
+		if !enabled[rp.High] {
+			continue
+		}
+		if rp.When == nil {
+			return true, nil
+		}
+		var ok bool
+		var err error
+		if rp.cond != nil {
+			f := frame[:len(rp.slots)]
+			for k, ref := range rp.slots {
+				f[k] = st.Vars[ref.atom][ref.name]
+			}
+			ok, err = rp.cond(f)
+		} else {
+			if env == nil {
+				env = &qualEnv{sys: s, st: st}
+			}
+			ok, err = expr.EvalBool(rp.When, env)
+		}
+		if err != nil {
+			return false, fmt.Errorf("priority %s < %s: %w",
+				s.Interactions[ii].Name, s.Interactions[rp.High].Name, err)
+		}
+		if ok {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
 // enabledFromTable applies the priority rules to a complete raw move
-// table and appends the maximal moves to out.
-func (s *System) enabledFromTable(table [][]Move, st *State, enabledInter []bool, out []Move) ([]Move, error) {
+// table and appends the maximal moves to out. frame is the caller's
+// scratch for compiled priority conditions (newIFrame-sized).
+func (s *System) enabledFromTable(table [][]Move, st *State, enabledInter []bool, frame []expr.Value, out []Move) ([]Move, error) {
 	if len(s.Priorities) == 0 {
 		for _, ms := range table {
 			out = append(out, ms...)
@@ -203,12 +245,11 @@ func (s *System) enabledFromTable(table [][]Move, st *State, enabledInter []bool
 	for ii, ms := range table {
 		enabledInter[ii] = len(ms) > 0
 	}
-	env := &qualEnv{sys: s, st: st}
 	for ii, ms := range table {
 		if len(ms) == 0 {
 			continue
 		}
-		dominated, err := s.Dominated(ii, enabledInter, env)
+		dominated, err := s.dominatedAt(ii, enabledInter, st, frame)
 		if err != nil {
 			return nil, err
 		}
@@ -238,7 +279,7 @@ func (s *System) EnabledVector(st State) ([][]Move, error) {
 // EnabledFromVector applies priority filtering to a move table at st and
 // returns the allowed moves, in the same order as System.Enabled.
 func (s *System) EnabledFromVector(vec [][]Move, st State) ([]Move, error) {
-	return s.enabledFromTable(vec, &st, make([]bool, len(s.Interactions)), nil)
+	return s.enabledFromTable(vec, &st, make([]bool, len(s.Interactions)), s.newIFrame(), nil)
 }
 
 // TableDeriver derives successor move tables from parent tables,
@@ -268,7 +309,7 @@ func (s *System) NewTableDeriver() *TableDeriver {
 // allowed moves to out. It reuses the deriver's scratch, so exploration
 // pays no per-state allocation for the filter.
 func (d *TableDeriver) Enabled(vec [][]Move, st State, out []Move) ([]Move, error) {
-	return d.sys.enabledFromTable(vec, &st, d.enabledInter, out)
+	return d.sys.enabledFromTable(vec, &st, d.enabledInter, d.frame, out)
 }
 
 // Raw appends every move of a table to out, in interaction order.

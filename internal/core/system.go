@@ -122,9 +122,13 @@ type System struct {
 	scopes []map[string]bool
 	// icomp[i] is interaction i's compiled guard/action over a
 	// per-interaction qualified-variable slot layout (icompile.go);
-	// maxISlots sizes the scratch frames the compiled code runs on.
+	// maxISlots sizes the scratch frames the compiled code runs on (it
+	// also covers the compiled priority When conditions).
 	icomp     []interComp
 	maxISlots int
+	// maxAtomVars sizes InvariantChecker frames: the widest per-atom
+	// variable layout.
+	maxAtomVars int
 	// keyWidth is the size of the fixed-width binary state key
 	// (AppendBinaryKey): the sum of the atoms' record widths.
 	keyWidth int
@@ -136,6 +140,12 @@ type System struct {
 type PriorityRule struct {
 	High int
 	When expr.Expr
+
+	// slots/cond are the slot-compiled form of When over its qualified
+	// variables (icompile.go); nil when When is nil or not compilable,
+	// in which case the state-based priority filter interprets.
+	slots []slotRef
+	cond  expr.CompiledBool
 }
 
 // PortAtoms returns the atom index of each port of interaction ii,
@@ -213,9 +223,14 @@ func (s *System) Validate() error {
 		s.higher[lo] = append(s.higher[lo], PriorityRule{High: hi, When: p.When})
 	}
 	s.compileInteractions()
+	s.compilePriorities()
 	s.keyWidth = 0
+	s.maxAtomVars = 0
 	for _, a := range s.Atoms {
 		s.keyWidth += a.BinaryKeyWidth()
+		if len(a.Vars) > s.maxAtomVars {
+			s.maxAtomVars = len(a.Vars)
+		}
 	}
 	return nil
 }

@@ -4,7 +4,7 @@ import (
 	"strings"
 	"testing"
 
-	"bip/internal/models"
+	"bip/models"
 )
 
 func TestDeployPhilosophersAllCRPs(t *testing.T) {

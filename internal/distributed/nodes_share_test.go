@@ -7,8 +7,8 @@ import (
 
 	"bip/internal/behavior"
 	"bip/internal/expr"
-	"bip/internal/models"
 	"bip/internal/network"
+	"bip/models"
 )
 
 // probeIP is a minimal interaction-protocol stand-in that reserves and

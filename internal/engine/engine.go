@@ -88,6 +88,10 @@ func Run(sys *core.System, opts Options) (*Result, error) {
 		sched = FirstScheduler{}
 	}
 	sp := sys.NewStepper()
+	var inv *core.InvariantChecker
+	if opts.CheckInvariants {
+		inv = sys.NewInvariantChecker()
+	}
 	res := &Result{}
 	for res.Steps < maxSteps {
 		moves, err := sp.Enabled()
@@ -103,7 +107,7 @@ func Run(sys *core.System, opts Options) (*Result, error) {
 			return nil, fmt.Errorf("engine: step %d: %w", res.Steps, err)
 		}
 		if opts.CheckInvariants {
-			if err := sys.CheckInvariants(sp.State()); err != nil {
+			if err := inv.Check(sp.State()); err != nil {
 				return nil, fmt.Errorf("engine: step %d: %w: %v", res.Steps, ErrInvariantViolated, err)
 			}
 		}

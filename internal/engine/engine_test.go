@@ -8,7 +8,7 @@ import (
 	"bip/internal/behavior"
 	"bip/internal/core"
 	"bip/internal/expr"
-	"bip/internal/models"
+	"bip/models"
 )
 
 func TestRunTokenRing(t *testing.T) {

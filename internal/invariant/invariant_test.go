@@ -5,7 +5,7 @@ import (
 
 	"bip/internal/behavior"
 	"bip/internal/core"
-	"bip/internal/models"
+	"bip/models"
 )
 
 func TestPhilosophersProvedDeadlockFree(t *testing.T) {

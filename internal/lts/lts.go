@@ -1,17 +1,21 @@
-// Package lts builds and analyzes the explicit labelled transition system
-// of a BIP system: reachability, deadlock detection, invariant checking,
+// Package lts explores the explicit state space of a BIP system and
+// analyzes it: reachability, deadlock detection, invariant checking,
 // strong bisimulation, and observational trace inclusion.
 //
 // This is the repository's "correctness-by-checking" engine — the
 // monolithic global-state verifier the paper contrasts with compositional
 // verification (package invariant). Its exhaustive exploration exhibits
 // exactly the state-explosion behaviour the paper describes (§4.3), which
-// experiment E1 measures.
+// experiment E1 measures. Exploration is streaming at heart: the drivers
+// (Stream, sequential and sharded-parallel) emit a deterministic event
+// stream into a Sink, and the on-the-fly checkers in check.go verify
+// properties as states are discovered, early-exiting on the first
+// violation with O(frontier) live memory. The materialized LTS built by
+// Explore is just one sink over the same stream.
 package lts
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
 
 	"bip/internal/core"
@@ -23,11 +27,16 @@ type Edge struct {
 	Label string
 }
 
-// LTS is the explored (portion of the) state space of a system.
+// LTS is the explored (portion of the) state space of a system. It is
+// the materializing Sink: Explore drives it over the exploration event
+// stream, and every analysis below runs on the stored graph. Analyses
+// whose answer is state-independent (Deadlocks, LabelSet) are computed
+// once on first use and cached; the cache assumes the LTS is no longer
+// fed events, which holds as soon as Explore (or the Stream call that
+// fed it) has returned.
 type LTS struct {
 	sys    *core.System
 	states []core.State
-	index  map[string]int
 	edges  [][]Edge
 
 	// parent/parentLabel store the BFS tree for counterexample paths.
@@ -35,25 +44,32 @@ type LTS struct {
 	parentLabel []string
 
 	truncated bool
+
+	// Lazily computed analysis caches (see Deadlocks, LabelSet).
+	deadlocks     []int
+	deadlocksOnce bool
+	labels        []string
+	labelsOnce    bool
 }
 
 // Options configures exploration.
 type Options struct {
-	// MaxStates bounds exploration; 0 means the default of 1<<21.
+	// MaxStates bounds exploration; 0 means DefaultMaxStates.
 	MaxStates int
 	// Raw ignores priority filtering (explores the unrestricted
 	// interaction semantics).
 	Raw bool
 	// Workers is the number of exploration workers. 0 and 1 select the
 	// sequential explorer; n > 1 the sharded parallel explorer with n
-	// workers; a negative value means GOMAXPROCS. Both explorers build
-	// the identical LTS — same state numbering, edges, BFS tree, and
-	// truncation verdict — so every analysis on top of the LTS is
-	// worker-count independent.
+	// workers; a negative value means GOMAXPROCS. Both explorers emit
+	// the identical event stream — same state numbering, edges, BFS
+	// tree, and truncation verdict — so every sink, including the
+	// materialized LTS, is worker-count independent.
 	Workers int
 }
 
-// Explore builds the reachable LTS of sys by breadth-first search.
+// Explore builds the reachable LTS of sys by breadth-first search: it
+// runs Stream with the LTS itself as the sink.
 //
 // Enabledness is computed incrementally: each frontier state carries a
 // per-interaction move table derived from its parent's table, so
@@ -67,80 +83,38 @@ type Options struct {
 // sharded across workers (see parallel.go); the result is bit-for-bit
 // the LTS the sequential explorer builds.
 func Explore(sys *core.System, opts Options) (*LTS, error) {
-	maxStates := opts.MaxStates
-	if maxStates <= 0 {
-		maxStates = 1 << 21
-	}
-	workers := opts.Workers
-	if workers < 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > 1 {
-		return exploreParallel(sys, opts, workers, maxStates)
-	}
-	l := &LTS{
-		sys:   sys,
-		index: make(map[string]int),
-	}
-	init := sys.Initial()
-	ctx := sys.NewExploreCtx()
-	l.push(string(sys.AppendBinaryKey(nil, init)), init, -1, "")
-	initVec, err := sys.EnabledVector(init)
-	if err != nil {
-		return nil, fmt.Errorf("explore state 0: %w", err)
-	}
-	// tables[i] is the move table of state i while it waits on the
-	// frontier; entries are released as soon as the state is expanded.
-	tables := [][][]core.Move{initVec}
-	for head := 0; head < len(l.states); head++ {
-		st := l.states[head]
-		vec := tables[head]
-		tables[head] = nil
-		var moves []core.Move
-		if opts.Raw {
-			moves = ctx.Deriver.Raw(vec, ctx.Moves[:0])
-		} else {
-			moves, err = ctx.Deriver.Enabled(vec, st, ctx.Moves[:0])
-			if err != nil {
-				return nil, fmt.Errorf("explore state %d: %w", head, err)
-			}
-		}
-		ctx.Moves = moves
-		for _, m := range moves {
-			view, err := ctx.Scratch.Exec(st, m)
-			if err != nil {
-				return nil, fmt.Errorf("explore state %d: %w", head, err)
-			}
-			label := sys.Label(m)
-			ctx.Key = sys.AppendBinaryKey(ctx.Key[:0], *view)
-			to, seen := l.index[string(ctx.Key)]
-			if !seen {
-				if len(l.states) >= maxStates {
-					l.truncated = true
-					continue
-				}
-				next := ctx.Scratch.Materialize(m)
-				to = l.push(string(ctx.Key), next, head, label)
-				nextVec, err := ctx.Deriver.Derive(vec, m, next)
-				if err != nil {
-					return nil, fmt.Errorf("explore state %d: %w", head, err)
-				}
-				tables = append(tables, nextVec)
-			}
-			l.edges[head] = append(l.edges[head], Edge{To: to, Label: label})
-		}
+	l := &LTS{sys: sys}
+	if _, err := Stream(sys, opts, l); err != nil {
+		return nil, err
 	}
 	return l, nil
 }
 
-func (l *LTS) push(key string, st core.State, parent int, label string) int {
-	id := len(l.states)
+// OnState implements Sink by storing the state and its BFS-tree edge.
+func (l *LTS) OnState(id int, st core.State, d Discovery) error {
+	if id != len(l.states) {
+		return fmt.Errorf("lts: state %d delivered out of order (have %d)", id, len(l.states))
+	}
 	l.states = append(l.states, st)
-	l.index[key] = id
 	l.edges = append(l.edges, nil)
-	l.parent = append(l.parent, parent)
-	l.parentLabel = append(l.parentLabel, label)
-	return id
+	l.parent = append(l.parent, d.Parent)
+	l.parentLabel = append(l.parentLabel, d.Label)
+	return nil
+}
+
+// OnEdge implements Sink.
+func (l *LTS) OnEdge(from, to int, label string) error {
+	l.edges[from] = append(l.edges[from], Edge{To: to, Label: label})
+	return nil
+}
+
+// OnExpanded implements Sink.
+func (l *LTS) OnExpanded(int, int) error { return nil }
+
+// Done implements Sink.
+func (l *LTS) Done(truncated bool) error {
+	l.truncated = truncated
+	return nil
 }
 
 // NumStates returns the number of explored states.
@@ -170,14 +144,18 @@ func (l *LTS) Edges(i int) []Edge { return l.edges[i] }
 func (l *LTS) System() *core.System { return l.sys }
 
 // Deadlocks returns the indices of states with no outgoing transition.
+// The scan runs once per LTS and is cached; the caller must not mutate
+// the result.
 func (l *LTS) Deadlocks() []int {
-	var out []int
-	for i, es := range l.edges {
-		if len(es) == 0 {
-			out = append(out, i)
+	if !l.deadlocksOnce {
+		l.deadlocksOnce = true
+		for i, es := range l.edges {
+			if len(es) == 0 {
+				l.deadlocks = append(l.deadlocks, i)
+			}
 		}
 	}
-	return out
+	return l.deadlocks
 }
 
 // DeadlockFree reports whether no reachable state is a deadlock. It
@@ -224,18 +202,23 @@ func (l *LTS) CheckInvariant(pred func(core.State) bool) (ok bool, state int, pa
 	return true, 0, nil
 }
 
-// LabelSet returns the sorted set of labels appearing in the LTS.
+// LabelSet returns the sorted set of labels appearing in the LTS. The
+// set is computed once per LTS and cached; the caller must not mutate
+// the result.
 func (l *LTS) LabelSet() []string {
-	set := make(map[string]bool)
-	for _, es := range l.edges {
-		for _, e := range es {
-			set[e.Label] = true
+	if !l.labelsOnce {
+		l.labelsOnce = true
+		set := make(map[string]bool)
+		for _, es := range l.edges {
+			for _, e := range es {
+				set[e.Label] = true
+			}
 		}
+		l.labels = make([]string, 0, len(set))
+		for s := range set {
+			l.labels = append(l.labels, s)
+		}
+		sort.Strings(l.labels)
 	}
-	out := make([]string, 0, len(set))
-	for s := range set {
-		out = append(out, s)
-	}
-	sort.Strings(out)
-	return out
+	return l.labels
 }

@@ -6,7 +6,7 @@ import (
 
 	"bip/internal/behavior"
 	"bip/internal/core"
-	"bip/internal/models"
+	"bip/models"
 )
 
 func explore(t *testing.T, sys *core.System, opts Options) *LTS {

@@ -10,7 +10,8 @@ import (
 	"bip/internal/core"
 )
 
-// This file implements the sharded parallel breadth-first explorer.
+// This file implements the sharded parallel breadth-first driver behind
+// Stream (and therefore Explore) when Options.Workers > 1.
 //
 // The BFS runs level-synchronized: all states at distance d are expanded
 // by a pool of workers before any state at distance d+1 is numbered.
@@ -21,19 +22,29 @@ import (
 // picks a shard, and the shard stores the key bytes in a flat append-only
 // arena — one mutex hold per successor, no Go string per state.
 //
-// Determinism. The sequential explorer numbers states in discovery
-// order, which for BFS is: level by level, and within a level by the
+// Determinism. The sequential driver numbers states in discovery order,
+// which for BFS is: level by level, and within a level by the
 // lexicographic (parent id, move index) of the state's first discovery.
-// The parallel explorer reproduces that numbering exactly: a state first
+// The parallel driver reproduces that numbering exactly: a state first
 // discovered this level records the smallest (parent, move) pair that
 // reached it (workers race, but the minimum is commutative), and at the
 // level barrier the fresh states are sorted by that pair and numbered in
-// order. Edge targets to still-unnumbered states are patched after the
-// barrier. Truncation is exact as well: the sequential explorer admits
-// the first MaxStates-many distinct keys in discovery order and emits no
+// order. Truncation is exact as well: the sequential driver admits the
+// first MaxStates-many distinct keys in discovery order and emits no
 // edge to a rejected key, ever — so rejected entries are kept as
-// tombstones and the sorted admission does the same cut. The result is
-// bit-for-bit the sequential LTS, which the differential tests pin.
+// tombstones and the sorted admission does the same cut.
+//
+// Streaming. Workers do not talk to the sink; they record each expanded
+// entry's outgoing moves (target entry pointers and labels) on the entry
+// itself. After the barrier has numbered the level's discoveries, the
+// driver replays the level in the sequential event order — states in id
+// order, each state's edges in move order, a fresh successor's OnState
+// emitted exactly at its minimal (parent, move) discovery edge — so the
+// sink observes a bit-identical stream at any worker count, which the
+// differential tests pin. Replayed entries are then stripped of their
+// state, move table, edge list and path node: as in the sequential
+// driver, only the frontier keeps per-state machinery and only the
+// interned dedup keys persist.
 
 // Sentinel ids of seen-set entries that have no state number (yet).
 const (
@@ -41,21 +52,31 @@ const (
 	rejectedID int32 = -2 // refused by MaxStates; tombstone, never an edge target
 )
 
+// pedge is one recorded outgoing move of an expanded entry.
+type pedge struct {
+	target *pentry
+	label  string
+	move   int32 // move index within the source's enabled set
+}
+
 // pentry is one seen-set entry: an interned key plus, while the state
-// waits on the frontier, its materialized state and move table.
+// waits on the frontier, its materialized state, move table and BFS-tree
+// node, and, between expansion and the level barrier, its recorded
+// outgoing edges.
 type pentry struct {
 	key   []byte
 	state core.State
 	vec   [][]core.Move
+	node  *pathNode
+	out   []pedge
+	moves int32
 	id    int32
 
 	// The lexicographically smallest (parent id, move index) that
-	// produced this state, and that move's interaction — the BFS-tree
-	// edge and the numbering sort key. Guarded by the owning shard's
-	// mutex until the level barrier.
+	// produced this state — the BFS-tree edge and the numbering sort
+	// key. Guarded by the owning shard's mutex until the level barrier.
 	claimParent int32
 	claimMove   int32
-	claimInter  int32
 }
 
 // shard is one lock stripe of the seen-set.
@@ -99,22 +120,14 @@ func hashKey(b []byte) uint64 {
 	return h
 }
 
-// fixup defers an edge target to the level barrier: edge pos of state
-// from points at target, which is numbered (or rejected) there.
-type fixup struct {
-	from   int32
-	pos    int32
-	target *pentry
-}
-
 // pworker is one exploration worker with its private machinery.
 type pworker struct {
-	ctx    *core.ExploreCtx
-	fixups []fixup
-	err    error
+	ctx *core.ExploreCtx
+	err error
 }
 
-func exploreParallel(sys *core.System, opts Options, workers, maxStates int) (*LTS, error) {
+func streamParallel(sys *core.System, opts Options, workers, maxStates int, sink Sink) (Stats, error) {
+	stats := Stats{States: 1, PeakFrontier: 1}
 	nShards := 1
 	for nShards < workers*8 {
 		nShards <<= 1
@@ -131,19 +144,15 @@ func exploreParallel(sys *core.System, opts Options, workers, maxStates int) (*L
 	init := sys.Initial()
 	initVec, err := sys.EnabledVector(init)
 	if err != nil {
-		return nil, fmt.Errorf("explore state 0: %w", err)
+		return stats, fmt.Errorf("explore state 0: %w", err)
 	}
 	key := sys.AppendBinaryKey(nil, init)
 	e0 := &pentry{key: key, state: init, vec: initVec, id: 0, claimParent: -1}
 	h0 := hashKey(key)
 	shards[h0&mask].table[h0] = append(shards[h0&mask].table[h0], e0)
 
-	l := &LTS{
-		sys:         sys,
-		states:      []core.State{init},
-		edges:       [][]Edge{nil},
-		parent:      []int{-1},
-		parentLabel: []string{""},
+	if err := sink.OnState(0, init, Discovery{Parent: -1}); err != nil {
+		return stats, stats.finish(err)
 	}
 
 	ws := make([]*pworker, workers)
@@ -177,7 +186,7 @@ func exploreParallel(sys *core.System, opts Options, workers, maxStates int) (*L
 						end = len(level)
 					}
 					for _, e := range level[start:end] {
-						if err := w.expand(l, sys, opts.Raw, e, shards, mask); err != nil {
+						if err := w.expand(sys, opts.Raw, e, shards, mask); err != nil {
 							w.err = err
 							return
 						}
@@ -188,7 +197,7 @@ func exploreParallel(sys *core.System, opts Options, workers, maxStates int) (*L
 		wg.Wait()
 		for _, w := range ws[:nw] {
 			if w.err != nil {
-				return nil, w.err
+				return stats, w.err
 			}
 		}
 		// Expanded states no longer need their move tables.
@@ -196,8 +205,8 @@ func exploreParallel(sys *core.System, opts Options, workers, maxStates int) (*L
 			e.vec = nil
 		}
 
-		// Barrier: gather this level's discoveries, number them in the
-		// sequential explorer's discovery order, cut at the state bound.
+		// Barrier: gather this level's discoveries and number them in the
+		// sequential driver's discovery order, cutting at the state bound.
 		fresh := freshBuf[:0]
 		for i := range shards {
 			fresh = append(fresh, shards[i].fresh...)
@@ -209,57 +218,74 @@ func exploreParallel(sys *core.System, opts Options, workers, maxStates int) (*L
 			}
 			return fresh[i].claimMove < fresh[j].claimMove
 		})
-		next := level[:0]
+		next := level[len(level):]
 		for _, e := range fresh {
-			if len(l.states) >= maxStates {
-				l.truncated = true
+			if stats.States >= maxStates {
+				stats.Truncated = true
 				e.id = rejectedID
 				e.state = core.State{}
 				e.vec = nil
 				continue
 			}
-			e.id = int32(len(l.states))
-			l.states = append(l.states, e.state)
-			l.parent = append(l.parent, int(e.claimParent))
-			l.parentLabel = append(l.parentLabel, sys.Interactions[e.claimInter].Name)
-			l.edges = append(l.edges, nil)
+			e.id = int32(stats.States)
+			stats.States++
 			next = append(next, e)
 		}
 		freshBuf = fresh
-
-		// Patch edges that pointed at now-numbered entries; edges to
-		// rejected entries are removed (the sequential explorer never
-		// emits them).
-		var pruned []int32
-		for _, w := range ws[:nw] {
-			for _, f := range w.fixups {
-				if f.target.id == rejectedID {
-					l.edges[f.from][f.pos].To = -1
-					pruned = append(pruned, f.from)
-				} else {
-					l.edges[f.from][f.pos].To = int(f.target.id)
-				}
-			}
-			w.fixups = w.fixups[:0]
+		// Live-state high-water mark: until the replay below strips
+		// them, the expanded level and the admitted discoveries are held
+		// materialized simultaneously (bound-rejected entries were
+		// stripped at admission). The level-synchronized driver's
+		// granularity makes this a slightly coarser measure than the
+		// sequential driver's running frontier — worker counts can
+		// differ on it, unlike on everything else in Stats.
+		if f := len(level) + len(next); f > stats.PeakFrontier {
+			stats.PeakFrontier = f
 		}
-		for _, from := range pruned {
-			es := l.edges[from]
-			out := es[:0]
-			for _, e := range es {
-				if e.To != -1 {
-					out = append(out, e)
+
+		// Replay the level to the sink in the sequential event order:
+		// states in id order, edges in move order, a fresh successor's
+		// OnState at its minimal discovery edge.
+		for _, e := range level {
+			for _, ed := range e.out {
+				t := ed.target
+				if t.id == rejectedID {
+					// No edge: matches the sequential driver's treatment
+					// of states refused by the bound.
+					continue
+				}
+				if t.claimParent == e.id && t.claimMove == ed.move && t.node == nil && t.id != 0 {
+					t.node = &pathNode{parent: e.node, label: ed.label}
+					if err := sink.OnState(int(t.id), t.state, Discovery{Parent: int(e.id), Label: ed.label, node: t.node}); err != nil {
+						return stats, stats.finish(err)
+					}
+				}
+				stats.Transitions++
+				if err := sink.OnEdge(int(e.id), int(t.id), ed.label); err != nil {
+					return stats, stats.finish(err)
 				}
 			}
-			l.edges[from] = out
+			if err := sink.OnExpanded(int(e.id), int(e.moves)); err != nil {
+				return stats, stats.finish(err)
+			}
+		}
+		// Strip replayed entries: only the interned dedup key persists
+		// for expanded states; children keep their BFS-tree ancestors
+		// alive through the node chain.
+		for _, e := range level {
+			e.state = core.State{}
+			e.out = nil
+			e.node = nil
 		}
 		level = next
 	}
-	return l, nil
+	return stats, stats.finish(sink.Done(stats.Truncated))
 }
 
 // expand enumerates e's moves and routes each successor through the
-// sharded seen-set, recording e's outgoing edges.
-func (w *pworker) expand(l *LTS, sys *core.System, raw bool, e *pentry, shards []shard, mask uint64) error {
+// sharded seen-set, recording e's outgoing edges on the entry for the
+// barrier replay.
+func (w *pworker) expand(sys *core.System, raw bool, e *pentry, shards []shard, mask uint64) error {
 	ctx := w.ctx
 	var moves []core.Move
 	var err error
@@ -272,10 +298,11 @@ func (w *pworker) expand(l *LTS, sys *core.System, raw bool, e *pentry, shards [
 		}
 	}
 	ctx.Moves = moves
+	e.moves = int32(len(moves))
 	if len(moves) == 0 {
 		return nil
 	}
-	edges := make([]Edge, 0, len(moves))
+	out := make([]pedge, 0, len(moves))
 	for mi, m := range moves {
 		view, err := ctx.Scratch.Exec(e.state, m)
 		if err != nil {
@@ -300,14 +327,13 @@ func (w *pworker) expand(l *LTS, sys *core.System, raw bool, e *pentry, shards [
 				id:          pendingID,
 				claimParent: e.id,
 				claimMove:   int32(mi),
-				claimInter:  int32(m.Interaction),
 			}
 			sh.table[h] = append(sh.table[h], t)
 			sh.fresh = append(sh.fresh, t)
 			created = true
 		} else if t.id == pendingID {
 			if e.id < t.claimParent || (e.id == t.claimParent && int32(mi) < t.claimMove) {
-				t.claimParent, t.claimMove, t.claimInter = e.id, int32(mi), int32(m.Interaction)
+				t.claimParent, t.claimMove = e.id, int32(mi)
 			}
 		}
 		sh.mu.Unlock()
@@ -322,20 +348,8 @@ func (w *pworker) expand(l *LTS, sys *core.System, raw bool, e *pentry, shards [
 			}
 			t.vec = vec
 		}
-		label := sys.Label(m)
-		switch {
-		case t.id >= 0:
-			edges = append(edges, Edge{To: int(t.id), Label: label})
-		case t.id == rejectedID:
-			// No edge: matches the sequential explorer's treatment of
-			// states refused by the bound.
-		default:
-			w.fixups = append(w.fixups, fixup{from: e.id, pos: int32(len(edges)), target: t})
-			edges = append(edges, Edge{To: -1, Label: label})
-		}
+		out = append(out, pedge{target: t, label: sys.Label(m), move: int32(mi)})
 	}
-	if len(edges) > 0 {
-		l.edges[e.id] = edges
-	}
+	e.out = out
 	return nil
 }

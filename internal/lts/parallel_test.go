@@ -9,7 +9,7 @@ import (
 	"bip/internal/behavior"
 	"bip/internal/core"
 	"bip/internal/expr"
-	"bip/internal/models"
+	"bip/models"
 )
 
 // requireSameLTS asserts bit-for-bit agreement of two explorations: the

@@ -1,0 +1,256 @@
+package lts
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+
+	"bip/internal/core"
+)
+
+// This file implements streaming (on-the-fly) exploration: the breadth-
+// first drivers — sequential here, sharded parallel in parallel.go — no
+// longer build a data structure of their own but emit a deterministic
+// event stream into a Sink. Materializing the full LTS (Explore) is just
+// one sink; the on-the-fly checkers in check.go are others. Both drivers
+// emit the bit-identical event sequence for the same system and options,
+// so every sink is worker-count independent.
+//
+// The memory contract is what makes streaming matter for the biggest
+// workloads: the drivers retain materialized states, move tables and
+// counterexample-path nodes only for the BFS frontier (discovered but
+// not yet expanded states). Once a state is expanded its machinery is
+// released — what remains per visited state is one fixed-width binary
+// dedup key. A checker that early-exits on the first violation therefore
+// runs in O(frontier) live memory instead of the O(statespace) states,
+// edges and BFS tree the materialized LTS retains, and never pays for
+// the part of the space behind the violation.
+
+// DefaultMaxStates is the exploration bound applied when
+// Options.MaxStates is zero. Every entry point — the library drivers and
+// the command-line tools — routes its default through this constant, so
+// CLIs and library agree.
+const DefaultMaxStates = 1 << 20
+
+// ErrStop is the sentinel a Sink returns to end exploration early
+// without reporting an error (a checker found its violation, a collector
+// has all it needs). The drivers swallow it: Stream returns nil after a
+// sink-requested stop, with Stats.Stopped set.
+var ErrStop = errors.New("lts: stop exploration")
+
+// Sink consumes the exploration event stream. Events arrive in the
+// deterministic order of the sequential breadth-first search, regardless
+// of Options.Workers:
+//
+//   - OnState(id, …) once per admitted state, in increasing id order (the
+//     initial state is id 0). The state is a materialized snapshot the
+//     sink may retain.
+//   - OnEdge(from, to, label) once per transition, grouped by source:
+//     `from` is non-decreasing, and all edges of a state are emitted
+//     between its OnState and its OnExpanded. Edges to states rejected by
+//     the MaxStates bound are not emitted (matching the materialized
+//     LTS), but such suppressed successors still count in OnExpanded's
+//     move count.
+//   - OnExpanded(id, moves) after state id's expansion completes, in
+//     increasing id order; moves is the number of enabled moves at the
+//     state, so moves == 0 identifies a deadlock even when the bound
+//     truncated the edge stream.
+//   - Done(truncated) once, after the full (possibly truncated)
+//     exploration — but not after an ErrStop.
+//
+// Methods are never called concurrently. Returning ErrStop ends the
+// exploration early; any other error aborts it and is returned by the
+// driver.
+type Sink interface {
+	OnState(id int, st core.State, d Discovery) error
+	OnEdge(from, to int, label string) error
+	OnExpanded(id, moves int) error
+	Done(truncated bool) error
+}
+
+// pathNode is one edge of the frontier-resident BFS tree: the label of
+// the discovery transition plus the parent state's node. Nodes are
+// reachable only through the Discovery handles of frontier states (and
+// through their children's nodes), so the tree shrinks to the ancestors
+// of the live frontier as exploration proceeds — expanded branches are
+// garbage-collected instead of being retained for the whole run.
+type pathNode struct {
+	parent *pathNode
+	label  string
+}
+
+// Discovery describes how a state was first reached: the BFS-tree edge
+// (Parent, Label) and a handle on the frontier-resident path back to the
+// initial state. The zero Discovery (Parent == -1) is the initial state.
+type Discovery struct {
+	// Parent is the id of the state whose expansion discovered this one;
+	// -1 for the initial state.
+	Parent int
+	// Label is the interaction label of the discovery transition; empty
+	// for the initial state.
+	Label string
+
+	node *pathNode
+}
+
+// Path returns the interaction labels leading from the initial state to
+// the discovered state along the BFS tree — the same path the
+// materialized LTS reconstructs with PathTo.
+func (d Discovery) Path() []string {
+	n := 0
+	for p := d.node; p != nil; p = p.parent {
+		n++
+	}
+	out := make([]string, n)
+	for p := d.node; p != nil; p = p.parent {
+		n--
+		out[n] = p.label
+	}
+	return out
+}
+
+// Stats summarizes a streaming run.
+type Stats struct {
+	// States is the number of admitted (numbered) states.
+	States int
+	// Transitions is the number of edges emitted.
+	Transitions int
+	// PeakFrontier is the streaming memory high-water mark experiment
+	// E16 compares against the materialized state count: the maximum
+	// number of states the driver held materialized at once. For the
+	// sequential driver this is exactly the running frontier
+	// (discovered-but-unexpanded states); the level-synchronized
+	// parallel driver measures per level (the level being expanded plus
+	// its admitted discoveries), which is coarser — it is the one Stats
+	// field that may differ across worker counts.
+	PeakFrontier int
+	// Truncated reports that the MaxStates bound cut the exploration.
+	Truncated bool
+	// Stopped reports that the sink ended the exploration early with
+	// ErrStop.
+	Stopped bool
+}
+
+// Stream explores the reachable state space of sys breadth-first and
+// feeds the event stream to sink. With Options.Workers > 1 the expansion
+// work is sharded across workers (parallel.go) while the event stream
+// stays bit-identical to the sequential one. Stream returns once the
+// space is exhausted, the MaxStates bound is hit, or the sink stops it.
+func Stream(sys *core.System, opts Options, sink Sink) (Stats, error) {
+	maxStates := opts.MaxStates
+	if maxStates <= 0 {
+		maxStates = DefaultMaxStates
+	}
+	workers := opts.Workers
+	if workers < 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > 1 {
+		return streamParallel(sys, opts, workers, maxStates, sink)
+	}
+	return streamSeq(sys, opts, maxStates, sink)
+}
+
+// seqEntry is one frontier slot of the sequential driver: the
+// materialized state, its per-interaction move table, and its BFS-tree
+// node. Entries are zeroed as soon as the state is expanded.
+type seqEntry struct {
+	st   core.State
+	vec  [][]core.Move
+	node *pathNode
+}
+
+func streamSeq(sys *core.System, opts Options, maxStates int, sink Sink) (Stats, error) {
+	stats := Stats{States: 1, PeakFrontier: 1}
+	init := sys.Initial()
+	ctx := sys.NewExploreCtx()
+	seen := make(map[string]int)
+	seen[string(sys.AppendBinaryKey(nil, init))] = 0
+	initVec, err := sys.EnabledVector(init)
+	if err != nil {
+		return stats, fmt.Errorf("explore state 0: %w", err)
+	}
+	if err := sink.OnState(0, init, Discovery{Parent: -1}); err != nil {
+		return stats, stats.finish(err)
+	}
+	// queue holds the frontier; queue[head] is the next state to expand
+	// and carries id base+head. Expanded slots are zeroed and the window
+	// is compacted once the dead prefix dominates, so the driver's live
+	// memory tracks the frontier, not the visited set.
+	queue := []seqEntry{{st: init, vec: initVec}}
+	base, head := 0, 0
+	for head < len(queue) {
+		id := base + head
+		e := queue[head]
+		queue[head] = seqEntry{}
+		head++
+		if head > 64 && head*2 >= len(queue) {
+			n := copy(queue, queue[head:])
+			queue = queue[:n]
+			base += head
+			head = 0
+		}
+		var moves []core.Move
+		if opts.Raw {
+			moves = ctx.Deriver.Raw(e.vec, ctx.Moves[:0])
+		} else {
+			moves, err = ctx.Deriver.Enabled(e.vec, e.st, ctx.Moves[:0])
+			if err != nil {
+				return stats, fmt.Errorf("explore state %d: %w", id, err)
+			}
+		}
+		ctx.Moves = moves
+		for _, m := range moves {
+			view, err := ctx.Scratch.Exec(e.st, m)
+			if err != nil {
+				return stats, fmt.Errorf("explore state %d: %w", id, err)
+			}
+			label := sys.Label(m)
+			ctx.Key = sys.AppendBinaryKey(ctx.Key[:0], *view)
+			to, dup := seen[string(ctx.Key)]
+			if !dup {
+				if stats.States >= maxStates {
+					stats.Truncated = true
+					continue
+				}
+				next := ctx.Scratch.Materialize(m)
+				nextVec, err := ctx.Deriver.Derive(e.vec, m, next)
+				if err != nil {
+					return stats, fmt.Errorf("explore state %d: %w", id, err)
+				}
+				to = stats.States
+				stats.States++
+				seen[string(ctx.Key)] = to
+				node := &pathNode{parent: e.node, label: label}
+				queue = append(queue, seqEntry{st: next, vec: nextVec, node: node})
+				if f := len(queue) - head; f > stats.PeakFrontier {
+					stats.PeakFrontier = f
+				}
+				if err := sink.OnState(to, next, Discovery{Parent: id, Label: label, node: node}); err != nil {
+					return stats, stats.finish(err)
+				}
+			}
+			stats.Transitions++
+			if err := sink.OnEdge(id, to, label); err != nil {
+				return stats, stats.finish(err)
+			}
+		}
+		if err := sink.OnExpanded(id, len(moves)); err != nil {
+			return stats, stats.finish(err)
+		}
+	}
+	return stats, stats.finish(sink.Done(stats.Truncated))
+}
+
+// finish folds a sink return value into the run outcome: ErrStop is a
+// normal early termination, anything else an error.
+func (s *Stats) finish(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, ErrStop) {
+		s.Stopped = true
+		return nil
+	}
+	return err
+}

@@ -1,0 +1,27 @@
+// Package lustre is the public facade over the synchronous data-flow
+// embedding (§5.3, Fig. 5.2): a Lustre-style program is translated into
+// a BIP system whose cycle-by-cycle behaviour matches the reference
+// stream interpreter.
+package lustre
+
+import ilustre "bip/internal/lustre"
+
+type (
+	// Program is a synchronous data-flow program: a list of equations
+	// over integer streams with pre/-> operators.
+	Program = ilustre.Program
+	// Embedding is the BIP translation of a Program; Run executes it
+	// cycle by cycle on the engine.
+	Embedding = ilustre.Embedding
+	// Interp is the reference stream interpreter.
+	Interp = ilustre.Interp
+)
+
+// Integrator returns the paper's running example: Y = X + pre(Y).
+func Integrator() *Program { return ilustre.Integrator() }
+
+// Embed translates p into a BIP system.
+func Embed(p *Program) (*Embedding, error) { return ilustre.Embed(p) }
+
+// NewInterp returns the reference interpreter for p.
+func NewInterp(p *Program) (*Interp, error) { return ilustre.NewInterp(p) }

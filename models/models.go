@@ -5,8 +5,9 @@
 // controller, the elevator of the paper's introduction, and the GCD
 // program of Fig. 6.1.
 //
-// All models are pure control-plus-data BIP systems built against the
-// public core API; they double as executable documentation of that API.
+// The package is part of the public surface (import "bip/models"): the
+// zoo doubles as executable documentation of the model-building API and
+// as the workload library for external benchmarking.
 package models
 
 import (

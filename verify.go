@@ -1,0 +1,252 @@
+package bip
+
+import (
+	"fmt"
+
+	"bip/internal/core"
+	"bip/internal/lts"
+)
+
+// Verify streams the reachable state space of sys through on-the-fly
+// checkers selected by functional options:
+//
+//	rep, err := bip.Verify(sys,
+//	    bip.Deadlock(),
+//	    bip.Invariant(pred),
+//	    bip.Workers(4),
+//	    bip.MaxStates(1<<22))
+//
+// One exploration answers every requested property. Each checker
+// early-exits on the first violation it finds, and the exploration stops
+// as soon as every property is settled — a model that violates early is
+// verified without materializing (or even visiting) the rest of its
+// state space, in O(frontier) live memory. With no property options,
+// Verify checks deadlock-freedom.
+//
+// Verdicts are deterministic and worker-count independent: the streaming
+// checkers observe the sequential exploration order at any Workers
+// setting, so the reported states and counterexample paths are
+// bit-identical to the corresponding analyses on the materialized LTS
+// (check.Explore), which the differential tests pin.
+func Verify(sys *System, opts ...Option) (*Report, error) {
+	cfg := verifyConfig{}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if len(cfg.specs) == 0 {
+		Deadlock()(&cfg)
+	}
+	props := make([]property, len(cfg.specs))
+	sinks := make([]lts.Sink, len(cfg.specs))
+	for i, spec := range cfg.specs {
+		props[i] = spec(sys)
+		sinks[i] = props[i].sink
+	}
+	stats, err := lts.Stream(sys, lts.Options{
+		MaxStates: cfg.maxStates,
+		Workers:   cfg.workers,
+		Raw:       cfg.raw,
+	}, lts.NewMulti(sinks...))
+	if err != nil {
+		return nil, fmt.Errorf("bip: verify %s: %w", sys.Name, err)
+	}
+	rep := &Report{
+		States:      stats.States,
+		Transitions: stats.Transitions,
+		Truncated:   stats.Truncated,
+		OK:          true,
+	}
+	for _, p := range props {
+		prop := p.result()
+		rep.Properties = append(rep.Properties, prop)
+		if prop.Violated || !prop.Conclusive {
+			rep.OK = false
+		}
+	}
+	return rep, nil
+}
+
+// Explore materializes the reachable LTS of sys — the full graph for
+// analyses that need it (bisimulation, label sets, arbitrary queries).
+// Prefer Verify when only property verdicts are wanted: the streaming
+// checkers answer those without retaining the state space. Only the
+// exploration options (Workers, MaxStates, Raw) apply here; passing a
+// property option (Deadlock, Invariant, …) is an error rather than a
+// silently dropped check.
+func Explore(sys *System, opts ...Option) (*lts.LTS, error) {
+	cfg := verifyConfig{}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if len(cfg.specs) > 0 {
+		return nil, fmt.Errorf("bip: explore %s: property options are Verify-only (got %d); call Verify for on-the-fly checks", sys.Name, len(cfg.specs))
+	}
+	return lts.Explore(sys, lts.Options{
+		MaxStates: cfg.maxStates,
+		Workers:   cfg.workers,
+		Raw:       cfg.raw,
+	})
+}
+
+// Option configures Verify and Explore.
+type Option func(*verifyConfig)
+
+type verifyConfig struct {
+	workers   int
+	maxStates int
+	raw       bool
+	specs     []propSpec
+}
+
+// propSpec builds a property's checker once the system is known (Verify
+// time), so options like AtomInvariants need no system argument.
+type propSpec func(sys *System) property
+
+// property couples a streaming checker with the extraction of its
+// verdict once the exploration returns.
+type property struct {
+	sink   lts.Sink
+	result func() Property
+}
+
+// Workers sets the number of exploration workers (negative means
+// GOMAXPROCS). The verdicts do not depend on it.
+func Workers(n int) Option { return func(c *verifyConfig) { c.workers = n } }
+
+// MaxStates bounds the exploration; 0 means the shared library default
+// (check.DefaultMaxStates). Hitting the bound makes absence verdicts
+// inconclusive, which the Report records.
+func MaxStates(n int) Option { return func(c *verifyConfig) { c.maxStates = n } }
+
+// Raw explores the unrestricted interaction semantics, ignoring
+// priority filtering.
+func Raw() Option { return func(c *verifyConfig) { c.raw = true } }
+
+// Deadlock requests an on-the-fly deadlock-freedom check. A reachable
+// deadlock is reported with its counterexample path; the check is then
+// settled and stops consuming the exploration.
+func Deadlock() Option {
+	return func(c *verifyConfig) {
+		c.specs = append(c.specs, func(*System) property {
+			chk := &lts.DeadlockCheck{}
+			return checkerProperty("deadlock", chk, &chk.Verdict)
+		})
+	}
+}
+
+// checkerProperty couples a checker sink with the extraction of its
+// (embedded, shared) verdict into a Property.
+func checkerProperty(name string, sink lts.Sink, v *lts.Verdict) property {
+	return property{
+		sink: sink,
+		result: func() Property {
+			return Property{
+				Name:       name,
+				Violated:   v.Found,
+				State:      v.State,
+				Path:       v.Path,
+				Conclusive: v.Found || v.Exhaustive,
+			}
+		},
+	}
+}
+
+// Invariant requests an on-the-fly check that pred holds on every
+// reachable state. The first violating state (in exploration order) is
+// reported with its counterexample path.
+func Invariant(pred func(State) bool) Option {
+	return invariantProp("invariant", func(*System) func(core.State) bool { return pred })
+}
+
+// AtomInvariants requests an on-the-fly check of the designer-asserted
+// per-component invariants (evaluated through their slot-compiled
+// forms).
+func AtomInvariants() Option {
+	return invariantProp("atom-invariants", func(sys *System) func(core.State) bool {
+		chk := sys.NewInvariantChecker()
+		return func(st State) bool { return chk.Check(st) == nil }
+	})
+}
+
+func invariantProp(name string, mkPred func(*System) func(core.State) bool) Option {
+	return func(c *verifyConfig) {
+		c.specs = append(c.specs, func(sys *System) property {
+			chk := &lts.InvariantCheck{Pred: mkPred(sys)}
+			return checkerProperty(name, chk, &chk.Verdict)
+		})
+	}
+}
+
+// Reach requests an on-the-fly bad-state reachability query: the first
+// state satisfying pred is reported with its witness path, and Violated
+// is set (reaching the target counts against Report.OK). With full
+// coverage and no hit, the target is proved unreachable.
+func Reach(pred func(State) bool) Option {
+	return func(c *verifyConfig) {
+		c.specs = append(c.specs, func(*System) property {
+			chk := &lts.ReachCheck{Pred: pred}
+			return checkerProperty("reach", chk, &chk.Verdict)
+		})
+	}
+}
+
+// Property is the outcome of one requested check.
+type Property struct {
+	// Name identifies the check: "deadlock", "invariant",
+	// "atom-invariants" or "reach".
+	Name string
+	// Violated reports a definite violation — a reachable deadlock, an
+	// invariant-breaking state or, for Reach, the target being found.
+	Violated bool
+	// State is the id (exploration order) of the violating/target state;
+	// meaningful when Violated.
+	State int
+	// Path is the interaction sequence leading from the initial state to
+	// State; meaningful when Violated.
+	Path []string
+	// Conclusive reports that the verdict is definite: either a
+	// violation was found, or the full state space was covered without
+	// one. It is false when the MaxStates bound (or another property's
+	// early stop ending the exploration) left the check unsettled.
+	Conclusive bool
+}
+
+// Report is the outcome of a Verify run.
+type Report struct {
+	// Properties holds one entry per requested check, in option order.
+	Properties []Property
+	// States and Transitions count what the exploration visited before
+	// finishing or stopping early.
+	States      int
+	Transitions int
+	// Truncated reports that the MaxStates bound cut the exploration.
+	Truncated bool
+	// OK is true when every property is conclusive and none is violated.
+	OK bool
+}
+
+// Property returns the named property's outcome.
+func (r *Report) Property(name string) (Property, bool) {
+	for _, p := range r.Properties {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Property{}, false
+}
+
+// String renders a one-line summary per property.
+func (r *Report) String() string {
+	out := fmt.Sprintf("verified %d states, %d transitions", r.States, r.Transitions)
+	for _, p := range r.Properties {
+		switch {
+		case p.Violated:
+			out += fmt.Sprintf("; %s VIOLATED at state %d via %v", p.Name, p.State, p.Path)
+		case p.Conclusive:
+			out += fmt.Sprintf("; %s ok", p.Name)
+		default:
+			out += fmt.Sprintf("; %s inconclusive", p.Name)
+		}
+	}
+	return out
+}
