@@ -37,19 +37,30 @@ bench:
 
 # apicheck enforces the public-API boundary: tools and examples must be
 # buildable by an external consumer, so nothing under cmd/ or examples/
-# may import bip/internal.
+# may import bip/internal; and the property algebra's tests must stay
+# black-box (package prop_test over the public surface), so that every
+# prop feature is demonstrably reachable from outside the module.
 apicheck:
 	@if grep -rn "bip/internal" cmd examples; then \
 		echo "bip/internal imports leaked into cmd/ or examples/"; exit 1; \
 	else echo "apicheck: cmd/ and examples/ use only the public API"; fi
+	@if grep -n '"bip/internal' prop/*_test.go; then \
+		echo "prop tests must exercise the public surface only"; exit 1; \
+	else echo "apicheck: prop tests are black-box over the public API"; fi
 
 # examples builds and runs every example as a smoke test of the public
-# API surface (small sizes; each exits 0 on success).
+# API surface (small sizes; each exits 0 on success), plus a bipc run
+# checking textual properties end to end (parse → compile → stream).
 examples:
 	$(GO) run ./examples/quickstart
 	$(GO) run ./examples/elevator
 	$(GO) run ./examples/temperature
 	$(GO) run ./examples/philosophers -n 4
 	$(GO) run ./examples/lustre-integrator
+	$(GO) run ./cmd/bipc \
+		-prop 'always(l.n <= 10)' \
+		-prop 'after(hit, until(l.n >= 1, back))' \
+		-prop 'never(at(l, b) & at(r, a))' \
+		examples/pingpong.bip
 
 verify: fmt vet build test apicheck

@@ -1,5 +1,5 @@
 // This file holds the root benchmark harness: one Go benchmark per
-// experiment of DESIGN.md's paper↔experiment index (E1–E16). Each
+// experiment of DESIGN.md's paper↔experiment index (E1–E17). Each
 // benchmark drives the same code as `bipbench -e <id>`, so the numbers
 // printed by `go test -bench` regenerate the tables of EXPERIMENTS.md.
 package bip_test
@@ -87,6 +87,10 @@ func BenchmarkE16StreamingMemory(b *testing.B) {
 	run(b, func() (*bench.Table, error) { return bench.E16StreamingMemory(3) })
 }
 
+func BenchmarkE17PropertyCheck(b *testing.B) {
+	run(b, func() (*bench.Table, error) { return bench.E17PropertyCheck(3) })
+}
+
 // BenchmarkStreamDeadlock measures the streaming deadlock check against
 // materialized exploration on the E16 workload: same visited space, but
 // the streaming side retains only the frontier.
@@ -154,6 +158,10 @@ func BenchmarkExplore(b *testing.B) {
 	for _, c := range cases {
 		for _, w := range []int{1, 2, 4, 8} {
 			b.Run(fmt.Sprintf("%s/workers=%d", c.name, w), func(b *testing.B) {
+				// allocs/op pins the dedup sets' arena behaviour: since the
+				// sequential driver adopted the arena-backed table (PR 4),
+				// neither driver interns a Go string per state.
+				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					l, err := lts.Explore(c.sys, lts.Options{Workers: w})
 					if err != nil {

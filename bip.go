@@ -15,9 +15,11 @@
 //     engines;
 //   - verification: Verify streams the state space through on-the-fly
 //     checkers with functional options — Verify(sys, Deadlock(),
-//     Invariant(pred), Workers(4)) — early-exiting on the first violation
-//     with a counterexample path; Explore materializes the LTS when the
-//     whole graph is wanted.
+//     Prop(prop.Never(...)), Workers(4)) — early-exiting on the first
+//     violation with a counterexample path; properties are declarative
+//     values of the bip/prop algebra (state predicates, safety-temporal
+//     operators, observer automata), parseable from text with ParseProp;
+//     Explore materializes the LTS when the whole graph is wanted.
 //
 // Deeper machinery lives in the subpackages: bip/check (streaming sinks,
 // the materialized LTS, bisimulation, compositional D-Finder-style
@@ -31,6 +33,7 @@ import (
 	"bip/internal/behavior"
 	"bip/internal/core"
 	"bip/internal/dsl"
+	"bip/prop"
 )
 
 // Model-building types, re-exported from the composition core.
@@ -95,3 +98,13 @@ func Trig(comp, port string) ConnectorEnd { return core.Trig(comp, port) }
 // Parse elaborates a program in the textual BIP dialect into a validated
 // System.
 func Parse(src string) (*System, error) { return dsl.Parse(src) }
+
+// ParseProp parses a textual property into the bip/prop algebra — the
+// same syntax prop values render with String:
+//
+//	p, err := bip.ParseProp(`after(depart, until(at(door, closed), arrive))`)
+//	rep, err := bip.Verify(sys, bip.Prop(p))
+//
+// Pass the result to the Prop option (optionally wrapped in Named); it
+// is resolved and compiled against the system when Verify runs.
+func ParseProp(src string) (prop.Prop, error) { return dsl.ParseProp(src) }

@@ -43,6 +43,12 @@ type (
 	InvariantCheck = lts.InvariantCheck
 	// ReachCheck searches for a target state on the fly.
 	ReachCheck = lts.ReachCheck
+	// Observer is a compiled deterministic observer automaton — the
+	// form the bip/prop algebra's safety-temporal operators compile to.
+	Observer = lts.Observer
+	// AutomatonCheck verifies an Observer property on the fly by
+	// incremental product reachability over the event stream.
+	AutomatonCheck = lts.AutomatonCheck
 	// Multi fans the event stream out to several sinks.
 	Multi = lts.Multi
 	// LTS is the materialized state space and its analyses.
@@ -78,6 +84,11 @@ func Explore(sys *bip.System, opts Options) (*LTS, error) {
 // NewMulti combines sinks so one exploration answers many queries; see
 // Multi.
 func NewMulti(sinks ...Sink) *Multi { return lts.NewMulti(sinks...) }
+
+// NewAutomatonCheck returns a checker for a compiled observer. Most
+// callers go through bip.Verify with a bip/prop property instead;
+// prop.Compile is what builds the Observer.
+func NewAutomatonCheck(obs *Observer) *AutomatonCheck { return lts.NewAutomatonCheck(obs) }
 
 // Bisimilar decides strong bisimilarity of the initial states of two
 // materialized LTSs after relabeling.

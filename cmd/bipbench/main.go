@@ -1,6 +1,7 @@
 // Command bipbench regenerates the paper-reproduction experiments
 // (E1–E14 of DESIGN.md, plus the E15 parallel-exploration scaling table
-// and the E16 streaming-memory comparison) and prints them;
+// the E16 streaming-memory comparison and the E17 property-algebra
+// checking costs) and prints them;
 // EXPERIMENTS.md records a reference run.
 //
 // Usage:
@@ -20,7 +21,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("e", "all", "experiment id (e1..e16) or all")
+	exp := flag.String("e", "all", "experiment id (e1..e17) or all")
 	quick := flag.Bool("quick", false, "reduced problem sizes")
 	flag.Parse()
 	if err := run(*exp, *quick); err != nil {
@@ -69,6 +70,7 @@ func run(exp string, quick bool) error {
 		{"e14", bench.E14Elevator},
 		{"e15", func() (*bench.Table, error) { return bench.E15ExploreScaling(exploreWorkers) }},
 		{"e16", func() (*bench.Table, error) { return bench.E16StreamingMemory(memRings) }},
+		{"e17", func() (*bench.Table, error) { return bench.E17PropertyCheck(memRings) }},
 	}
 	want := strings.ToLower(exp)
 	found := false
@@ -84,7 +86,7 @@ func run(exp string, quick bool) error {
 		fmt.Println(t.String())
 	}
 	if !found {
-		return fmt.Errorf("unknown experiment %q (want e1..e16 or all)", exp)
+		return fmt.Errorf("unknown experiment %q (want e1..e17 or all)", exp)
 	}
 	return nil
 }

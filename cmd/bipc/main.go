@@ -1,14 +1,15 @@
 // Command bipc is the front-end of the BIP textual language: it parses
 // and validates a .bip file, reports the model's structure, and can run
 // quick analyses — compositional verification, on-the-fly streaming
-// checks, or explicit-state exploration. It is built entirely on the
-// public bip / bip/check API.
+// checks, declarative property checking, or explicit-state exploration.
+// It is built entirely on the public bip / bip/check / bip/prop API.
 //
 // Usage:
 //
 //	bipc model.bip
 //	bipc -verify model.bip
 //	bipc -check model.bip
+//	bipc -prop 'always(l.n <= 10)' -prop 'after(hit, until(l.n >= 1, back))' model.bip
 //	bipc -explore model.bip
 package main
 
@@ -19,7 +20,18 @@ import (
 
 	"bip"
 	"bip/check"
+	"bip/prop"
 )
+
+// propFlags collects repeated -prop occurrences.
+type propFlags []string
+
+func (p *propFlags) String() string { return fmt.Sprint(*p) }
+
+func (p *propFlags) Set(v string) error {
+	*p = append(*p, v)
+	return nil
+}
 
 func main() {
 	verify := flag.Bool("verify", false, "run compositional verification")
@@ -27,18 +39,20 @@ func main() {
 	explore := flag.Bool("explore", false, "run explicit-state exploration (materialized LTS)")
 	maxStates := flag.Int("max-states", 0, fmt.Sprintf("exploration bound (0 = library default, %d)", check.DefaultMaxStates))
 	workers := flag.Int("workers", 1, "exploration workers (<0 = GOMAXPROCS)")
+	var props propFlags
+	flag.Var(&props, "prop", "textual property to check on the fly (repeatable): always/never/until/after/between/reachable/deadlockfree")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: bipc [-verify] [-check] [-explore] [-workers n] file.bip")
+		fmt.Fprintln(os.Stderr, "usage: bipc [-verify] [-check] [-prop p]... [-explore] [-workers n] file.bip")
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *verify, *chk, *explore, *maxStates, *workers); err != nil {
+	if err := run(flag.Arg(0), *verify, *chk, *explore, *maxStates, *workers, props); err != nil {
 		fmt.Fprintln(os.Stderr, "bipc:", err)
 		os.Exit(1)
 	}
 }
 
-func run(path string, verify, chk, explore bool, maxStates, workers int) error {
+func run(path string, verify, chk, explore bool, maxStates, workers int, props []string) error {
 	src, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -73,6 +87,31 @@ func run(path string, verify, chk, explore bool, maxStates, workers int) error {
 			return err
 		}
 		fmt.Println(rep.String())
+	}
+	if len(props) > 0 {
+		// All requested properties ride one exploration; compile errors
+		// (unknown components, locations, labels) surface before it runs.
+		opts := []bip.Option{bip.MaxStates(maxStates), bip.Workers(workers)}
+		var parsed []prop.Prop
+		for _, src := range props {
+			p, err := bip.ParseProp(src)
+			if err != nil {
+				return fmt.Errorf("-prop %q: %w", src, err)
+			}
+			parsed = append(parsed, p)
+			opts = append(opts, bip.Prop(p))
+		}
+		rep, err := bip.Verify(sys, opts...)
+		if err != nil {
+			return err
+		}
+		for i, p := range rep.Properties {
+			fmt.Printf("  property %-12s %s\n", p.Name+":", parsed[i].String())
+		}
+		fmt.Println(rep.String())
+		if !rep.OK {
+			return fmt.Errorf("%s: a property is violated or inconclusive", sys.Name)
+		}
 	}
 	if explore {
 		l, err := bip.Explore(sys, bip.MaxStates(maxStates), bip.Workers(workers))

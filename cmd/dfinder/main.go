@@ -10,6 +10,7 @@
 //	dfinder -model philosophers -n 8
 //	dfinder -model gasstation -n 3 -m 4
 //	dfinder -model philosophers2p -n 4 -mono
+//	dfinder -model philosophers -n 4 -prop 'never(at(phil0, eating) & at(phil1, eating))'
 package main
 
 import (
@@ -30,11 +31,24 @@ func main() {
 	mono := flag.Bool("mono", false, "also run the monolithic streaming deadlock checker")
 	traps := flag.Int("traps", 0, "max interaction invariants (0 = auto)")
 	workers := flag.Int("workers", 1, "monolithic exploration workers (<0 = GOMAXPROCS)")
+	maxStates := flag.Int("max-states", 0, "exploration bound for -prop/-mono (0 = library default; data-carrying models are unbounded)")
+	var props propFlags
+	flag.Var(&props, "prop", "textual property to check on the built model (repeatable)")
 	flag.Parse()
-	if err := run(*model, *n, *m, *mono, *traps, *workers); err != nil {
+	if err := run(*model, *n, *m, *mono, *traps, *workers, *maxStates, props); err != nil {
 		fmt.Fprintln(os.Stderr, "dfinder:", err)
 		os.Exit(1)
 	}
+}
+
+// propFlags collects repeated -prop occurrences.
+type propFlags []string
+
+func (p *propFlags) String() string { return fmt.Sprint(*p) }
+
+func (p *propFlags) Set(v string) error {
+	*p = append(*p, v)
+	return nil
 }
 
 func buildModel(model string, n, m int) (*bip.System, error) {
@@ -56,12 +70,28 @@ func buildModel(model string, n, m int) (*bip.System, error) {
 	}
 }
 
-func run(model string, n, m int, mono bool, maxTraps, workers int) error {
+func run(model string, n, m int, mono bool, maxTraps, workers, maxStates int, props []string) error {
 	sys, err := buildModel(model, n, m)
 	if err != nil {
 		return err
 	}
 	fmt.Println(sys.Stats())
+
+	if len(props) > 0 {
+		opts := []bip.Option{bip.Workers(workers), bip.MaxStates(maxStates)}
+		for _, src := range props {
+			p, err := bip.ParseProp(src)
+			if err != nil {
+				return fmt.Errorf("-prop %q: %w", src, err)
+			}
+			opts = append(opts, bip.Prop(p))
+		}
+		rep, err := bip.Verify(sys, opts...)
+		if err != nil {
+			return err
+		}
+		fmt.Println(rep.String())
+	}
 
 	t0 := time.Now()
 	res, err := check.Compositional(sys, check.CompositionalOptions{MaxTraps: maxTraps})
@@ -79,7 +109,7 @@ func run(model string, n, m int, mono bool, maxTraps, workers int) error {
 		return err
 	}
 	t1 := time.Now()
-	rep, err := bip.Verify(ctl, bip.Deadlock(), bip.Workers(workers))
+	rep, err := bip.Verify(ctl, bip.Deadlock(), bip.Workers(workers), bip.MaxStates(maxStates))
 	if err != nil {
 		return err
 	}

@@ -1,10 +1,12 @@
 // Elevator: the requirement from the paper's introduction — "when the
 // cabin is moving all doors must be closed" — established by
-// construction (the door participates in every movement interaction) and
-// verified two ways. The unsafe variant shows the streaming checker
-// catching the violation with a counterexample path while early-exiting:
-// it stops at the first bad state instead of materializing the full
-// state space.
+// construction (the door participates in every movement interaction)
+// and verified declaratively: as an invariant of the bip/prop algebra
+// and as the temporal door-safety property "after a depart, the door
+// stays closed until the arrive". The unsafe variant shows the
+// streaming checkers catching both violations with counterexample paths
+// while early-exiting: they stop at the first bad state/run instead of
+// materializing the full state space.
 //
 // Run with: go run ./examples/elevator
 package main
@@ -17,6 +19,7 @@ import (
 	"bip"
 	"bip/check"
 	"bip/models"
+	"bip/prop"
 )
 
 func main() {
@@ -35,19 +38,41 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	for _, sys := range []*bip.System{safe, unsafe} {
+	// The requirement, stated two ways. The invariant is the state
+	// predicate of the paper's introduction; the After property is its
+	// temporal reading over the event stream: once the cabin departs,
+	// the door must stay closed until it arrives. (The movement labels
+	// differ between the variants — the unsafe one cut the door out of
+	// the movement interactions, leaving cabin-only singletons — and
+	// property compilation validates labels, so each variant names its
+	// own events.)
+	requirement := prop.Always(prop.Implies(
+		prop.At("cabin", "moving"), prop.At("door", "closed")))
+	cases := []struct {
+		sys            *bip.System
+		depart, arrive string
+	}{
+		{safe, "depart", "arrive"},
+		{unsafe, "cabin.depart", "cabin.arrive"},
+	}
+	for _, c := range cases {
+		sys := c.sys
+		doorSafety := prop.After(prop.On(c.depart),
+			prop.Until(prop.At("door", "closed"), prop.On(c.arrive)))
 		fmt.Println("==", sys.Name, "==")
-		bad := models.MovingWithDoorOpen(sys)
-		rep, err := bip.Verify(sys, bip.Invariant(func(st bip.State) bool { return !bad(st) }))
+		rep, err := bip.Verify(sys,
+			bip.Named("requirement", bip.Prop(requirement)),
+			bip.Named("door-safety", bip.Prop(doorSafety)))
 		if err != nil {
 			return err
 		}
-		inv, _ := rep.Property("invariant")
-		if !inv.Violated {
-			fmt.Printf("  requirement holds on all %d reachable states\n", rep.States)
-		} else {
-			fmt.Printf("  VIOLATION: cabin moves with door open after [%s] (found after streaming %d states)\n",
-				strings.Join(inv.Path, " "), rep.States)
+		for _, p := range rep.Properties {
+			if !p.Violated {
+				fmt.Printf("  %s holds on all %d reachable states\n", p.Name, rep.States)
+				continue
+			}
+			fmt.Printf("  %s VIOLATED after [%s] (found after streaming %d states)\n",
+				p.Name, strings.Join(p.Path, " "), rep.States)
 		}
 		vr, err := check.Compositional(sys, check.CompositionalOptions{})
 		if err != nil {

@@ -111,7 +111,7 @@ func lex(src string) ([]token, error) {
 				advance(2)
 				continue
 			}
-			if strings.ContainsRune("+-*/%<>=!(){},.;:'", rune(c)) {
+			if strings.ContainsRune("+-*/%<>=!(){},.;:'|&", rune(c)) {
 				toks = append(toks, token{kind: tokPunct, text: string(c), line: line, col: startCol})
 				advance(1)
 				continue

@@ -1,0 +1,454 @@
+package dsl
+
+import (
+	"strconv"
+
+	"bip/prop"
+)
+
+// This file extends the textual BIP language with a property syntax, so
+// the command-line tools accept the same declarative properties the
+// bip/prop algebra builds in Go:
+//
+//	always(<pred>)  never(<pred>)  reachable(<pred>)  deadlockfree
+//	until(<pred>, <event>)
+//	after(<event>, <prop>)
+//	between(<event>, <event>, <pred>)
+//
+//	pred:  at(Comp, loc) | comp.var | integer comparisons/arithmetic
+//	       | ! | && (or &) | || (or |) | true | false | ( ... )
+//	event: label | on(l1, l2, ...) | !label | !on(...) | any
+//
+// prop.Prop values render (String) in exactly this syntax, so textual
+// and Go-built properties round-trip. ParseProp only parses; name
+// resolution happens when the property is compiled against a system.
+
+// ParseProp parses a textual property into a prop.Prop.
+func ParseProp(src string) (prop.Prop, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	pr, err := p.prop()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, p.errf(p.peek(), "unexpected %q after property", p.peek().text)
+	}
+	return pr, nil
+}
+
+// prop parses one temporal property.
+func (p *parser) prop() (prop.Prop, error) {
+	t := p.peek()
+	switch t.text {
+	case "always", "never", "reachable":
+		p.next()
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		pd, err := p.propPred()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		switch t.text {
+		case "always":
+			return prop.Always(pd), nil
+		case "never":
+			return prop.Never(pd), nil
+		default:
+			return prop.Reachable(pd), nil
+		}
+	case "until":
+		p.next()
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		pd, err := p.propPred()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(","); err != nil {
+			return nil, err
+		}
+		ev, err := p.event()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return prop.Until(pd, ev), nil
+	case "after":
+		p.next()
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		ev, err := p.event()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(","); err != nil {
+			return nil, err
+		}
+		inner, err := p.prop()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return prop.After(ev, inner), nil
+	case "between":
+		p.next()
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		open, err := p.event()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(","); err != nil {
+			return nil, err
+		}
+		close, err := p.event()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(","); err != nil {
+			return nil, err
+		}
+		pd, err := p.propPred()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return prop.Between(open, close, pd), nil
+	case "deadlockfree":
+		p.next()
+		return prop.DeadlockFree(), nil
+	default:
+		return nil, p.errf(t, "expected a property (always/never/until/after/between/reachable/deadlockfree), got %q", t.text)
+	}
+}
+
+// event parses an event predicate.
+func (p *parser) event() (prop.Event, error) {
+	neg := false
+	for p.accept("!") {
+		neg = !neg
+	}
+	t := p.peek()
+	switch {
+	case t.text == "any":
+		p.next()
+		if neg {
+			return nil, p.errf(t, "!any matches nothing; drop the property instead")
+		}
+		return prop.AnyEvent(), nil
+	case t.text == "on":
+		p.next()
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		var labels []string
+		for {
+			l, err := p.qualifiedName()
+			if err != nil {
+				return nil, err
+			}
+			labels = append(labels, l)
+			if !p.accept(",") {
+				break
+			}
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		if neg {
+			return prop.NotOn(labels...), nil
+		}
+		return prop.On(labels...), nil
+	case t.kind == tokIdent:
+		// Labels may be qualified ("cabin.depart"): singleton
+		// interactions are named comp.port.
+		l, err := p.qualifiedName()
+		if err != nil {
+			return nil, err
+		}
+		if neg {
+			return prop.NotOn(l), nil
+		}
+		return prop.On(l), nil
+	default:
+		return nil, p.errf(t, "expected an event (label, on(...), !on(...), any), got %q", t.text)
+	}
+}
+
+// predNode is the tagged result of predicate-expression parsing: a node
+// can be a predicate, an integer term, or (a variable reference, whose
+// declared kind is unknown until compile time) both.
+type predNode struct {
+	pred prop.Pred
+	term prop.Term
+}
+
+func (p *parser) asPred(n predNode, t token) (prop.Pred, error) {
+	if n.pred == nil {
+		return nil, p.errf(t, "expected a predicate, got an integer term")
+	}
+	return n.pred, nil
+}
+
+func (p *parser) asTerm(n predNode, t token) (prop.Term, error) {
+	if n.term == nil {
+		return nil, p.errf(t, "expected an integer term, got a predicate")
+	}
+	return n.term, nil
+}
+
+// propPred parses a state predicate.
+func (p *parser) propPred() (prop.Pred, error) {
+	t := p.peek()
+	n, err := p.pOr()
+	if err != nil {
+		return nil, err
+	}
+	return p.asPred(n, t)
+}
+
+func (p *parser) pOr() (predNode, error) {
+	t := p.peek()
+	n, err := p.pAnd()
+	if err != nil {
+		return predNode{}, err
+	}
+	for p.accept("||") || p.accept("|") {
+		l, err := p.asPred(n, t)
+		if err != nil {
+			return predNode{}, err
+		}
+		t2 := p.peek()
+		m, err := p.pAnd()
+		if err != nil {
+			return predNode{}, err
+		}
+		r, err := p.asPred(m, t2)
+		if err != nil {
+			return predNode{}, err
+		}
+		n = predNode{pred: prop.Or(l, r)}
+	}
+	return n, nil
+}
+
+func (p *parser) pAnd() (predNode, error) {
+	t := p.peek()
+	n, err := p.pCmp()
+	if err != nil {
+		return predNode{}, err
+	}
+	for p.accept("&&") || p.accept("&") {
+		l, err := p.asPred(n, t)
+		if err != nil {
+			return predNode{}, err
+		}
+		t2 := p.peek()
+		m, err := p.pCmp()
+		if err != nil {
+			return predNode{}, err
+		}
+		r, err := p.asPred(m, t2)
+		if err != nil {
+			return predNode{}, err
+		}
+		n = predNode{pred: prop.And(l, r)}
+	}
+	return n, nil
+}
+
+func (p *parser) pCmp() (predNode, error) {
+	t := p.peek()
+	n, err := p.pAdd()
+	if err != nil {
+		return predNode{}, err
+	}
+	ops := map[string]func(a, b prop.Term) prop.Pred{
+		"==": prop.Eq, "!=": prop.Ne, "<": prop.Lt, "<=": prop.Le, ">": prop.Gt, ">=": prop.Ge,
+	}
+	f, ok := ops[p.peek().text]
+	if !ok {
+		return n, nil
+	}
+	p.next()
+	l, err := p.asTerm(n, t)
+	if err != nil {
+		return predNode{}, err
+	}
+	t2 := p.peek()
+	m, err := p.pAdd()
+	if err != nil {
+		return predNode{}, err
+	}
+	r, err := p.asTerm(m, t2)
+	if err != nil {
+		return predNode{}, err
+	}
+	return predNode{pred: f(l, r)}, nil
+}
+
+func (p *parser) pAdd() (predNode, error) {
+	t := p.peek()
+	n, err := p.pMul()
+	if err != nil {
+		return predNode{}, err
+	}
+	for {
+		var f func(a, b prop.Term) prop.Term
+		switch {
+		case p.at("+"):
+			f = prop.Add
+		case p.at("-"):
+			f = prop.Sub
+		default:
+			return n, nil
+		}
+		p.next()
+		l, err := p.asTerm(n, t)
+		if err != nil {
+			return predNode{}, err
+		}
+		t2 := p.peek()
+		m, err := p.pMul()
+		if err != nil {
+			return predNode{}, err
+		}
+		r, err := p.asTerm(m, t2)
+		if err != nil {
+			return predNode{}, err
+		}
+		n = predNode{term: f(l, r)}
+	}
+}
+
+func (p *parser) pMul() (predNode, error) {
+	t := p.peek()
+	n, err := p.pUnary()
+	if err != nil {
+		return predNode{}, err
+	}
+	for p.accept("*") {
+		l, err := p.asTerm(n, t)
+		if err != nil {
+			return predNode{}, err
+		}
+		t2 := p.peek()
+		m, err := p.pUnary()
+		if err != nil {
+			return predNode{}, err
+		}
+		r, err := p.asTerm(m, t2)
+		if err != nil {
+			return predNode{}, err
+		}
+		n = predNode{term: prop.Mul(l, r)}
+	}
+	return n, nil
+}
+
+func (p *parser) pUnary() (predNode, error) {
+	switch {
+	case p.accept("!"):
+		t := p.peek()
+		n, err := p.pUnary()
+		if err != nil {
+			return predNode{}, err
+		}
+		pd, err := p.asPred(n, t)
+		if err != nil {
+			return predNode{}, err
+		}
+		return predNode{pred: prop.Not(pd)}, nil
+	case p.accept("-"):
+		t := p.peek()
+		n, err := p.pUnary()
+		if err != nil {
+			return predNode{}, err
+		}
+		tm, err := p.asTerm(n, t)
+		if err != nil {
+			return predNode{}, err
+		}
+		return predNode{term: prop.Neg(tm)}, nil
+	}
+	return p.pPrimary()
+}
+
+func (p *parser) pPrimary() (predNode, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokInt:
+		p.next()
+		iv, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return predNode{}, p.errf(t, "bad integer %q", t.text)
+		}
+		return predNode{term: prop.Int(iv)}, nil
+	case t.text == "true":
+		p.next()
+		return predNode{pred: prop.True()}, nil
+	case t.text == "false":
+		p.next()
+		return predNode{pred: prop.False()}, nil
+	case t.text == "at":
+		p.next()
+		if err := p.expect("("); err != nil {
+			return predNode{}, err
+		}
+		comp, err := p.expectIdent()
+		if err != nil {
+			return predNode{}, err
+		}
+		if err := p.expect(","); err != nil {
+			return predNode{}, err
+		}
+		loc, err := p.expectIdent()
+		if err != nil {
+			return predNode{}, err
+		}
+		if err := p.expect(")"); err != nil {
+			return predNode{}, err
+		}
+		return predNode{pred: prop.At(comp.text, loc.text)}, nil
+	case t.text == "(":
+		p.next()
+		n, err := p.pOr()
+		if err != nil {
+			return predNode{}, err
+		}
+		if err := p.expect(")"); err != nil {
+			return predNode{}, err
+		}
+		return n, nil
+	case t.kind == tokIdent:
+		p.next()
+		if !p.accept(".") {
+			return predNode{}, p.errf(t, "expected a qualified variable comp.var, got bare %q (at(comp, loc) tests locations)", t.text)
+		}
+		v, err := p.expectIdent()
+		if err != nil {
+			return predNode{}, err
+		}
+		ref := prop.Var(t.text, v.text)
+		return predNode{pred: ref, term: ref}, nil
+	default:
+		return predNode{}, p.errf(t, "expected a predicate, got %q", t.text)
+	}
+}

@@ -1,0 +1,115 @@
+package dsl
+
+import (
+	"strings"
+	"testing"
+
+	"bip/prop"
+)
+
+// TestParsePropRoundTrip pins the textual syntax against the algebra's
+// String rendering: parse(src).String() re-parses to the same string,
+// and Go-built properties render to parseable text.
+func TestParsePropRoundTrip(t *testing.T) {
+	srcs := []string{
+		"always(at(cabin, moving))",
+		"never((at(phil0, eating) && at(phil1, eating)))",
+		"always((!at(f, taken) || (f.owner == 1)))",
+		"until((l.n <= 10), hit)",
+		"after(depart, until(at(door, closed), arrive))",
+		"after(on(a, b), always((x.v >= -3)))",
+		"between(eat0, put0, at(fork0, busyL))",
+		"between(!on(a, b), any, true)",
+		"reachable(((l.n + 1) * 2 != 8))",
+		"deadlockfree",
+		"always((x.a < (x.b - 1)))",
+	}
+	for _, src := range srcs {
+		p, err := ParseProp(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		rendered := p.String()
+		p2, err := ParseProp(rendered)
+		if err != nil {
+			t.Fatalf("re-parse of %q (rendered %q): %v", src, rendered, err)
+		}
+		if p2.String() != rendered {
+			t.Fatalf("round trip diverges: %q -> %q -> %q", src, rendered, p2.String())
+		}
+	}
+}
+
+// TestParsePropGoEquivalence pins the parser against Go-built algebra
+// values: the same property written both ways renders identically.
+func TestParsePropGoEquivalence(t *testing.T) {
+	cases := []struct {
+		src  string
+		want prop.Prop
+	}{
+		{"never((at(phil0, eating) & at(phil1, eating)))",
+			prop.Never(prop.And(prop.At("phil0", "eating"), prop.At("phil1", "eating")))},
+		{"always(!at(Fork1, taken) | (Fork1.owner == 0))",
+			prop.Always(prop.Or(prop.Not(prop.At("Fork1", "taken")),
+				prop.Eq(prop.Var("Fork1", "owner"), prop.Int(0))))},
+		{"after(depart, until(at(door, closed), arrive))",
+			prop.After(prop.On("depart"), prop.Until(prop.At("door", "closed"), prop.On("arrive")))},
+		{"between(on(eat0, eat1), put0, (fork0.k >= 1))",
+			prop.Between(prop.On("eat0", "eat1"), prop.On("put0"),
+				prop.Ge(prop.Var("fork0", "k"), prop.Int(1)))},
+		{"until(true, !hit)", prop.Until(prop.True(), prop.NotOn("hit"))},
+		{"deadlockfree", prop.DeadlockFree()},
+	}
+	for _, c := range cases {
+		p, err := ParseProp(c.src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", c.src, err)
+		}
+		if p.String() != c.want.String() {
+			t.Fatalf("%q parses to %q, Go form renders %q", c.src, p.String(), c.want.String())
+		}
+	}
+}
+
+// TestParsePropPrecedence pins && over ||, comparison over boolean
+// connectives, and arithmetic over comparison — the same ladder as the
+// system-expression grammar.
+func TestParsePropPrecedence(t *testing.T) {
+	p, err := ParseProp("always(at(a, x) | at(b, y) & c.n + 2 * 3 == 8)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := prop.Always(prop.Or(prop.At("a", "x"),
+		prop.And(prop.At("b", "y"),
+			prop.Eq(prop.Add(prop.Var("c", "n"), prop.Mul(prop.Int(2), prop.Int(3))), prop.Int(8)))))
+	if p.String() != want.String() {
+		t.Fatalf("precedence: got %q, want %q", p.String(), want.String())
+	}
+}
+
+// TestParsePropErrors pins the diagnostics.
+func TestParsePropErrors(t *testing.T) {
+	cases := []struct {
+		src, want string
+	}{
+		{"", "expected a property"},
+		{"eventually(at(a, b))", "expected a property"},
+		{"always(at(a, b)) trailing", "unexpected"},
+		{"always(foo)", "qualified variable"},
+		{"always(at(a, b) + 1)", "expected an integer term"},
+		{"always(x.n == at(a, b))", "expected an integer term"},
+		{"always(x.n + 1)", "expected a predicate"},
+		{"until(true, !any)", "matches nothing"},
+		{"after(, always(true))", "expected an event"},
+		{"always(at(a))", `expected ","`},
+	}
+	for _, c := range cases {
+		_, err := ParseProp(c.src)
+		if err == nil {
+			t.Fatalf("%q: parse unexpectedly succeeded", c.src)
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Fatalf("%q: error %q does not mention %q", c.src, err, c.want)
+		}
+	}
+}

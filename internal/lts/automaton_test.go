@@ -1,0 +1,244 @@
+package lts
+
+import (
+	"fmt"
+	"testing"
+
+	"bip/internal/behavior"
+	"bip/internal/core"
+)
+
+// chainSystem builds a single-atom system whose global states mirror
+// the atom's locations, with one singleton interaction per port:
+//
+//	L0 --a--> L1 --b--> L0 (cycle),  L0 --c--> L2 (sink)
+//
+// The b edge is a back edge to the already-expanded L0, which is what
+// the product propagation's worklist exists for.
+func chainSystem(t *testing.T) *core.System {
+	t.Helper()
+	a := behavior.NewBuilder("m").
+		Location("L0", "L1", "L2").
+		Port("pa").Port("pb").Port("pc").
+		Transition("L0", "pa", "L1").
+		Transition("L1", "pb", "L0").
+		Transition("L0", "pc", "L2").
+		MustBuild()
+	sys, err := core.NewSystem("chain").
+		Add(a).
+		Connect("a", core.P("m", "pa")).
+		Connect("b", core.P("m", "pb")).
+		Connect("c", core.P("m", "pc")).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// seqObserver is a hand-built 3-state observer: q0 --b--> q1 --c--> bad.
+// A violation requires the run to see b and then c — on chainSystem the
+// only such run is [a b c], even though c's BFS-tree path is just [c].
+func seqObserver() *Observer {
+	return &Observer{
+		NumStates: 3,
+		Init:      0,
+		Bad:       1 << 2,
+		To:        []int32{1, 2},
+		ByState:   [][]int32{{0}, {1}, nil},
+		Preds:     make([]func(*core.State) bool, 2),
+		LabelBits: map[string]uint64{"a": 0, "b": 1 << 0, "c": 1 << 1},
+	}
+}
+
+// TestAutomatonBackEdgePropagation pins the worklist: the armed
+// observer state reaches the expanded initial state through the b back
+// edge and must be re-propagated through its (already emitted) edges to
+// find the bad pair — and the reported path must be the product path
+// [a b c], not the violating state's BFS-tree path [c].
+func TestAutomatonBackEdgePropagation(t *testing.T) {
+	sys := chainSystem(t)
+	for _, w := range []int{1, 4} {
+		chk := NewAutomatonCheck(seqObserver())
+		stats, err := Stream(sys, Options{Workers: w}, chk)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if !chk.Found {
+			t.Fatalf("workers=%d: violation not found", w)
+		}
+		if !stats.Stopped {
+			t.Fatalf("workers=%d: expected early stop", w)
+		}
+		// BFS numbering: L0=0, L1=1 (a), L2=2 (c).
+		if chk.State != 2 {
+			t.Fatalf("workers=%d: violating state %d, want 2", w, chk.State)
+		}
+		if !samePath(chk.Path, []string{"a", "b", "c"}) {
+			t.Fatalf("workers=%d: path %v, want [a b c]", w, chk.Path)
+		}
+	}
+}
+
+// TestAutomatonHoldsExhaustive pins the conclusive-absence verdict: an
+// observer that never fires leaves Found false and Exhaustive true on a
+// fully covered space.
+func TestAutomatonHoldsExhaustive(t *testing.T) {
+	sys := chainSystem(t)
+	obs := seqObserver()
+	obs.LabelBits["b"] = 0 // never arm: the bad pair becomes unreachable
+	chk := NewAutomatonCheck(obs)
+	if _, err := Stream(sys, Options{}, chk); err != nil {
+		t.Fatal(err)
+	}
+	if chk.Found {
+		t.Fatalf("unexpected violation at %d via %v", chk.State, chk.Path)
+	}
+	if !chk.Exhaustive {
+		t.Fatal("full coverage must make the absence conclusive")
+	}
+}
+
+// TestAutomatonTruncationInconclusive pins the bound interaction: a
+// truncated exploration leaves a non-violated automaton property
+// inconclusive (Exhaustive false).
+func TestAutomatonTruncationInconclusive(t *testing.T) {
+	sys := chainSystem(t)
+	obs := seqObserver()
+	obs.LabelBits["c"] = 0 // the property holds; only coverage matters
+	chk := NewAutomatonCheck(obs)
+	stats, err := Stream(sys, Options{MaxStates: 2}, chk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Truncated {
+		t.Fatal("expected truncation at MaxStates=2")
+	}
+	if chk.Found || chk.Exhaustive {
+		t.Fatalf("truncated run must be inconclusive (found=%v exhaustive=%v)", chk.Found, chk.Exhaustive)
+	}
+}
+
+// TestAutomatonInitialStateViolation pins the initial observation: a
+// rule accepting the initial pseudo-event with a holding predicate
+// settles at state 0 with an empty path.
+func TestAutomatonInitialStateViolation(t *testing.T) {
+	sys := chainSystem(t)
+	atL0 := func(st *core.State) bool { return st.Locs[0] == "L0" }
+	obs := &Observer{
+		NumStates: 2,
+		Init:      0,
+		Bad:       1 << 1,
+		To:        []int32{1},
+		ByState:   [][]int32{{0}, nil},
+		Preds:     []func(*core.State) bool{atL0},
+		LabelBits: map[string]uint64{"a": 1, "b": 1, "c": 1},
+		AnyBits:   1,
+		InitBits:  1,
+	}
+	chk := NewAutomatonCheck(obs)
+	if _, err := Stream(sys, Options{}, chk); err != nil {
+		t.Fatal(err)
+	}
+	if !chk.Found || chk.State != 0 || len(chk.Path) != 0 {
+		t.Fatalf("want violation at initial state with empty path, got found=%v state=%d path=%v",
+			chk.Found, chk.State, chk.Path)
+	}
+}
+
+// TestAutomatonSelfLoopPropagation covers observer progress on a
+// self-loop edge: the state's own edge must see bits gained during its
+// expansion (handled by draining at OnExpanded, when the edge list is
+// complete).
+func TestAutomatonSelfLoopPropagation(t *testing.T) {
+	a := behavior.NewBuilder("m").
+		Location("L0").
+		Port("pa").
+		Transition("L0", "pa", "L0").
+		MustBuild()
+	sys, err := core.NewSystem("loop").
+		Add(a).
+		Connect("a", core.P("m", "pa")).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// q0 --a--> q1 --a--> bad: needs two a's, i.e. the self-loop edge
+	// traversed with the q1 bit that the same edge produced.
+	obs := &Observer{
+		NumStates: 3,
+		Init:      0,
+		Bad:       1 << 2,
+		To:        []int32{1, 2},
+		ByState:   [][]int32{{0}, {1}, nil},
+		Preds:     make([]func(*core.State) bool, 2),
+		LabelBits: map[string]uint64{"a": 3},
+	}
+	chk := NewAutomatonCheck(obs)
+	if _, err := Stream(sys, Options{}, chk); err != nil {
+		t.Fatal(err)
+	}
+	if !chk.Found || chk.State != 0 {
+		t.Fatalf("want violation at state 0, got found=%v state=%d", chk.Found, chk.State)
+	}
+	if !samePath(chk.Path, []string{"a", "a"}) {
+		t.Fatalf("path %v, want [a a]", chk.Path)
+	}
+}
+
+// TestAutomatonWorkerDeterminism runs an armed observer over a wider
+// space (three interleaved chain copies) and pins bit-identical
+// verdicts across worker counts.
+func TestAutomatonWorkerDeterminism(t *testing.T) {
+	b := core.NewSystem("chains")
+	atom := behavior.NewBuilder("m").
+		Location("L0", "L1", "L2").
+		Port("pa").Port("pb").Port("pc").
+		Transition("L0", "pa", "L1").
+		Transition("L1", "pb", "L0").
+		Transition("L0", "pc", "L2").
+		MustBuild()
+	for i := 0; i < 3; i++ {
+		name := fmt.Sprintf("m%d", i)
+		b.AddAs(name, atom)
+		b.Connect(fmt.Sprintf("a%d", i), core.P(name, "pa"))
+		b.Connect(fmt.Sprintf("b%d", i), core.P(name, "pb"))
+		b.Connect(fmt.Sprintf("c%d", i), core.P(name, "pc"))
+	}
+	sys, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkObs := func() *Observer {
+		return &Observer{
+			NumStates: 3,
+			Init:      0,
+			Bad:       1 << 2,
+			To:        []int32{1, 2},
+			ByState:   [][]int32{{0}, {1}, nil},
+			Preds:     make([]func(*core.State) bool, 2),
+			LabelBits: map[string]uint64{
+				"a0": 0, "b0": 1 << 0, "c0": 1 << 1,
+				"a1": 0, "b1": 0, "c1": 0,
+				"a2": 0, "b2": 0, "c2": 0,
+			},
+		}
+	}
+	ref := NewAutomatonCheck(mkObs())
+	if _, err := Stream(sys, Options{}, ref); err != nil {
+		t.Fatal(err)
+	}
+	if !ref.Found {
+		t.Fatal("reference run must find the violation")
+	}
+	for _, w := range []int{2, 4, 8} {
+		chk := NewAutomatonCheck(mkObs())
+		if _, err := Stream(sys, Options{Workers: w}, chk); err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if chk.Found != ref.Found || chk.State != ref.State || !samePath(chk.Path, ref.Path) {
+			t.Fatalf("workers=%d: verdict (%v,%d,%v) != sequential (%v,%d,%v)",
+				w, chk.Found, chk.State, chk.Path, ref.Found, ref.State, ref.Path)
+		}
+	}
+}

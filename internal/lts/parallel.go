@@ -108,14 +108,20 @@ func (sh *shard) intern(key []byte) []byte {
 	return sh.arena[off : off+len(key) : off+len(key)]
 }
 
-// hashKey is FNV-1a over the key bytes — deterministic across runs, so
-// shard assignment (and therefore nothing observable) depends only on
-// the state.
+// hashKey is FNV-1a folded over 8-byte words (with a byte-wise tail) —
+// deterministic across runs, so shard assignment (and therefore nothing
+// observable) depends only on the state, and one multiply per word
+// instead of per byte keeps it cheap on the wide fixed-width keys.
 func hashKey(b []byte) uint64 {
 	h := uint64(14695981039346656037)
+	for len(b) >= 8 {
+		w := uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+			uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+		h = (h ^ w) * 1099511628211
+		b = b[8:]
+	}
 	for _, c := range b {
-		h ^= uint64(c)
-		h *= 1099511628211
+		h = (h ^ uint64(c)) * 1099511628211
 	}
 	return h
 }

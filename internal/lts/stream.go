@@ -1,8 +1,10 @@
 package lts
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 
 	"bip/internal/core"
@@ -141,6 +143,11 @@ func Stream(sys *core.System, opts Options, sink Sink) (Stats, error) {
 	if maxStates <= 0 {
 		maxStates = DefaultMaxStates
 	}
+	// Both dedup sets (and the parallel driver's entries) store state
+	// ids as int32; make that limit explicit instead of overflowing.
+	if maxStates > math.MaxInt32 {
+		maxStates = math.MaxInt32
+	}
 	workers := opts.Workers
 	if workers < 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -160,12 +167,97 @@ type seqEntry struct {
 	node *pathNode
 }
 
+// seqSeen is the sequential driver's dedup set: the single-shard
+// counterpart of the parallel driver's arena-backed table. Keys are the
+// system's fixed-width binary records, stored back to back in chunked
+// arenas (admitted state i's key is the i-th record), indexed by an
+// open-addressed table of bare state ids that compares candidates
+// against the arena in place. Per admitted state the set allocates
+// nothing: no interned Go string (the old map[string]int made one per
+// state), no per-key bucket, no copying growth — only new chunks and
+// the logarithmically many table doublings touch the allocator, which
+// BenchmarkExplore workers=1 measures as the allocation drop.
+type seqSeen struct {
+	width int
+	// slots holds state id + 1 (0 = empty), linear probing, power-of-two
+	// size, grown at 3/4 load.
+	slots []int32
+	n     int
+	// chunks back the keys, perChunk keys apiece; full chunks are never
+	// copied or moved, unlike a single doubling slice.
+	perChunk int
+	chunks   [][]byte
+}
+
+func newSeqSeen(width int) *seqSeen {
+	per := arenaChunk / width
+	if per < 1 {
+		per = 1
+	}
+	return &seqSeen{width: width, slots: make([]int32, 1<<10), perChunk: per}
+}
+
+// keyAt returns admitted state id's interned key.
+func (s *seqSeen) keyAt(id int32) []byte {
+	off := (int(id) % s.perChunk) * s.width
+	return s.chunks[int(id)/s.perChunk][off : off+s.width]
+}
+
+// find returns the id of the state with this key, if present.
+func (s *seqSeen) find(key []byte) (int, bool) {
+	mask := uint64(len(s.slots) - 1)
+	for i := hashKey(key) & mask; ; i = (i + 1) & mask {
+		slot := s.slots[i]
+		if slot == 0 {
+			return 0, false
+		}
+		if bytes.Equal(s.keyAt(slot-1), key) {
+			return int(slot - 1), true
+		}
+	}
+}
+
+// add records key under the next state id (ids are assigned in
+// admission order, matching the arena append order). The caller has
+// established via find that the key is absent.
+func (s *seqSeen) add(key []byte) {
+	if (s.n+1)*4 >= len(s.slots)*3 {
+		s.grow()
+	}
+	id := s.n
+	if id%s.perChunk == 0 {
+		s.chunks = append(s.chunks, make([]byte, s.perChunk*s.width))
+	}
+	copy(s.keyAt(int32(id)), key)
+	s.insert(int32(id))
+	s.n++
+}
+
+// insert probes the table for the first empty slot of id's key.
+func (s *seqSeen) insert(id int32) {
+	mask := uint64(len(s.slots) - 1)
+	i := hashKey(s.keyAt(id)) & mask
+	for s.slots[i] != 0 {
+		i = (i + 1) & mask
+	}
+	s.slots[i] = id + 1
+}
+
+// grow doubles the table and re-inserts every admitted id, re-hashing
+// its arena-resident key.
+func (s *seqSeen) grow() {
+	s.slots = make([]int32, 2*len(s.slots))
+	for id := 0; id < s.n; id++ {
+		s.insert(int32(id))
+	}
+}
+
 func streamSeq(sys *core.System, opts Options, maxStates int, sink Sink) (Stats, error) {
 	stats := Stats{States: 1, PeakFrontier: 1}
 	init := sys.Initial()
 	ctx := sys.NewExploreCtx()
-	seen := make(map[string]int)
-	seen[string(sys.AppendBinaryKey(nil, init))] = 0
+	seen := newSeqSeen(sys.BinaryKeyWidth())
+	seen.add(sys.AppendBinaryKey(nil, init))
 	initVec, err := sys.EnabledVector(init)
 	if err != nil {
 		return stats, fmt.Errorf("explore state 0: %w", err)
@@ -207,7 +299,7 @@ func streamSeq(sys *core.System, opts Options, maxStates int, sink Sink) (Stats,
 			}
 			label := sys.Label(m)
 			ctx.Key = sys.AppendBinaryKey(ctx.Key[:0], *view)
-			to, dup := seen[string(ctx.Key)]
+			to, dup := seen.find(ctx.Key)
 			if !dup {
 				if stats.States >= maxStates {
 					stats.Truncated = true
@@ -220,7 +312,7 @@ func streamSeq(sys *core.System, opts Options, maxStates int, sink Sink) (Stats,
 				}
 				to = stats.States
 				stats.States++
-				seen[string(ctx.Key)] = to
+				seen.add(ctx.Key)
 				node := &pathNode{parent: e.node, label: label}
 				queue = append(queue, seqEntry{st: next, vec: nextVec, node: node})
 				if f := len(queue) - head; f > stats.PeakFrontier {

@@ -1,0 +1,462 @@
+// Package prop is the declarative property algebra of the bip module:
+// requirements stated as first-class AST terms instead of opaque host
+// callbacks, the way the source paper makes properties part of the
+// design rather than an afterthought.
+//
+// Three layers compose:
+//
+//   - state predicates (Pred): At(comp, loc) control-location tests and
+//     Var(comp, v) variable terms combined with comparisons, arithmetic
+//     and boolean connectives;
+//   - event predicates (Event): matchers over interaction labels —
+//     On(labels...), NotOn(labels...), AnyEvent();
+//   - safety-temporal properties (Prop): Always, Never, Until, After,
+//     Between, Reachable, DeadlockFree, and explicit observer automata
+//     (Automaton).
+//
+// Properties are plain values: serializable (String renders the textual
+// syntax bip.ParseProp accepts), comparable by structure, and compiled
+// at Verify time against a concrete system. Compilation resolves every
+// component, location, variable and label name once — the compiled
+// predicates index the state directly (interned location compare, one
+// direct map read per variable slot, like the interaction compiler in
+// the core) — and turns temporal operators into a deterministic
+// observer automaton checked by the product-automaton sink
+// (check.AutomatonCheck) while the state space streams by. Pure state
+// properties (Always/Never of a Pred, Reachable, DeadlockFree)
+// specialize to the O(frontier) streaming checkers instead.
+//
+// Use with bip.Verify:
+//
+//	rep, err := bip.Verify(sys,
+//	    bip.Prop(prop.Never(prop.And(
+//	        prop.At("phil0", "eating"), prop.At("phil1", "eating")))),
+//	    bip.Prop(prop.After(prop.On("depart"),
+//	        prop.Until(prop.At("door", "closed"), prop.On("arrive")))),
+//	)
+package prop
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"bip/internal/core"
+)
+
+// ---------------------------------------------------------------------
+// State predicates.
+
+// Pred is a state predicate: a boolean AST over component locations and
+// variables, compiled against a system's atom layouts at Verify time.
+type Pred interface {
+	fmt.Stringer
+	compilePred(c *compiler) (predFn, error)
+}
+
+// Term is an integer-valued expression over component variables and
+// literals. Boolean variables are used directly as predicates (Var
+// implements both interfaces; compilation picks by declared kind).
+type Term interface {
+	fmt.Stringer
+	compileTerm(c *compiler) (intFn, error)
+}
+
+type (
+	predFn = func(*core.State) bool
+	intFn  = func(*core.State) int64
+)
+
+// atPred: component comp is at control location loc.
+type atPred struct{ comp, loc string }
+
+// At returns the predicate "component comp is at location loc".
+func At(comp, loc string) Pred { return atPred{comp: comp, loc: loc} }
+
+func (p atPred) String() string { return fmt.Sprintf("at(%s, %s)", p.comp, p.loc) }
+
+// VarRef references a component variable ("comp.v"). It is a Term when
+// the variable is declared int, and a Pred when it is declared bool —
+// compilation checks the declared kind.
+type VarRef struct{ Comp, Name string }
+
+// Var references component variable comp.v.
+func Var(comp, v string) VarRef { return VarRef{Comp: comp, Name: v} }
+
+func (v VarRef) String() string { return v.Comp + "." + v.Name }
+
+// fnPred is the escape hatch wrapping an opaque Go predicate; it is the
+// thin-adapter form the pre-algebra bip.Invariant/bip.Reach options
+// compile to. It has no textual form.
+type fnPred struct{ f func(core.State) bool }
+
+// Fn lifts an opaque Go state predicate into the algebra. Unlike the
+// declarative terms it cannot be rendered textually or slot-compiled;
+// it exists so the legacy func(State) bool surfaces remain expressible.
+func Fn(f func(core.State) bool) Pred { return fnPred{f: f} }
+
+func (p fnPred) String() string { return "<go-func>" }
+
+type boolLit bool
+
+// True is the predicate that always holds.
+func True() Pred { return boolLit(true) }
+
+// False is the predicate that never holds.
+func False() Pred { return boolLit(false) }
+
+func (b boolLit) String() string { return strconv.FormatBool(bool(b)) }
+
+type notPred struct{ p Pred }
+
+// Not negates a predicate.
+func Not(p Pred) Pred { return notPred{p: p} }
+
+func (p notPred) String() string { return "!" + paren(p.p) }
+
+type andPred struct{ ps []Pred }
+
+// And is n-ary conjunction; And() is True.
+func And(ps ...Pred) Pred { return andPred{ps: ps} }
+
+func (p andPred) String() string { return joinPreds(p.ps, " && ", "true") }
+
+type orPred struct{ ps []Pred }
+
+// Or is n-ary disjunction; Or() is False.
+func Or(ps ...Pred) Pred { return orPred{ps: ps} }
+
+func (p orPred) String() string { return joinPreds(p.ps, " || ", "false") }
+
+// Implies is material implication: Or(Not(a), b).
+func Implies(a, b Pred) Pred { return Or(Not(a), b) }
+
+func joinPreds(ps []Pred, sep, empty string) string {
+	if len(ps) == 0 {
+		return empty
+	}
+	parts := make([]string, len(ps))
+	for i, p := range ps {
+		parts[i] = paren(p)
+	}
+	if len(parts) == 1 {
+		return parts[0]
+	}
+	return "(" + strings.Join(parts, sep) + ")"
+}
+
+// paren renders a sub-predicate, parenthesizing comparisons so the
+// textual form re-parses with the same structure.
+func paren(p Pred) string {
+	if c, ok := p.(cmpPred); ok {
+		return "(" + c.String() + ")"
+	}
+	return p.String()
+}
+
+// cmpOp identifies a comparison operator.
+type cmpOp int
+
+const (
+	opEq cmpOp = iota
+	opNe
+	opLt
+	opLe
+	opGt
+	opGe
+)
+
+var cmpNames = [...]string{"==", "!=", "<", "<=", ">", ">="}
+
+type cmpPred struct {
+	op   cmpOp
+	l, r Term
+}
+
+// Eq is the predicate l == r over integer terms.
+func Eq(l, r Term) Pred { return cmpPred{op: opEq, l: l, r: r} }
+
+// Ne is the predicate l != r over integer terms.
+func Ne(l, r Term) Pred { return cmpPred{op: opNe, l: l, r: r} }
+
+// Lt is the predicate l < r over integer terms.
+func Lt(l, r Term) Pred { return cmpPred{op: opLt, l: l, r: r} }
+
+// Le is the predicate l <= r over integer terms.
+func Le(l, r Term) Pred { return cmpPred{op: opLe, l: l, r: r} }
+
+// Gt is the predicate l > r over integer terms.
+func Gt(l, r Term) Pred { return cmpPred{op: opGt, l: l, r: r} }
+
+// Ge is the predicate l >= r over integer terms.
+func Ge(l, r Term) Pred { return cmpPred{op: opGe, l: l, r: r} }
+
+func (p cmpPred) String() string {
+	return fmt.Sprintf("%s %s %s", p.l.String(), cmpNames[p.op], p.r.String())
+}
+
+// ---------------------------------------------------------------------
+// Integer terms.
+
+type intLit int64
+
+// Int is an integer literal term.
+func Int(n int64) Term { return intLit(n) }
+
+func (n intLit) String() string { return strconv.FormatInt(int64(n), 10) }
+
+// arithOp identifies an arithmetic operator.
+type arithOp int
+
+const (
+	opAdd arithOp = iota
+	opSub
+	opMul
+)
+
+var arithNames = [...]string{"+", "-", "*"}
+
+type arithTerm struct {
+	op   arithOp
+	l, r Term
+}
+
+// Add is the term l + r.
+func Add(l, r Term) Term { return arithTerm{op: opAdd, l: l, r: r} }
+
+// Sub is the term l - r.
+func Sub(l, r Term) Term { return arithTerm{op: opSub, l: l, r: r} }
+
+// Mul is the term l * r.
+func Mul(l, r Term) Term { return arithTerm{op: opMul, l: l, r: r} }
+
+func (t arithTerm) String() string {
+	return fmt.Sprintf("(%s %s %s)", t.l.String(), arithNames[t.op], t.r.String())
+}
+
+type negTerm struct{ t Term }
+
+// Neg is the term -t.
+func Neg(t Term) Term { return negTerm{t: t} }
+
+func (t negTerm) String() string { return "-" + t.t.String() }
+
+// ---------------------------------------------------------------------
+// Event predicates.
+
+// Event matches interaction labels on the exploration event stream. An
+// Event also decides whether it matches the initial pseudo-event (the
+// observation of the initial state, before any interaction fired):
+// AnyEvent and NotOn do, On does not.
+type Event interface {
+	fmt.Stringer
+	matchesLabel(label string) bool
+	matchesInit() bool
+	validate(c *compiler) error
+}
+
+type onEvent struct{ labels []string }
+
+// On matches any of the listed interaction labels. Compilation rejects
+// labels the system does not declare.
+func On(labels ...string) Event { return onEvent{labels: labels} }
+
+func (e onEvent) matchesLabel(l string) bool {
+	for _, x := range e.labels {
+		if x == l {
+			return true
+		}
+	}
+	return false
+}
+
+func (e onEvent) matchesInit() bool { return false }
+
+func (e onEvent) String() string {
+	if len(e.labels) == 1 {
+		return e.labels[0]
+	}
+	return "on(" + strings.Join(e.labels, ", ") + ")"
+}
+
+type notOnEvent struct{ labels []string }
+
+// NotOn matches every interaction label except the listed ones (and the
+// initial pseudo-event: before any interaction fired, none of the
+// listed ones did).
+func NotOn(labels ...string) Event { return notOnEvent{labels: labels} }
+
+func (e notOnEvent) matchesLabel(l string) bool {
+	for _, x := range e.labels {
+		if x == l {
+			return false
+		}
+	}
+	return true
+}
+
+func (e notOnEvent) matchesInit() bool { return true }
+
+func (e notOnEvent) String() string {
+	return "!on(" + strings.Join(e.labels, ", ") + ")"
+}
+
+type anyEvent struct{}
+
+// AnyEvent matches every interaction label and the initial
+// pseudo-event.
+func AnyEvent() Event { return anyEvent{} }
+
+func (anyEvent) matchesLabel(string) bool { return true }
+func (anyEvent) matchesInit() bool        { return true }
+func (anyEvent) String() string           { return "any" }
+
+// ---------------------------------------------------------------------
+// Safety-temporal properties.
+
+// Prop is a checkable property: the value the bip.Prop option and
+// bipc -prop hand to the verifier. The safety-temporal forms compile to
+// observer automata; Always/Never of a pure state predicate, Reachable
+// and DeadlockFree specialize to the O(frontier) streaming checkers.
+type Prop interface {
+	fmt.Stringer
+	// Kind is the property's default report name ("always", "after",
+	// "deadlock", ...), overridable with bip.Named.
+	Kind() string
+	// observer compiles the property to an automaton skeleton; forms
+	// that are not path-observable (Reachable, DeadlockFree) refuse, so
+	// they cannot be nested under After.
+	observer(c *compiler) (*obsAuto, error)
+}
+
+type alwaysProp struct{ p Pred }
+
+// Always requires p to hold on every reachable state.
+func Always(p Pred) Prop { return alwaysProp{p: p} }
+
+func (a alwaysProp) Kind() string   { return "always" }
+func (a alwaysProp) String() string { return "always(" + a.p.String() + ")" }
+
+type neverProp struct{ p Pred }
+
+// Never requires p to hold on no reachable state: Always(Not(p)).
+func Never(p Pred) Prop { return neverProp{p: p} }
+
+func (n neverProp) Kind() string   { return "never" }
+func (n neverProp) String() string { return "never(" + n.p.String() + ")" }
+
+type untilProp struct {
+	p Pred
+	e Event
+}
+
+// Until requires p to hold on every state from the current one up to
+// (and excluding the state reached by) the first occurrence of e. This
+// is the safety half of "p until e": a run on which e never occurs but
+// p always holds does not violate it.
+func Until(p Pred, e Event) Prop { return untilProp{p: p, e: e} }
+
+func (u untilProp) Kind() string { return "until" }
+func (u untilProp) String() string {
+	return fmt.Sprintf("until(%s, %s)", u.p.String(), u.e.String())
+}
+
+type afterProp struct {
+	e     Event
+	inner Prop
+}
+
+// After arms the inner property at the first occurrence of e: the state
+// reached by the matching interaction is the inner property's initial
+// observation. After(e, Always(p)) is the classic "once e happened, p
+// forever"; nesting is allowed (After(e1, After(e2, ...))).
+func After(e Event, inner Prop) Prop { return afterProp{e: e, inner: inner} }
+
+func (a afterProp) Kind() string { return "after" }
+func (a afterProp) String() string {
+	return fmt.Sprintf("after(%s, %s)", a.e.String(), a.inner.String())
+}
+
+type betweenProp struct {
+	open, close Event
+	p           Pred
+}
+
+// Between requires p to hold on every state inside each [open, close)
+// episode: from the state reached by an occurrence of open (inclusive)
+// up to the next occurrence of close (the state reached by close is
+// outside). Episodes re-arm: every later open occurrence opens a new
+// one. When an interaction matches both open and close, close wins.
+func Between(open, close Event, p Pred) Prop {
+	return betweenProp{open: open, close: close, p: p}
+}
+
+func (b betweenProp) Kind() string { return "between" }
+func (b betweenProp) String() string {
+	return fmt.Sprintf("between(%s, %s, %s)", b.open.String(), b.close.String(), b.p.String())
+}
+
+type reachableProp struct{ p Pred }
+
+// Reachable asks whether a state satisfying p is reachable; finding one
+// is reported as a violation with its witness path (the bad-state query
+// form), and with exhaustive coverage the absence of a hit proves
+// unreachability.
+func Reachable(p Pred) Prop { return reachableProp{p: p} }
+
+func (r reachableProp) Kind() string   { return "reachable" }
+func (r reachableProp) String() string { return "reachable(" + r.p.String() + ")" }
+
+type deadlockProp struct{}
+
+// DeadlockFree requires every reachable state to have at least one
+// enabled move.
+func DeadlockFree() Prop { return deadlockProp{} }
+
+func (deadlockProp) Kind() string   { return "deadlock" }
+func (deadlockProp) String() string { return "deadlockfree" }
+
+// ---------------------------------------------------------------------
+// Explicit observer automata.
+
+// ATrans is one transition of an explicit observer automaton. On nil
+// means any observation (including the initial one); When nil means
+// unconditional. Within a source state, declaration order is priority
+// order: the first transition whose event matcher and predicate both
+// accept the observation fires; when none does the observer stays put.
+type ATrans struct {
+	From, To string
+	On       Event
+	When     Pred
+}
+
+// Automaton is an explicit deterministic observer: the escape hatch for
+// safety properties the combinators do not cover. States are inferred
+// from Init, Bad and the transitions; reaching any Bad state is the
+// violation. The zero On/When conventions and the first-match-wins rule
+// are those of ATrans.
+type Automaton struct {
+	// Name labels the property in reports (Kind falls back to
+	// "automaton" when empty).
+	Name string
+	// Init is the observer's state before the initial observation.
+	Init string
+	// Bad lists the violation states.
+	Bad []string
+	// Trans are the transitions, priority-ordered per source state.
+	Trans []ATrans
+}
+
+// Kind implements Prop.
+func (a Automaton) Kind() string {
+	if a.Name != "" {
+		return a.Name
+	}
+	return "automaton"
+}
+
+// String implements Prop. Explicit automata have no textual property
+// syntax; the rendering is descriptive.
+func (a Automaton) String() string {
+	return fmt.Sprintf("automaton(%s: %d transitions)", a.Kind(), len(a.Trans))
+}

@@ -1,0 +1,119 @@
+package bip_test
+
+import (
+	"strings"
+	"testing"
+
+	"bip"
+	"bip/models"
+	"bip/prop"
+)
+
+// TestReportPropertyNaming is the regression test for the duplicate
+// report-name ambiguity: two same-kind options used to both report as
+// e.g. "invariant", making Report.Property("invariant") answer for an
+// arbitrary one. Unnamed duplicates now auto-suffix in option order and
+// Named assigns explicit names.
+func TestReportPropertyNaming(t *testing.T) {
+	sys, err := models.Elevator(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	movingOpen := models.MovingWithDoorOpen(sys)
+	cabinMoving := func(st bip.State) bool { return st.Locs[sys.AtomIndex("cabin")] == "moving" }
+
+	rep, err := bip.Verify(sys,
+		bip.Invariant(func(st bip.State) bool { return !movingOpen(st) }),  // holds
+		bip.Invariant(func(st bip.State) bool { return !cabinMoving(st) }), // violated
+		bip.Named("third", bip.Invariant(func(bip.State) bool { return true })),
+		bip.Deadlock(),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantNames := []string{"invariant", "invariant#2", "third", "deadlock"}
+	if len(rep.Properties) != len(wantNames) {
+		t.Fatalf("got %d properties, want %d", len(rep.Properties), len(wantNames))
+	}
+	for i, want := range wantNames {
+		if rep.Properties[i].Name != want {
+			t.Fatalf("property %d named %q, want %q", i, rep.Properties[i].Name, want)
+		}
+	}
+	first, ok := rep.Property("invariant")
+	if !ok || first.Violated {
+		t.Fatalf("the first invariant holds by construction, got %+v (ok=%v)", first, ok)
+	}
+	second, ok := rep.Property("invariant#2")
+	if !ok || !second.Violated {
+		t.Fatalf("the second invariant is violated whenever the cabin moves, got %+v (ok=%v)", second, ok)
+	}
+	if third, ok := rep.Property("third"); !ok || third.Violated {
+		t.Fatalf("Named property missing or wrong: %+v (ok=%v)", third, ok)
+	}
+}
+
+// TestVerifyPropOptionEndToEnd drives a textual property through
+// ParseProp → Prop → Verify and pins the same verdict as the
+// algebra-built equivalent, at workers 1 and 4.
+func TestVerifyPropOptionEndToEnd(t *testing.T) {
+	unsafe, err := models.UnsafeElevator(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := bip.ParseProp("after(cabin.depart, until(at(door, closed), cabin.arrive))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	built := prop.After(prop.On("cabin.depart"),
+		prop.Until(prop.At("door", "closed"), prop.On("cabin.arrive")))
+	if parsed.String() != built.String() {
+		t.Fatalf("parsed %q != built %q", parsed.String(), built.String())
+	}
+	var ref bip.Property
+	for _, w := range []int{1, 4} {
+		rep, err := bip.Verify(unsafe,
+			bip.Named("door-safety", bip.Prop(parsed)),
+			bip.Prop(built),
+			bip.Workers(w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		named, ok := rep.Property("door-safety")
+		if !ok {
+			t.Fatal("missing named property")
+		}
+		other, ok := rep.Property("after")
+		if !ok {
+			t.Fatal("missing kind-named property")
+		}
+		if !named.Violated || !other.Violated {
+			t.Fatalf("workers=%d: unsafe elevator must violate door safety", w)
+		}
+		if named.State != other.State || strings.Join(named.Path, " ") != strings.Join(other.Path, " ") {
+			t.Fatalf("workers=%d: parsed and built verdicts diverge: %+v vs %+v", w, named, other)
+		}
+		if w == 1 {
+			ref = named
+		} else if named.State != ref.State || strings.Join(named.Path, " ") != strings.Join(ref.Path, " ") {
+			t.Fatalf("workers=%d: verdict (%d,%v) != sequential (%d,%v)",
+				w, named.State, named.Path, ref.State, ref.Path)
+		}
+	}
+}
+
+// TestVerifyPropCompileErrorSurfaces pins that property compile errors
+// name the offending property and arrive before exploration.
+func TestVerifyPropCompileErrorSurfaces(t *testing.T) {
+	sys, err := models.Elevator(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = bip.Verify(sys, bip.Named("oops", bip.Prop(prop.Always(prop.At("nobody", "here")))))
+	if err == nil {
+		t.Fatal("expected a compile error")
+	}
+	if !strings.Contains(err.Error(), "oops") || !strings.Contains(err.Error(), "unknown component") {
+		t.Fatalf("error %q should name the property and the unknown component", err)
+	}
+}

@@ -3,8 +3,8 @@ package bip
 import (
 	"fmt"
 
-	"bip/internal/core"
 	"bip/internal/lts"
+	"bip/prop"
 )
 
 // Verify streams the reachable state space of sys through on-the-fly
@@ -12,20 +12,34 @@ import (
 //
 //	rep, err := bip.Verify(sys,
 //	    bip.Deadlock(),
-//	    bip.Invariant(pred),
+//	    bip.Prop(prop.Never(prop.And(
+//	        prop.At("phil0", "eating"), prop.At("phil1", "eating")))),
+//	    bip.Named("door-safety", bip.Prop(prop.After(prop.On("depart"),
+//	        prop.Until(prop.At("door", "closed"), prop.On("arrive"))))),
 //	    bip.Workers(4),
 //	    bip.MaxStates(1<<22))
 //
-// One exploration answers every requested property. Each checker
-// early-exits on the first violation it finds, and the exploration stops
-// as soon as every property is settled — a model that violates early is
-// verified without materializing (or even visiting) the rest of its
-// state space, in O(frontier) live memory. With no property options,
-// Verify checks deadlock-freedom.
+// One exploration answers every requested property. Properties are
+// values of the bip/prop algebra (Prop), textual properties parsed by
+// ParseProp, or — as thin adapters over the same machinery — the
+// opaque func(State) bool forms (Invariant, Reach). Each checker
+// early-exits on the first violation it finds, and the exploration
+// stops as soon as every property is settled — a model that violates
+// early is verified without materializing (or even visiting) the rest
+// of its state space. Pure state properties run in O(frontier) live
+// memory; temporal/observer properties additionally keep compact
+// per-state/per-edge words for the product fixpoint (see
+// check.AutomatonCheck). With no property options, Verify checks
+// deadlock-freedom.
 //
-// Verdicts are deterministic and worker-count independent: the streaming
-// checkers observe the sequential exploration order at any Workers
-// setting, so the reported states and counterexample paths are
+// Every property gets a report name: its algebra kind ("deadlock",
+// "always", "after", ...) or the explicit name given with Named.
+// Duplicate names are auto-suffixed "#2", "#3", ... in option order, so
+// Report.Property can always address each verdict individually.
+//
+// Verdicts are deterministic and worker-count independent: the
+// streaming checkers observe the sequential exploration order at any
+// Workers setting, so the reported states and counterexample paths are
 // bit-identical to the corresponding analyses on the materialized LTS
 // (check.Explore), which the differential tests pin.
 func Verify(sys *System, opts ...Option) (*Report, error) {
@@ -38,9 +52,14 @@ func Verify(sys *System, opts ...Option) (*Report, error) {
 	}
 	props := make([]property, len(cfg.specs))
 	sinks := make([]lts.Sink, len(cfg.specs))
+	names := uniqueNames(cfg.specs)
 	for i, spec := range cfg.specs {
-		props[i] = spec(sys)
-		sinks[i] = props[i].sink
+		p, err := spec.build(sys)
+		if err != nil {
+			return nil, fmt.Errorf("bip: verify %s: property %s: %w", sys.Name, names[i], err)
+		}
+		props[i] = p
+		sinks[i] = p.sink
 	}
 	stats, err := lts.Stream(sys, lts.Options{
 		MaxStates: cfg.maxStates,
@@ -56,14 +75,32 @@ func Verify(sys *System, opts ...Option) (*Report, error) {
 		Truncated:   stats.Truncated,
 		OK:          true,
 	}
-	for _, p := range props {
-		prop := p.result()
-		rep.Properties = append(rep.Properties, prop)
-		if prop.Violated || !prop.Conclusive {
+	for i, p := range props {
+		res := p.result()
+		res.Name = names[i]
+		rep.Properties = append(rep.Properties, res)
+		if res.Violated || !res.Conclusive {
 			rep.OK = false
 		}
 	}
 	return rep, nil
+}
+
+// uniqueNames resolves the report names: the spec's own name (kind or
+// Named override), with duplicates auto-suffixed "#2", "#3", ... in
+// option order.
+func uniqueNames(specs []propSpec) []string {
+	names := make([]string, len(specs))
+	count := make(map[string]int, len(specs))
+	for i, s := range specs {
+		count[s.name]++
+		if n := count[s.name]; n > 1 {
+			names[i] = fmt.Sprintf("%s#%d", s.name, n)
+		} else {
+			names[i] = s.name
+		}
+	}
+	return names
 }
 
 // Explore materializes the reachable LTS of sys — the full graph for
@@ -71,7 +108,7 @@ func Verify(sys *System, opts ...Option) (*Report, error) {
 // Prefer Verify when only property verdicts are wanted: the streaming
 // checkers answer those without retaining the state space. Only the
 // exploration options (Workers, MaxStates, Raw) apply here; passing a
-// property option (Deadlock, Invariant, …) is an error rather than a
+// property option (Deadlock, Prop, …) is an error rather than a
 // silently dropped check.
 func Explore(sys *System, opts ...Option) (*lts.LTS, error) {
 	cfg := verifyConfig{}
@@ -98,9 +135,13 @@ type verifyConfig struct {
 	specs     []propSpec
 }
 
-// propSpec builds a property's checker once the system is known (Verify
-// time), so options like AtomInvariants need no system argument.
-type propSpec func(sys *System) property
+// propSpec is one requested property: its report name plus the deferred
+// compilation against the system (Verify time), so options need no
+// system argument and compile errors surface with the property's name.
+type propSpec struct {
+	name  string
+	build func(sys *System) (property, error)
+}
 
 // property couples a streaming checker with the extraction of its
 // verdict once the exploration returns.
@@ -122,87 +163,127 @@ func MaxStates(n int) Option { return func(c *verifyConfig) { c.maxStates = n } 
 // priority filtering.
 func Raw() Option { return func(c *verifyConfig) { c.raw = true } }
 
-// Deadlock requests an on-the-fly deadlock-freedom check. A reachable
-// deadlock is reported with its counterexample path; the check is then
-// settled and stops consuming the exploration.
-func Deadlock() Option {
+// Prop requests an on-the-fly check of a declarative property from the
+// bip/prop algebra (or ParseProp). The property is compiled against
+// the system when Verify runs: state predicates become slot-resolved
+// closures, temporal operators become an observer automaton checked as
+// the state space streams by. Its report name is the property's kind
+// (prop.Prop.Kind); wrap with Named to override.
+func Prop(p prop.Prop) Option {
 	return func(c *verifyConfig) {
-		c.specs = append(c.specs, func(*System) property {
-			chk := &lts.DeadlockCheck{}
-			return checkerProperty("deadlock", chk, &chk.Verdict)
-		})
+		c.specs = append(c.specs, propSpec{name: p.Kind(), build: func(sys *System) (property, error) {
+			return compileProp(sys, p)
+		}})
 	}
 }
 
-// checkerProperty couples a checker sink with the extraction of its
-// (embedded, shared) verdict into a Property.
-func checkerProperty(name string, sink lts.Sink, v *lts.Verdict) property {
+// Named overrides the report name of the property option it wraps:
+//
+//	bip.Named("mutex", bip.Prop(prop.Never(...)))
+//
+// Distinct names keep Report.Property unambiguous when several options
+// share a kind (unnamed duplicates are auto-suffixed instead). Wrapping
+// a non-property option (Workers, MaxStates, …) applies it unchanged —
+// there is no property to name, so the name is dropped.
+func Named(name string, opt Option) Option {
+	return func(c *verifyConfig) {
+		before := len(c.specs)
+		opt(c)
+		for i := before; i < len(c.specs); i++ {
+			c.specs[i].name = name
+		}
+	}
+}
+
+// compileProp compiles an algebra property into its checker sink and
+// verdict extraction.
+func compileProp(sys *System, p prop.Prop) (property, error) {
+	cp, err := prop.Compile(sys, p)
+	if err != nil {
+		return property{}, err
+	}
+	v := cp.Verdict
 	return property{
-		sink: sink,
+		sink: cp.Sink,
 		result: func() Property {
 			return Property{
-				Name:       name,
 				Violated:   v.Found,
 				State:      v.State,
 				Path:       v.Path,
 				Conclusive: v.Found || v.Exhaustive,
 			}
 		},
+	}, nil
+}
+
+// Deadlock requests an on-the-fly deadlock-freedom check
+// (prop.DeadlockFree). A reachable deadlock is reported with its
+// counterexample path; the check is then settled and stops consuming
+// the exploration.
+func Deadlock() Option {
+	return func(c *verifyConfig) {
+		c.specs = append(c.specs, propSpec{name: "deadlock", build: func(sys *System) (property, error) {
+			return compileProp(sys, prop.DeadlockFree())
+		}})
 	}
 }
 
 // Invariant requests an on-the-fly check that pred holds on every
-// reachable state. The first violating state (in exploration order) is
+// reachable state: the thin adapter lifting an opaque Go predicate into
+// prop.Always(prop.Fn(pred)). Declarative predicates (Property with
+// prop.Always) serialize and compile; use them when the predicate is
+// expressible. The first violating state (in exploration order) is
 // reported with its counterexample path.
 func Invariant(pred func(State) bool) Option {
-	return invariantProp("invariant", func(*System) func(core.State) bool { return pred })
+	return func(c *verifyConfig) {
+		c.specs = append(c.specs, propSpec{name: "invariant", build: func(sys *System) (property, error) {
+			return compileProp(sys, prop.Always(prop.Fn(pred)))
+		}})
+	}
 }
 
 // AtomInvariants requests an on-the-fly check of the designer-asserted
 // per-component invariants (evaluated through their slot-compiled
 // forms).
 func AtomInvariants() Option {
-	return invariantProp("atom-invariants", func(sys *System) func(core.State) bool {
-		chk := sys.NewInvariantChecker()
-		return func(st State) bool { return chk.Check(st) == nil }
-	})
-}
-
-func invariantProp(name string, mkPred func(*System) func(core.State) bool) Option {
 	return func(c *verifyConfig) {
-		c.specs = append(c.specs, func(sys *System) property {
-			chk := &lts.InvariantCheck{Pred: mkPred(sys)}
-			return checkerProperty(name, chk, &chk.Verdict)
-		})
+		c.specs = append(c.specs, propSpec{name: "atom-invariants", build: func(sys *System) (property, error) {
+			chk := sys.NewInvariantChecker()
+			return compileProp(sys, prop.Always(prop.Fn(func(st State) bool { return chk.Check(st) == nil })))
+		}})
 	}
 }
 
-// Reach requests an on-the-fly bad-state reachability query: the first
-// state satisfying pred is reported with its witness path, and Violated
-// is set (reaching the target counts against Report.OK). With full
-// coverage and no hit, the target is proved unreachable.
+// Reach requests an on-the-fly bad-state reachability query — the thin
+// adapter for prop.Reachable(prop.Fn(pred)): the first state satisfying
+// pred is reported with its witness path, and Violated is set (reaching
+// the target counts against Report.OK). With full coverage and no hit,
+// the target is proved unreachable.
 func Reach(pred func(State) bool) Option {
 	return func(c *verifyConfig) {
-		c.specs = append(c.specs, func(*System) property {
-			chk := &lts.ReachCheck{Pred: pred}
-			return checkerProperty("reach", chk, &chk.Verdict)
-		})
+		c.specs = append(c.specs, propSpec{name: "reach", build: func(sys *System) (property, error) {
+			return compileProp(sys, prop.Reachable(prop.Fn(pred)))
+		}})
 	}
 }
 
 // Property is the outcome of one requested check.
 type Property struct {
-	// Name identifies the check: "deadlock", "invariant",
-	// "atom-invariants" or "reach".
+	// Name identifies the check: the property kind ("deadlock",
+	// "invariant", "always", "after", ...), a Named override, or a
+	// "#n"-suffixed form when several options share a name.
 	Name string
-	// Violated reports a definite violation — a reachable deadlock, an
-	// invariant-breaking state or, for Reach, the target being found.
+	// Violated reports a definite violation — a reachable deadlock, a
+	// state breaking a safety property or, for Reach/Reachable, the
+	// target being found.
 	Violated bool
 	// State is the id (exploration order) of the violating/target state;
 	// meaningful when Violated.
 	State int
 	// Path is the interaction sequence leading from the initial state to
-	// State; meaningful when Violated.
+	// State; meaningful when Violated. For temporal properties it is the
+	// product path — a run that both exists in the system and drives the
+	// observer to its bad state.
 	Path []string
 	// Conclusive reports that the verdict is definite: either a
 	// violation was found, or the full state space was covered without
