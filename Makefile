@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all fmt vet build test race bench verify apicheck examples
+.PHONY: all fmt vet build test race bench bench-par verify apicheck examples
 
 all: verify
 
@@ -30,10 +30,19 @@ test:
 race:
 	$(GO) test -race ./...
 
-# bench prints one line per paper experiment (E1–E16); full tables via
+# bench prints one line per paper experiment (E1–E18); full tables via
 # `go run ./cmd/bipbench` (reference run recorded in EXPERIMENTS.md).
 bench:
 	$(GO) test -bench . -benchtime=1x -run '^$$' .
+
+# bench-par measures the parallel exploration drivers only: the
+# BenchmarkExplore workload x workers x order grid and the E18
+# work-stealing sweep, plus the multi-core speedup gate (which skips
+# with a notice on hosts with fewer than 4 CPUs). CI runs this next to
+# the bench smoke.
+bench-par:
+	$(GO) test -bench 'Explore|E18' -benchtime=1x -run '^$$' .
+	$(GO) test -run TestE18SpeedupMultiCore -count=1 -v .
 
 # apicheck enforces the public-API boundary: tools and examples must be
 # buildable by an external consumer, so nothing under cmd/ or examples/

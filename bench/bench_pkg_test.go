@@ -167,6 +167,17 @@ func TestAllExperiments(t *testing.T) {
 			t.Fatalf("E14: unsafe elevator should violate requirement: %v", tb.Rows[1])
 		}
 	})
+	t.Run("E18", func(t *testing.T) {
+		tb, err := E18WorkStealing([]int{1, 2}, 300)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range tb.Rows {
+			if r[6] != "true" && r[6] != "reference" {
+				t.Fatalf("E18 row %v: parallel exploration broke the sequential contract", r)
+			}
+		}
+	})
 }
 
 func TestTableString(t *testing.T) {

@@ -91,6 +91,10 @@ func BenchmarkE17PropertyCheck(b *testing.B) {
 	run(b, func() (*bench.Table, error) { return bench.E17PropertyCheck(3) })
 }
 
+func BenchmarkE18WorkStealing(b *testing.B) {
+	run(b, func() (*bench.Table, error) { return bench.E18WorkStealing([]int{1, 4}, 4000) })
+}
+
 // BenchmarkStreamDeadlock measures the streaming deadlock check against
 // materialized exploration on the E16 workload: same visited space, but
 // the streaming side retains only the frontier.
@@ -127,13 +131,20 @@ func BenchmarkStreamDeadlock(b *testing.B) {
 	})
 }
 
-// BenchmarkExplore measures state-space exploration with a worker-count
-// dimension, on the workloads of experiment E15 (bench.E15ExploreScaling):
-// the E1-class philosopher rings (pure control, 7^5 = 16807 states) and
-// the E8-class pair grid (data-carrying, 8^5 = 32768 states). workers=1
-// is the sequential explorer; higher counts run the sharded parallel
-// explorer, which produces the identical LTS (checked here on every
-// run). Reference timings at 1/2/4/8 workers are in EXPERIMENTS.md.
+// BenchmarkExplore measures state-space exploration with worker-count
+// and stream-order dimensions, on the workloads of experiments E15/E18:
+// the E1-class philosopher rings (pure control, 7^5 = 16807 states, wide
+// levels), the E8-class pair grid (data-carrying, 8^5 = 32768 states)
+// and the narrow-and-deep chain (models.DeepChain). workers=1 is the
+// sequential explorer; higher counts run the deterministic
+// level-synchronized explorer (order=det, identical LTS — checked on
+// every run) or the barrier-free work-stealing explorer (order=fast,
+// canonically identical — state/transition counts checked on every
+// run). allocs/op at workers=1 pins the slab arenas: state-store
+// headers, move tables and choice vectors are carved from per-worker
+// slabs, so the per-state allocation count must stay strictly below the
+// PR-4 baseline (218780 on rings). Reference timings are in
+// EXPERIMENTS.md.
 func BenchmarkExplore(b *testing.B) {
 	rings, err := models.PhilosopherRings(5, 4)
 	if err != nil {
@@ -147,6 +158,10 @@ func BenchmarkExplore(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	deep, err := models.DeepChain(20000)
+	if err != nil {
+		b.Fatal(err)
+	}
 	cases := []struct {
 		name       string
 		sys        *core.System
@@ -154,24 +169,32 @@ func BenchmarkExplore(b *testing.B) {
 	}{
 		{"rings-5x4", ctl, 16807},
 		{"pairs-5x8", pairs, 32768},
+		{"deep-20k", deep, 80008},
 	}
 	for _, c := range cases {
 		for _, w := range []int{1, 2, 4, 8} {
-			b.Run(fmt.Sprintf("%s/workers=%d", c.name, w), func(b *testing.B) {
-				// allocs/op pins the dedup sets' arena behaviour: since the
-				// sequential driver adopted the arena-backed table (PR 4),
-				// neither driver interns a Go string per state.
-				b.ReportAllocs()
-				for i := 0; i < b.N; i++ {
-					l, err := lts.Explore(c.sys, lts.Options{Workers: w})
-					if err != nil {
-						b.Fatal(err)
-					}
-					if l.NumStates() != c.wantStates {
-						b.Fatalf("explored %d states, want %d", l.NumStates(), c.wantStates)
-					}
+			orders := []lts.Order{lts.Deterministic}
+			if w > 1 {
+				orders = append(orders, lts.Unordered)
+			}
+			for _, ord := range orders {
+				name := fmt.Sprintf("%s/workers=%d", c.name, w)
+				if ord == lts.Unordered {
+					name += "/order=fast"
 				}
-			})
+				b.Run(name, func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						l, err := lts.Explore(c.sys, lts.Options{Workers: w, Order: ord})
+						if err != nil {
+							b.Fatal(err)
+						}
+						if l.NumStates() != c.wantStates {
+							b.Fatalf("explored %d states, want %d", l.NumStates(), c.wantStates)
+						}
+					}
+				})
+			}
 		}
 	}
 }

@@ -29,8 +29,16 @@ type (
 	// Discovery describes how a state was first reached and yields its
 	// path from the initial state.
 	Discovery = lts.Discovery
-	// Options configures an exploration (bound, raw semantics, workers).
+	// Options configures an exploration (bound, raw semantics, workers,
+	// stream order).
 	Options = lts.Options
+	// Order selects the multi-worker event-stream discipline:
+	// Deterministic replays the sequential stream exactly; Unordered
+	// runs the barrier-free work-stealing explorer.
+	Order = lts.Order
+	// OrderSink is the optional Sink extension through which drivers
+	// announce the stream order before the first event.
+	OrderSink = lts.OrderSink
 	// Stats summarizes a streaming run, including the peak-frontier
 	// memory high-water mark.
 	Stats = lts.Stats
@@ -63,6 +71,18 @@ type (
 // ErrStop is the sentinel a Sink returns to end exploration early
 // without error.
 var ErrStop = lts.ErrStop
+
+// Stream-order constants; see Order.
+const (
+	// Deterministic (the zero value, so the default) makes any worker
+	// count replay the sequential event stream bit-identically.
+	Deterministic = lts.Deterministic
+	// Unordered lets workers emit events as expansion completes: the
+	// same state set, edges, truncation flag and checker verdicts, with
+	// scheduling-dependent numbering — the fast path for verification
+	// runs that only need verdicts.
+	Unordered = lts.Unordered
+)
 
 // DefaultMaxStates is the exploration bound applied when
 // Options.MaxStates is zero — shared by the library and the command-line

@@ -1,7 +1,8 @@
 // Command bipbench regenerates the paper-reproduction experiments
-// (E1–E14 of DESIGN.md, plus the E15 parallel-exploration scaling table
-// the E16 streaming-memory comparison and the E17 property-algebra
-// checking costs) and prints them;
+// (E1–E14 of DESIGN.md, plus the E15 parallel-exploration scaling table,
+// the E16 streaming-memory comparison, the E17 property-algebra
+// checking costs and the E18 work-stealing exploration sweep) and
+// prints them;
 // EXPERIMENTS.md records a reference run.
 //
 // Usage:
@@ -21,7 +22,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("e", "all", "experiment id (e1..e17) or all")
+	exp := flag.String("e", "all", "experiment id (e1..e18) or all")
 	quick := flag.Bool("quick", false, "reduced problem sizes")
 	flag.Parse()
 	if err := run(*exp, *quick); err != nil {
@@ -43,6 +44,7 @@ func run(exp string, quick bool) error {
 	depths := []int{1, 2, 3, 4}
 	exploreWorkers := []int{1, 2, 4, 8}
 	memRings := 5
+	deepDepth := int64(20000)
 	if quick {
 		rings = 4
 		enginePairs = []int{1, 2}
@@ -52,6 +54,7 @@ func run(exp string, quick bool) error {
 		depths = []int{1, 2}
 		exploreWorkers = []int{1, 4}
 		memRings = 4
+		deepDepth = 4000
 	}
 	drivers := []driver{
 		{"e1", func() (*bench.Table, error) { return bench.E1DFinderVsMonolithic(rings) }},
@@ -71,6 +74,7 @@ func run(exp string, quick bool) error {
 		{"e15", func() (*bench.Table, error) { return bench.E15ExploreScaling(exploreWorkers) }},
 		{"e16", func() (*bench.Table, error) { return bench.E16StreamingMemory(memRings) }},
 		{"e17", func() (*bench.Table, error) { return bench.E17PropertyCheck(memRings) }},
+		{"e18", func() (*bench.Table, error) { return bench.E18WorkStealing(exploreWorkers, deepDepth) }},
 	}
 	want := strings.ToLower(exp)
 	found := false
@@ -86,7 +90,7 @@ func run(exp string, quick bool) error {
 		fmt.Println(t.String())
 	}
 	if !found {
-		return fmt.Errorf("unknown experiment %q (want e1..e17 or all)", exp)
+		return fmt.Errorf("unknown experiment %q (want e1..e18 or all)", exp)
 	}
 	return nil
 }

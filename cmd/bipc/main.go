@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"bip"
 	"bip/check"
@@ -38,21 +39,38 @@ func main() {
 	chk := flag.Bool("check", false, "run streaming on-the-fly verification (deadlock + atom invariants, early-exit)")
 	explore := flag.Bool("explore", false, "run explicit-state exploration (materialized LTS)")
 	maxStates := flag.Int("max-states", 0, fmt.Sprintf("exploration bound (0 = library default, %d)", check.DefaultMaxStates))
-	workers := flag.Int("workers", 1, "exploration workers (<0 = GOMAXPROCS)")
+	workers := flag.Int("workers", runtime.NumCPU(), "exploration workers (<0 = GOMAXPROCS; default: all CPUs)")
+	order := flag.String("order", "det", "multi-worker exploration order: det (deterministic stream) | fast (work-stealing; same verdicts, scheduling-dependent numbering)")
 	var props propFlags
 	flag.Var(&props, "prop", "textual property to check on the fly (repeatable): always/never/until/after/between/reachable/deadlockfree")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: bipc [-verify] [-check] [-prop p]... [-explore] [-workers n] file.bip")
+		fmt.Fprintln(os.Stderr, "usage: bipc [-verify] [-check] [-prop p]... [-explore] [-workers n] [-order det|fast] file.bip")
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *verify, *chk, *explore, *maxStates, *workers, props); err != nil {
+	if err := run(flag.Arg(0), *verify, *chk, *explore, *maxStates, *workers, *order, props); err != nil {
 		fmt.Fprintln(os.Stderr, "bipc:", err)
 		os.Exit(1)
 	}
 }
 
-func run(path string, verify, chk, explore bool, maxStates, workers int, props []string) error {
+// orderOptions maps the -order flag to bip exploration options.
+func orderOptions(order string) ([]bip.Option, error) {
+	switch order {
+	case "det", "":
+		return nil, nil
+	case "fast":
+		return []bip.Option{bip.Unordered()}, nil
+	default:
+		return nil, fmt.Errorf("unknown -order %q (want det or fast)", order)
+	}
+}
+
+func run(path string, verify, chk, explore bool, maxStates, workers int, order string, props []string) error {
+	ordOpts, err := orderOptions(order)
+	if err != nil {
+		return err
+	}
 	src, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -80,9 +98,10 @@ func run(path string, verify, chk, explore bool, maxStates, workers int, props [
 		fmt.Println(check.FormatCompositional(res))
 	}
 	if chk {
-		rep, err := bip.Verify(sys,
+		opts := append([]bip.Option{
 			bip.Deadlock(), bip.AtomInvariants(),
-			bip.MaxStates(maxStates), bip.Workers(workers))
+			bip.MaxStates(maxStates), bip.Workers(workers)}, ordOpts...)
+		rep, err := bip.Verify(sys, opts...)
 		if err != nil {
 			return err
 		}
@@ -91,7 +110,7 @@ func run(path string, verify, chk, explore bool, maxStates, workers int, props [
 	if len(props) > 0 {
 		// All requested properties ride one exploration; compile errors
 		// (unknown components, locations, labels) surface before it runs.
-		opts := []bip.Option{bip.MaxStates(maxStates), bip.Workers(workers)}
+		opts := append([]bip.Option{bip.MaxStates(maxStates), bip.Workers(workers)}, ordOpts...)
 		var parsed []prop.Prop
 		for _, src := range props {
 			p, err := bip.ParseProp(src)
@@ -114,7 +133,8 @@ func run(path string, verify, chk, explore bool, maxStates, workers int, props [
 		}
 	}
 	if explore {
-		l, err := bip.Explore(sys, bip.MaxStates(maxStates), bip.Workers(workers))
+		opts := append([]bip.Option{bip.MaxStates(maxStates), bip.Workers(workers)}, ordOpts...)
+		l, err := bip.Explore(sys, opts...)
 		if err != nil {
 			return err
 		}

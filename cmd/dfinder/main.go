@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"bip"
@@ -30,12 +31,13 @@ func main() {
 	m := flag.Int("m", 2, "second size parameter (gas station customers)")
 	mono := flag.Bool("mono", false, "also run the monolithic streaming deadlock checker")
 	traps := flag.Int("traps", 0, "max interaction invariants (0 = auto)")
-	workers := flag.Int("workers", 1, "monolithic exploration workers (<0 = GOMAXPROCS)")
+	workers := flag.Int("workers", runtime.NumCPU(), "monolithic exploration workers (<0 = GOMAXPROCS; default: all CPUs)")
+	order := flag.String("order", "det", "multi-worker exploration order: det (deterministic stream) | fast (work-stealing)")
 	maxStates := flag.Int("max-states", 0, "exploration bound for -prop/-mono (0 = library default; data-carrying models are unbounded)")
 	var props propFlags
 	flag.Var(&props, "prop", "textual property to check on the built model (repeatable)")
 	flag.Parse()
-	if err := run(*model, *n, *m, *mono, *traps, *workers, *maxStates, props); err != nil {
+	if err := run(*model, *n, *m, *mono, *traps, *workers, *maxStates, *order, props); err != nil {
 		fmt.Fprintln(os.Stderr, "dfinder:", err)
 		os.Exit(1)
 	}
@@ -70,7 +72,15 @@ func buildModel(model string, n, m int) (*bip.System, error) {
 	}
 }
 
-func run(model string, n, m int, mono bool, maxTraps, workers, maxStates int, props []string) error {
+func run(model string, n, m int, mono bool, maxTraps, workers, maxStates int, order string, props []string) error {
+	var ordOpts []bip.Option
+	switch order {
+	case "det", "":
+	case "fast":
+		ordOpts = append(ordOpts, bip.Unordered())
+	default:
+		return fmt.Errorf("unknown -order %q (want det or fast)", order)
+	}
 	sys, err := buildModel(model, n, m)
 	if err != nil {
 		return err
@@ -78,7 +88,7 @@ func run(model string, n, m int, mono bool, maxTraps, workers, maxStates int, pr
 	fmt.Println(sys.Stats())
 
 	if len(props) > 0 {
-		opts := []bip.Option{bip.Workers(workers), bip.MaxStates(maxStates)}
+		opts := append([]bip.Option{bip.Workers(workers), bip.MaxStates(maxStates)}, ordOpts...)
 		for _, src := range props {
 			p, err := bip.ParseProp(src)
 			if err != nil {
@@ -109,7 +119,7 @@ func run(model string, n, m int, mono bool, maxTraps, workers, maxStates int, pr
 		return err
 	}
 	t1 := time.Now()
-	rep, err := bip.Verify(ctl, bip.Deadlock(), bip.Workers(workers), bip.MaxStates(maxStates))
+	rep, err := bip.Verify(ctl, append([]bip.Option{bip.Deadlock(), bip.Workers(workers), bip.MaxStates(maxStates)}, ordOpts...)...)
 	if err != nil {
 		return err
 	}

@@ -142,3 +142,81 @@ func TestFacadeCompositionalAndModels(t *testing.T) {
 		t.Fatalf("philosophers must be proved deadlock-free: %s", check.FormatCompositional(vr))
 	}
 }
+
+// TestVerifyUnordered pins the public fast path: bip.Unordered() routes
+// a multi-worker Verify through the work-stealing explorer, and every
+// verdict boolean (violated / conclusive) matches the deterministic
+// run — only the particular witness may differ, and it must still be a
+// well-formed non-empty path.
+func TestVerifyUnordered(t *testing.T) {
+	bad, err := models.PhilosophersDeadlocking(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := bip.Verify(bad, bip.Deadlock(), bip.Workers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := bip.Verify(bad, bip.Deadlock(), bip.Workers(4), bip.Unordered())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dDet, _ := det.Property("deadlock")
+	dFast, _ := fast.Property("deadlock")
+	if !dDet.Violated || !dFast.Violated {
+		t.Fatalf("two-phase philosophers must deadlock in both orders (det=%v fast=%v)",
+			dDet.Violated, dFast.Violated)
+	}
+	// Every run to the all-picked-left deadlock takes exactly one take
+	// per philosopher, whatever order discovered it.
+	if len(dFast.Path) != 3 {
+		t.Fatalf("unordered deadlock path %v, want 3 steps", dFast.Path)
+	}
+	good, err := models.Philosophers(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl, err := models.ControlOnly(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := bip.Verify(ctl, bip.Deadlock(), bip.AtomInvariants(),
+		bip.Workers(4), bip.Unordered())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK {
+		t.Fatalf("deadlock-free philosophers must verify OK under Unordered: %s", rep)
+	}
+	// A run that covers the full space visits the same state and edge
+	// sets in any order, so its counts are schedule-independent.
+	repDet, err := bip.Verify(ctl, bip.Deadlock(), bip.AtomInvariants(), bip.Workers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.States != repDet.States || rep.Transitions != repDet.Transitions {
+		t.Fatalf("full coverage must agree on counts: det (%d,%d) fast (%d,%d)",
+			repDet.States, repDet.Transitions, rep.States, rep.Transitions)
+	}
+
+	// Temporal/observer properties ride the unordered product fixpoint:
+	// the unsafe elevator's door-safety violation must be found either
+	// way, with a usable counterexample.
+	unsafe, err := models.UnsafeElevator(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := bip.ParseProp("after(cabin.depart, until(at(door, closed), cabin.arrive))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	repU, err := bip.Verify(unsafe, bip.Prop(p), bip.Workers(4), bip.Unordered())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pu := repU.Properties[0]
+	if !pu.Violated || len(pu.Path) == 0 {
+		t.Fatalf("unsafe elevator must violate door safety under Unordered (violated=%v path=%v)",
+			pu.Violated, pu.Path)
+	}
+}

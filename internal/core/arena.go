@@ -1,0 +1,129 @@
+package core
+
+import "bip/internal/expr"
+
+// Slab is a chunked slab allocator for the per-state machinery of
+// exploration: materialized state stores (location and variable-store
+// headers), derived move tables, move lists and choice vectors. The
+// drivers admit one state per distinct interned binary record, so the
+// slots carved here are keyed one-to-one by the dedup arena's records —
+// the slab is the value side of that key arena.
+//
+// Each typed slab hands out fixed-capacity sub-slices of large chunks;
+// exhausted chunks are replaced, never grown, so previously carved
+// slices stay valid forever. Carved slices have len == cap, which keeps
+// an append by one holder from clobbering a neighbour's slot. This
+// turns the per-state slice allocations of Materialize/Derive — two
+// state-store headers, a move-table header, a move list per recomputed
+// interaction, a choice vector per move — into one allocation per
+// slabChunk elements, which BenchmarkExplore measures as the workers=1
+// allocs/op drop against the PR-4 baseline.
+//
+// Lifetime is arena-style: nothing is freed individually. Chunks die
+// with the Slab (one exploration), or live on as long as a sink retains
+// a state materialized into them. A Slab is not safe for concurrent
+// use; the parallel drivers give each worker its own via ExploreCtx,
+// mirroring the per-shard key arenas of the seen-set. Cross-worker
+// reads of carved memory are safe once publication is ordered (the
+// drivers publish entries under their shard or queue locks).
+type Slab struct {
+	locs  []string
+	vars  []expr.MapEnv
+	vecs  [][]Move
+	moves []Move
+	ints  []int
+}
+
+// slabChunk is the element count of one chunk of each typed slab.
+const slabChunk = 4096
+
+// carve returns the next n-element slot of a typed slab, replacing the
+// chunk when exhausted. The slot is full (len == cap == n).
+func carve[T any](buf *[]T, n int) []T {
+	if len(*buf)+n > cap(*buf) {
+		size := slabChunk
+		if n > size {
+			size = n
+		}
+		*buf = make([]T, 0, size)
+	}
+	off := len(*buf)
+	*buf = (*buf)[:off+n]
+	return (*buf)[off : off+n : off+n]
+}
+
+// Locs carves a location-header slot (one string per atom).
+func (s *Slab) Locs(n int) []string { return carve(&s.locs, n) }
+
+// Vars carves a variable-store-header slot (one store per atom).
+func (s *Slab) Vars(n int) []expr.MapEnv { return carve(&s.vars, n) }
+
+// Vecs carves a move-table header (one move list per interaction).
+func (s *Slab) Vecs(n int) [][]Move { return carve(&s.vecs, n) }
+
+// Moves carves a move-list slot.
+func (s *Slab) Moves(n int) []Move { return carve(&s.moves, n) }
+
+// Ints carves a choice-vector slot.
+func (s *Slab) Ints(n int) []int { return carve(&s.ints, n) }
+
+// MaterializeSlab is Materialize with the successor's Locs and Vars
+// headers carved from slab instead of heap-allocated. Participant
+// variable stores are still cloned (they are maps); everything else is
+// shared with the predecessor, matching System.Exec's copy-on-write
+// discipline. The returned state is valid as long as the slab's chunks
+// are, i.e. as long as the state itself is retained.
+func (x *ScratchExec) MaterializeSlab(m Move, slab *Slab) State {
+	out := State{
+		Locs: slab.Locs(len(x.st.Locs)),
+		Vars: slab.Vars(len(x.st.Vars)),
+	}
+	copy(out.Locs, x.st.Locs)
+	copy(out.Vars, x.st.Vars)
+	for _, ai := range x.sys.portAtoms[m.Interaction] {
+		if x.maps[ai] != nil {
+			out.Vars[ai] = x.maps[ai].Clone()
+		}
+	}
+	return out
+}
+
+// DeriveSlab is Derive with the successor's table header, recomputed
+// move lists and their choice vectors carved from slab. Like Derive,
+// the result shares every non-incident entry with the parent table and
+// must be treated as immutable.
+func (d *TableDeriver) DeriveSlab(parent [][]Move, m Move, st State, slab *Slab) ([][]Move, error) {
+	sys := d.sys
+	vec := slab.Vecs(len(parent))
+	copy(vec, parent)
+	d.dirtyList = d.dirtyList[:0]
+	for _, ai := range sys.portAtoms[m.Interaction] {
+		for _, ii := range sys.incident[ai] {
+			if !d.dirty[ii] {
+				d.dirty[ii] = true
+				d.dirtyList = append(d.dirtyList, ii)
+			}
+		}
+	}
+	for _, ii := range d.dirtyList {
+		d.dirty[ii] = false
+	}
+	var err error
+	for _, ii := range d.dirtyList {
+		// Recompute into the reusable scratch first: movesOfInteraction
+		// appends incrementally, and a slab slot must be carved at its
+		// final size.
+		d.scratch, err = sys.movesOfInteractionSlab(&st, ii, d.scratch[:0], d.frame, slab)
+		if err != nil {
+			return nil, err
+		}
+		if len(d.scratch) == 0 {
+			vec[ii] = nil
+			continue
+		}
+		ms := slab.Moves(len(d.scratch))
+		copy(ms, d.scratch)
+		vec[ii] = ms
+	}
+	return vec, nil
+}

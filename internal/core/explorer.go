@@ -11,6 +11,11 @@ package core
 type ExploreCtx struct {
 	Deriver *TableDeriver
 	Scratch *ScratchExec
+	// Slab is the worker's arena for per-state machinery: materialized
+	// state-store headers, derived move tables, move lists and choice
+	// vectors (MaterializeSlab, DeriveSlab). It is the value-slot side
+	// of the seen-set's interned-key arenas.
+	Slab *Slab
 	// Moves is the reusable buffer for per-state enabled-move lists.
 	Moves []Move
 	// Key is the reusable buffer for fixed-width binary state keys.
@@ -23,6 +28,7 @@ func (s *System) NewExploreCtx() *ExploreCtx {
 	return &ExploreCtx{
 		Deriver: s.NewTableDeriver(),
 		Scratch: s.NewScratchExec(),
+		Slab:    &Slab{},
 		Key:     make([]byte, 0, s.BinaryKeyWidth()),
 	}
 }

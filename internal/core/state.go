@@ -175,6 +175,13 @@ func (s *System) Label(m Move) string { return s.Interactions[m.Interaction].Nam
 // (sized by newIFrame); it may be nil only when no interaction exports
 // variables.
 func (s *System) movesOfInteraction(st *State, ii int, buf []Move, frame []expr.Value) ([]Move, error) {
+	return s.movesOfInteractionSlab(st, ii, buf, frame, nil)
+}
+
+// movesOfInteractionSlab is movesOfInteraction with the moves' choice
+// vectors carved from slab when non-nil (exploration's per-worker
+// arenas) instead of heap-allocated.
+func (s *System) movesOfInteractionSlab(st *State, ii int, buf []Move, frame []expr.Value, slab *Slab) ([]Move, error) {
 	in := s.Interactions[ii]
 	pa := s.portAtoms[ii]
 	// Per-port enabled local transitions, on the stack for typical arities.
@@ -227,7 +234,14 @@ func (s *System) movesOfInteraction(st *State, ii int, buf []Move, frame []expr.
 	var rec func(int)
 	rec = func(pi int) {
 		if pi == len(options) {
-			buf = append(buf, Move{Interaction: ii, Choices: append([]int(nil), choice...)})
+			var cs []int
+			if slab != nil {
+				cs = slab.Ints(len(choice))
+				copy(cs, choice)
+			} else {
+				cs = append([]int(nil), choice...)
+			}
+			buf = append(buf, Move{Interaction: ii, Choices: cs})
 			return
 		}
 		for _, t := range options[pi] {

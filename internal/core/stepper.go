@@ -293,6 +293,7 @@ type TableDeriver struct {
 	dirtyList    []int
 	enabledInter []bool
 	frame        []expr.Value // scratch for compiled interaction guards
+	scratch      []Move       // scratch for DeriveSlab recomputation
 }
 
 // NewTableDeriver returns a deriver for s.

@@ -136,6 +136,17 @@ type aParent struct {
 	label string
 }
 
+// uaEdge is one recorded edge of the unordered propagation graph: the
+// per-source edge lists are intrusive linked lists (heads/next) because
+// an unordered stream interleaves sources arbitrarily, so a flat
+// offsets table cannot be built. Four words per edge.
+type uaEdge struct {
+	to     int32
+	next   int32 // next edge of the same source; -1 ends the list
+	evBits uint64
+	label  string
+}
+
 // AutomatonCheck verifies an Observer property on the fly: it computes
 // the reachable (system state, observer state) pairs incrementally over
 // the event stream and settles with a counterexample path as soon as a
@@ -159,9 +170,21 @@ type AutomatonCheck struct {
 	// OnExpanded arrives in increasing id order, so ids < expanded are
 	// safe to propagate through.
 	expanded int
+
+	// Unordered-stream mode (SetStreamOrder): edges become per-source
+	// intrusive lists and propagation runs edge-by-edge as events
+	// arrive — the same product fixpoint, reached in a
+	// schedule-dependent order, so Found/Exhaustive are identical while
+	// the particular bad pair (and path) may differ.
+	unordered bool
+	heads     []int32
+	uEdges    []uaEdge
 }
 
-var _ Sink = (*AutomatonCheck)(nil)
+var (
+	_ Sink      = (*AutomatonCheck)(nil)
+	_ OrderSink = (*AutomatonCheck)(nil)
+)
 
 // NewAutomatonCheck returns a checker for the observer.
 func NewAutomatonCheck(obs *Observer) *AutomatonCheck {
@@ -176,34 +199,75 @@ func pairKey(state int32, obs int) uint64 {
 	return uint64(uint32(state))<<6 | uint64(obs)
 }
 
+// SetStreamOrder implements OrderSink: the unordered mode switches to
+// per-source edge lists and event-driven propagation.
+func (c *AutomatonCheck) SetStreamOrder(o Order) {
+	c.unordered = o == Unordered
+}
+
 // OnState implements Sink: it pre-evaluates the rule predicates while
 // the state is materialized and, for the initial state, performs the
-// observer's initial observation.
+// observer's initial observation. An unordered stream delivers ids in
+// arbitrary (dense) order; OnState(0) is first either way.
 func (c *AutomatonCheck) OnState(id int, st core.State, d Discovery) error {
 	pred := c.Obs.PredBits(&st)
-	c.cells = append(c.cells, obsCell{pred: pred})
+	if c.unordered {
+		for len(c.cells) <= id {
+			c.cells = append(c.cells, obsCell{})
+			c.heads = append(c.heads, -1)
+		}
+		c.cells[id].pred = pred
+	} else {
+		c.cells = append(c.cells, obsCell{pred: pred})
+	}
 	if id == 0 {
 		q0 := c.Obs.Step(c.Obs.Init, c.Obs.InitBits, pred)
 		c.cells[0].obs = 1 << uint(q0)
 		if c.Obs.Bad&(1<<uint(q0)) != 0 {
 			return c.settleProduct(0, q0)
 		}
+		if c.unordered {
+			c.queue = append(c.queue, 0)
+			return c.drainU()
+		}
 	}
 	return nil
 }
 
-// OnEdge implements Sink: edges are only recorded; propagation runs at
-// the source's OnExpanded, once its edge list is complete.
+// OnEdge implements Sink. Deterministic streams only record the edge;
+// propagation runs at the source's OnExpanded, once its edge list is
+// complete. Unordered streams have no such completion point, so the
+// edge joins its source's list immediately and the bits the source
+// already propagated elsewhere are pushed through it on the spot —
+// every recorded edge has then seen every done bit, which keeps the
+// incremental fixpoint exact under any event interleaving.
 func (c *AutomatonCheck) OnEdge(from, to int, label string) error {
+	if c.unordered {
+		ev := c.Obs.EvBits(label)
+		c.uEdges = append(c.uEdges, uaEdge{to: int32(to), next: c.heads[from], evBits: ev, label: label})
+		c.heads[from] = int32(len(c.uEdges) - 1)
+		if done := c.cells[from].done; done != 0 {
+			if err := c.pushBits(int32(from), done, &c.uEdges[len(c.uEdges)-1]); err != nil {
+				return err
+			}
+			return c.drainU()
+		}
+		return nil
+	}
 	c.edges = append(c.edges, aEdge{to: int32(to), evBits: c.Obs.EvBits(label), label: label})
 	return nil
 }
 
-// OnExpanded implements Sink: state id's edge list is now complete, so
-// its accumulated observer states are propagated; the worklist re-runs
-// any already-expanded state that gains observer states through back or
-// cross edges, to the product fixpoint for the stream so far.
+// OnExpanded implements Sink: on a deterministic stream, state id's
+// edge list is now complete, so its accumulated observer states are
+// propagated; the worklist re-runs any already-expanded state that
+// gains observer states through back or cross edges, to the product
+// fixpoint for the stream so far. Unordered streams propagate per edge
+// instead and have nothing to do here.
 func (c *AutomatonCheck) OnExpanded(id, moves int) error {
+	if c.unordered {
+		return nil
+	}
 	c.offsets = append(c.offsets, int32(len(c.edges)))
 	c.expanded = id + 1
 	c.queue = append(c.queue, int32(id))
@@ -249,6 +313,51 @@ func (c *AutomatonCheck) drain() error {
 	return nil
 }
 
+// pushBits steps the source's bit set across one edge, claiming any new
+// (state, observer) pairs: the per-edge propagation primitive of the
+// unordered mode.
+func (c *AutomatonCheck) pushBits(from int32, bs uint64, e *uaEdge) error {
+	tc := &c.cells[e.to]
+	for ; bs != 0; bs &= bs - 1 {
+		q := bits.TrailingZeros64(bs)
+		q2 := c.Obs.Step(q, e.evBits, tc.pred)
+		if tc.obs&(1<<uint(q2)) != 0 {
+			continue
+		}
+		tc.obs |= 1 << uint(q2)
+		c.parents[pairKey(e.to, q2)] = aParent{state: from, obs: int8(q), label: e.label}
+		if c.Obs.Bad&(1<<uint(q2)) != 0 {
+			c.queue = c.queue[:0]
+			return c.settleProduct(int(e.to), q2)
+		}
+		c.queue = append(c.queue, e.to)
+	}
+	return nil
+}
+
+// drainU runs the unordered worklist: each queued state pushes its
+// not-yet-propagated observer states through every edge recorded for it
+// so far (edges recorded later catch up in OnEdge). Same fixpoint as
+// drain, reached in a schedule-dependent order.
+func (c *AutomatonCheck) drainU() error {
+	for head := 0; head < len(c.queue); head++ {
+		x := c.queue[head]
+		cell := &c.cells[x]
+		newBits := cell.obs &^ cell.done
+		if newBits == 0 {
+			continue
+		}
+		cell.done |= newBits
+		for ei := c.heads[x]; ei >= 0; ei = c.uEdges[ei].next {
+			if err := c.pushBits(x, newBits, &c.uEdges[ei]); err != nil {
+				return err
+			}
+		}
+	}
+	c.queue = c.queue[:0]
+	return nil
+}
+
 // settleProduct records the verdict: the violating system state and the
 // interaction path reconstructed from the product BFS tree (a path that
 // both exists in the system and drives the observer to the bad state —
@@ -286,4 +395,5 @@ func (c *AutomatonCheck) Done(truncated bool) error {
 // fed events.
 func (c *AutomatonCheck) release() {
 	c.cells, c.edges, c.offsets, c.queue, c.parents = nil, nil, nil, nil, nil
+	c.heads, c.uEdges = nil, nil
 }

@@ -53,14 +53,33 @@ func (v *Verdict) Done(truncated bool) error {
 type DeadlockCheck struct {
 	Verdict
 
-	window discWindow
+	window    discWindow
+	unordered bool
+	pending   map[int]Discovery
 }
 
-var _ Sink = (*DeadlockCheck)(nil)
+var (
+	_ Sink      = (*DeadlockCheck)(nil)
+	_ OrderSink = (*DeadlockCheck)(nil)
+)
 
-// OnState implements Sink: it parks the state's Discovery in the
-// frontier window until the state is expanded.
+// SetStreamOrder implements OrderSink: an unordered stream delivers
+// OnState/OnExpanded in arbitrary id order, so the frontier FIFO is
+// replaced by an id-keyed pending map.
+func (c *DeadlockCheck) SetStreamOrder(o Order) {
+	c.unordered = o == Unordered
+}
+
+// OnState implements Sink: it parks the state's Discovery until the
+// state is expanded.
 func (c *DeadlockCheck) OnState(id int, st core.State, d Discovery) error {
+	if c.unordered {
+		if c.pending == nil {
+			c.pending = make(map[int]Discovery)
+		}
+		c.pending[id] = d
+		return nil
+	}
 	c.window.push(d)
 	return nil
 }
@@ -71,7 +90,13 @@ func (c *DeadlockCheck) OnEdge(int, int, string) error { return nil }
 // OnExpanded implements Sink: a state expanded with zero moves is a
 // deadlock.
 func (c *DeadlockCheck) OnExpanded(id, moves int) error {
-	d := c.window.pop()
+	var d Discovery
+	if c.unordered {
+		d = c.pending[id]
+		delete(c.pending, id)
+	} else {
+		d = c.window.pop()
+	}
 	if moves == 0 {
 		return c.settle(id, d)
 	}
@@ -143,7 +168,10 @@ type Multi struct {
 	active  int
 }
 
-var _ Sink = (*Multi)(nil)
+var (
+	_ Sink      = (*Multi)(nil)
+	_ OrderSink = (*Multi)(nil)
+)
 
 // NewMulti combines sinks into one.
 func NewMulti(sinks ...Sink) *Multi {
@@ -151,6 +179,14 @@ func NewMulti(sinks ...Sink) *Multi {
 		sinks:   sinks,
 		stopped: make([]bool, len(sinks)),
 		active:  len(sinks),
+	}
+}
+
+// SetStreamOrder implements OrderSink by forwarding the announcement to
+// every order-aware child.
+func (m *Multi) SetStreamOrder(o Order) {
+	for _, s := range m.sinks {
+		announceOrder(s, o)
 	}
 }
 

@@ -45,6 +45,11 @@ type LTS struct {
 
 	truncated bool
 
+	// unordered records the announced stream order (SetStreamOrder):
+	// deterministic streams keep the strict contiguous-id check, the
+	// unordered stream grows the tables as dense ids arrive.
+	unordered bool
+
 	// Lazily computed analysis caches (see Deadlocks, LabelSet).
 	deadlocks     []int
 	deadlocksOnce bool
@@ -60,12 +65,20 @@ type Options struct {
 	// interaction semantics).
 	Raw bool
 	// Workers is the number of exploration workers. 0 and 1 select the
-	// sequential explorer; n > 1 the sharded parallel explorer with n
-	// workers; a negative value means GOMAXPROCS. Both explorers emit
-	// the identical event stream — same state numbering, edges, BFS
-	// tree, and truncation verdict — so every sink, including the
-	// materialized LTS, is worker-count independent.
+	// sequential explorer; n > 1 a parallel explorer with n workers; a
+	// negative value means GOMAXPROCS. Under the default Order
+	// (Deterministic) every explorer emits the identical event stream —
+	// same state numbering, edges, BFS tree, and truncation verdict —
+	// so every sink, including the materialized LTS, is worker-count
+	// independent.
 	Workers int
+	// Order selects the multi-worker event-stream discipline:
+	// Deterministic (default) replays the sequential stream exactly;
+	// Unordered runs the barrier-free work-stealing explorer, whose
+	// state set, edges and verdicts are identical but whose numbering
+	// and event order are scheduling-dependent. Ignored when the
+	// exploration runs sequentially.
+	Order Order
 }
 
 // Explore builds the reachable LTS of sys by breadth-first search: it
@@ -90,15 +103,31 @@ func Explore(sys *core.System, opts Options) (*LTS, error) {
 	return l, nil
 }
 
-// OnState implements Sink by storing the state and its BFS-tree edge.
+// SetStreamOrder implements OrderSink: an unordered stream delivers
+// dense ids in arbitrary order, so the tables grow with placeholders;
+// a deterministic stream keeps the strict in-order check, which fails
+// fast on any driver numbering regression.
+func (l *LTS) SetStreamOrder(o Order) {
+	l.unordered = o == Unordered
+}
+
+// OnState implements Sink by storing the state and its discovery-tree
+// edge. On an unordered stream (SetStreamOrder) ids arrive in no
+// particular order but are dense, so the slices are grown with
+// placeholders that are always filled before Done.
 func (l *LTS) OnState(id int, st core.State, d Discovery) error {
-	if id != len(l.states) {
+	if !l.unordered && id != len(l.states) {
 		return fmt.Errorf("lts: state %d delivered out of order (have %d)", id, len(l.states))
 	}
-	l.states = append(l.states, st)
-	l.edges = append(l.edges, nil)
-	l.parent = append(l.parent, d.Parent)
-	l.parentLabel = append(l.parentLabel, d.Label)
+	for len(l.states) <= id {
+		l.states = append(l.states, core.State{})
+		l.edges = append(l.edges, nil)
+		l.parent = append(l.parent, -1)
+		l.parentLabel = append(l.parentLabel, "")
+	}
+	l.states[id] = st
+	l.parent[id] = d.Parent
+	l.parentLabel[id] = d.Label
 	return nil
 }
 

@@ -10,17 +10,21 @@ import (
 	"bip/internal/core"
 )
 
-// This file implements the sharded parallel breadth-first driver behind
-// Stream (and therefore Explore) when Options.Workers > 1.
+// This file implements the deterministic parallel breadth-first driver
+// behind Stream when Options.Workers > 1 and Options.Order is
+// Deterministic (the default). The Unordered work-stealing driver lives
+// in wsteal.go; both share the lock-striped seen-set below.
 //
 // The BFS runs level-synchronized: all states at distance d are expanded
 // by a pool of workers before any state at distance d+1 is numbered.
 // Workers claim slices of the current level from an atomic cursor and
 // expand them with worker-local core.ExploreCtx machinery (the System
-// itself is read-only after Validate). Successor dedup goes through a
-// sharded seen-set: fixed-width binary state keys are hashed, the hash
-// picks a shard, and the shard stores the key bytes in a flat append-only
-// arena — one mutex hold per successor, no Go string per state.
+// itself is read-only after Validate; per-state machinery — state
+// stores, move tables, choice vectors — is carved from the worker's
+// slab arena). Successor dedup goes through a sharded seen-set:
+// fixed-width binary state keys are hashed, the hash picks a shard, and
+// the shard stores the key bytes in a flat append-only arena — one
+// mutex hold per successor, no Go string per state.
 //
 // Determinism. The sequential driver numbers states in discovery order,
 // which for BFS is: level by level, and within a level by the
@@ -34,17 +38,22 @@ import (
 // edge to a rejected key, ever — so rejected entries are kept as
 // tombstones and the sorted admission does the same cut.
 //
-// Streaming. Workers do not talk to the sink; they record each expanded
-// entry's outgoing moves (target entry pointers and labels) on the entry
-// itself. After the barrier has numbered the level's discoveries, the
-// driver replays the level in the sequential event order — states in id
+// Streaming, pipelined. Workers do not talk to the sink; they record
+// each expanded entry's outgoing moves (target entry pointers and
+// labels) on the entry itself. After the barrier has numbered a level's
+// discoveries — a sort and an id sweep, the only work left serialized —
+// the replay of the just-expanded level to the sink (states in id
 // order, each state's edges in move order, a fresh successor's OnState
-// emitted exactly at its minimal (parent, move) discovery edge — so the
-// sink observes a bit-identical stream at any worker count, which the
-// differential tests pin. Replayed entries are then stripped of their
-// state, move table, edge list and path node: as in the sequential
-// driver, only the frontier keeps per-state machinery and only the
-// interned dedup keys persist.
+// emitted exactly at its minimal (parent, move) discovery edge) runs in
+// a goroutine CONCURRENTLY with the workers expanding the next level.
+// The sink still observes the bit-identical sequential stream at any
+// worker count — events of level d all precede events of level d+1, and
+// only one replay runs at a time — but workers no longer idle through
+// sink consumption; the barrier they meet costs one sort instead of one
+// full replay. The replay may touch only data frozen before it started:
+// ids, claims and path nodes are assigned at the barrier, and the
+// entries it strips (state, move table, edge list, node) belong to its
+// own level, which no worker reads anymore.
 
 // Sentinel ids of seen-set entries that have no state number (yet).
 const (
@@ -61,8 +70,9 @@ type pedge struct {
 
 // pentry is one seen-set entry: an interned key plus, while the state
 // waits on the frontier, its materialized state, move table and BFS-tree
-// node, and, between expansion and the level barrier, its recorded
-// outgoing edges.
+// node, and, between expansion and its replay, its recorded outgoing
+// edges. The claim* fields serve the deterministic driver's numbering;
+// parked serves the work-stealing driver's event reordering (wsteal.go).
 type pentry struct {
 	key   []byte
 	state core.State
@@ -74,9 +84,26 @@ type pentry struct {
 
 	// The lexicographically smallest (parent id, move index) that
 	// produced this state — the BFS-tree edge and the numbering sort
-	// key. Guarded by the owning shard's mutex until the level barrier.
+	// key — plus the parent entry and label of that discovery. Guarded
+	// by the owning shard's mutex until the level barrier freezes them.
 	claimParent int32
 	claimMove   int32
+	claimEnt    *pentry
+	claimLabel  string
+
+	// announced marks that the entry's OnState has been emitted. In the
+	// deterministic driver it is touched only by the (single) replay
+	// goroutine; in the work-stealing driver only under the sink mutex.
+	announced bool
+	// parked holds edges that reached this entry before its OnState was
+	// emitted (work-stealing driver only; touched under the sink mutex).
+	parked []parkedEdge
+}
+
+// parkedEdge is an edge held back until its target is announced.
+type parkedEdge struct {
+	from  int32
+	label string
 }
 
 // shard is one lock stripe of the seen-set.
@@ -88,11 +115,28 @@ type shard struct {
 	// arena backs the interned key bytes in fixed-width records; chunks
 	// are replaced, never grown, so interned slices stay valid.
 	arena []byte
-	// fresh lists the entries created during the current level.
+	// fresh lists the entries created during the current level
+	// (deterministic driver only).
 	fresh []*pentry
 }
 
 const arenaChunk = 1 << 16
+
+// newShards sizes the lock-striped seen-set for a worker count.
+func newShards(workers int) ([]shard, uint64) {
+	nShards := 1
+	for nShards < workers*8 {
+		nShards <<= 1
+	}
+	if nShards > 256 {
+		nShards = 256
+	}
+	shards := make([]shard, nShards)
+	for i := range shards {
+		shards[i].table = make(map[uint64][]*pentry)
+	}
+	return shards, uint64(nShards - 1)
+}
 
 // intern copies key into the shard's arena and returns the stable copy.
 func (sh *shard) intern(key []byte) []byte {
@@ -108,10 +152,22 @@ func (sh *shard) intern(key []byte) []byte {
 	return sh.arena[off : off+len(key) : off+len(key)]
 }
 
-// hashKey is FNV-1a folded over 8-byte words (with a byte-wise tail) —
-// deterministic across runs, so shard assignment (and therefore nothing
-// observable) depends only on the state, and one multiply per word
-// instead of per byte keeps it cheap on the wide fixed-width keys.
+// hashKey is FNV-1a folded over 8-byte words (with a byte-wise tail),
+// finished with a murmur3-style avalanche — deterministic across runs,
+// so shard assignment (and therefore nothing observable) depends only
+// on the state, and one multiply per word instead of per byte keeps it
+// cheap on the wide fixed-width keys.
+//
+// The finalizer is load-bearing: the folding multiplications propagate
+// bit differences only upward (bit i of a product depends on bits <= i
+// of the operands), so two keys differing only in the HIGH bytes of a
+// word — e.g. a counter value whose encoding straddles a word boundary,
+// as in the deep-chain workload — would otherwise agree on every low
+// bit. Both the open-addressed sequential seen-set and the shard
+// selector index with the low bits; without the avalanche they
+// degenerate into a handful of giant probe chains (measured 40x on
+// deep-chain E18) while the shard tables only survived because Go's
+// map re-mixes its keys.
 func hashKey(b []byte) uint64 {
 	h := uint64(14695981039346656037)
 	for len(b) >= 8 {
@@ -123,6 +179,11 @@ func hashKey(b []byte) uint64 {
 	for _, c := range b {
 		h = (h ^ uint64(c)) * 1099511628211
 	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
 	return h
 }
 
@@ -134,18 +195,7 @@ type pworker struct {
 
 func streamParallel(sys *core.System, opts Options, workers, maxStates int, sink Sink) (Stats, error) {
 	stats := Stats{States: 1, PeakFrontier: 1}
-	nShards := 1
-	for nShards < workers*8 {
-		nShards <<= 1
-	}
-	if nShards > 256 {
-		nShards = 256
-	}
-	shards := make([]shard, nShards)
-	for i := range shards {
-		shards[i].table = make(map[uint64][]*pentry)
-	}
-	mask := uint64(nShards - 1)
+	shards, mask := newShards(workers)
 
 	init := sys.Initial()
 	initVec, err := sys.EnabledVector(init)
@@ -153,7 +203,7 @@ func streamParallel(sys *core.System, opts Options, workers, maxStates int, sink
 		return stats, fmt.Errorf("explore state 0: %w", err)
 	}
 	key := sys.AppendBinaryKey(nil, init)
-	e0 := &pentry{key: key, state: init, vec: initVec, id: 0, claimParent: -1}
+	e0 := &pentry{key: key, state: init, vec: initVec, id: 0, claimParent: -1, announced: true}
 	h0 := hashKey(key)
 	shards[h0&mask].table[h0] = append(shards[h0&mask].table[h0], e0)
 
@@ -166,11 +216,20 @@ func streamParallel(sys *core.System, opts Options, workers, maxStates int, sink
 		ws[i] = &pworker{ctx: sys.NewExploreCtx()}
 	}
 
+	// replayCh carries the outcome of the in-flight replay goroutine; it
+	// is primed so the first join is a no-op. Only one replay runs at a
+	// time, so sink methods are never called concurrently and levels
+	// reach the sink in order.
+	replayCh := make(chan error, 1)
+	replayCh <- nil
+	replaying := 0 // size of the level the in-flight replay is consuming
+
 	level := []*pentry{e0}
 	var freshBuf []*pentry
 	for len(level) > 0 {
-		// Expand the level. Small levels get fewer goroutines; a lone
-		// state is expanded by a single worker with no extra scheduling.
+		// Expand the level — concurrently with the replay of the
+		// previous one. Small levels get fewer goroutines; a lone state
+		// is expanded by a single worker with no extra scheduling.
 		const batch = 16
 		nw := (len(level) + batch - 1) / batch
 		if nw > workers {
@@ -201,6 +260,12 @@ func streamParallel(sys *core.System, opts Options, workers, maxStates int, sink
 			}(w)
 		}
 		wg.Wait()
+		if err := <-replayCh; err != nil {
+			// The sink stopped (ErrStop) or failed during the previous
+			// level's replay; the level just expanded is discarded
+			// unemitted.
+			return stats, stats.finish(err)
+		}
 		for _, w := range ws[:nw] {
 			if w.err != nil {
 				return stats, w.err
@@ -217,6 +282,18 @@ func streamParallel(sys *core.System, opts Options, workers, maxStates int, sink
 		for i := range shards {
 			fresh = append(fresh, shards[i].fresh...)
 			shards[i].fresh = shards[i].fresh[:0]
+		}
+		// Live-state high-water mark, measured at the worst transient of
+		// the expansion that just finished: the previous level (still
+		// materialized until its concurrent replay strips it), the level
+		// being expanded, and every discovery resident in the shard
+		// buffers — bound-rejected ones included, since they stay
+		// materialized until the admission cut below. This is the fix
+		// for the pre-pipelining measure, which sampled only
+		// len(level)+len(next) at the barrier and missed both the
+		// replay overlap and the rejected residents.
+		if f := replaying + len(level) + len(fresh); f > stats.PeakFrontier {
+			stats.PeakFrontier = f
 		}
 		sort.Slice(fresh, func(i, j int) bool {
 			if fresh[i].claimParent != fresh[j].claimParent {
@@ -235,62 +312,75 @@ func streamParallel(sys *core.System, opts Options, workers, maxStates int, sink
 			}
 			e.id = int32(stats.States)
 			stats.States++
+			// The BFS-tree node is assigned here, at the barrier, so the
+			// replay below only reads nodes: the claim parent sits in the
+			// just-expanded level, whose nodes were assigned at the
+			// previous barrier and are stripped only by this level's
+			// replay, which has not started yet.
+			e.node = &pathNode{parent: e.claimEnt.node, label: e.claimLabel}
 			next = append(next, e)
 		}
 		freshBuf = fresh
-		// Live-state high-water mark: until the replay below strips
-		// them, the expanded level and the admitted discoveries are held
-		// materialized simultaneously (bound-rejected entries were
-		// stripped at admission). The level-synchronized driver's
-		// granularity makes this a slightly coarser measure than the
-		// sequential driver's running frontier — worker counts can
-		// differ on it, unlike on everything else in Stats.
-		if f := len(level) + len(next); f > stats.PeakFrontier {
-			stats.PeakFrontier = f
-		}
 
-		// Replay the level to the sink in the sequential event order:
-		// states in id order, edges in move order, a fresh successor's
-		// OnState at its minimal discovery edge.
-		for _, e := range level {
-			for _, ed := range e.out {
-				t := ed.target
-				if t.id == rejectedID {
-					// No edge: matches the sequential driver's treatment
-					// of states refused by the bound.
-					continue
-				}
-				if t.claimParent == e.id && t.claimMove == ed.move && t.node == nil && t.id != 0 {
-					t.node = &pathNode{parent: e.node, label: ed.label}
-					if err := sink.OnState(int(t.id), t.state, Discovery{Parent: int(e.id), Label: ed.label, node: t.node}); err != nil {
-						return stats, stats.finish(err)
-					}
-				}
-				stats.Transitions++
-				if err := sink.OnEdge(int(e.id), int(t.id), ed.label); err != nil {
-					return stats, stats.finish(err)
-				}
-			}
-			if err := sink.OnExpanded(int(e.id), int(e.moves)); err != nil {
-				return stats, stats.finish(err)
-			}
-		}
-		// Strip replayed entries: only the interned dedup key persists
-		// for expanded states; children keep their BFS-tree ancestors
-		// alive through the node chain.
-		for _, e := range level {
-			e.state = core.State{}
-			e.out = nil
-			e.node = nil
-		}
+		// Replay the expanded level to the sink in the sequential event
+		// order while the workers move on to the next level. The replay
+		// touches only barrier-frozen data of its own and the next level
+		// (ids, claims, nodes, recorded edges, materialized states) and
+		// strips entries of its own level, which no worker reads again.
+		lv := level
+		go func() { replayCh <- replayLevel(lv, &stats, sink) }()
+		replaying = len(level)
 		level = next
+	}
+	if err := <-replayCh; err != nil {
+		return stats, stats.finish(err)
 	}
 	return stats, stats.finish(sink.Done(stats.Truncated))
 }
 
+// replayLevel emits one expanded level's events in the sequential order:
+// states in id order, each state's edges in move order, a fresh
+// successor's OnState at its minimal discovery edge. Replayed entries
+// are then stripped of their state, move table, edge list and path
+// node: as in the sequential driver, only the frontier keeps per-state
+// machinery and only the interned dedup keys persist. It runs in its
+// own goroutine but never concurrently with another replay, so sink
+// calls stay serialized; it writes stats.Transitions and (via
+// Stats.finish on the caller side) Stopped, which the driver reads only
+// after joining it.
+func replayLevel(level []*pentry, stats *Stats, sink Sink) error {
+	for _, e := range level {
+		for _, ed := range e.out {
+			t := ed.target
+			if t.id == rejectedID {
+				// No edge: matches the sequential driver's treatment
+				// of states refused by the bound.
+				continue
+			}
+			if !t.announced && t.claimEnt == e && t.claimMove == ed.move {
+				t.announced = true
+				if err := sink.OnState(int(t.id), t.state, Discovery{Parent: int(e.id), Label: ed.label, node: t.node}); err != nil {
+					return err
+				}
+			}
+			stats.Transitions++
+			if err := sink.OnEdge(int(e.id), int(t.id), ed.label); err != nil {
+				return err
+			}
+		}
+		if err := sink.OnExpanded(int(e.id), int(e.moves)); err != nil {
+			return err
+		}
+		e.state = core.State{}
+		e.out = nil
+		e.node = nil
+	}
+	return nil
+}
+
 // expand enumerates e's moves and routes each successor through the
 // sharded seen-set, recording e's outgoing edges on the entry for the
-// barrier replay.
+// later replay.
 func (w *pworker) expand(sys *core.System, raw bool, e *pentry, shards []shard, mask uint64) error {
 	ctx := w.ctx
 	var moves []core.Move
@@ -314,6 +404,7 @@ func (w *pworker) expand(sys *core.System, raw bool, e *pentry, shards []shard, 
 		if err != nil {
 			return fmt.Errorf("explore state %d: %w", e.id, err)
 		}
+		label := sys.Label(m)
 		ctx.Key = sys.AppendBinaryKey(ctx.Key[:0], *view)
 		h := hashKey(ctx.Key)
 		sh := &shards[h&mask]
@@ -333,6 +424,8 @@ func (w *pworker) expand(sys *core.System, raw bool, e *pentry, shards []shard, 
 				id:          pendingID,
 				claimParent: e.id,
 				claimMove:   int32(mi),
+				claimEnt:    e,
+				claimLabel:  label,
 			}
 			sh.table[h] = append(sh.table[h], t)
 			sh.fresh = append(sh.fresh, t)
@@ -340,6 +433,7 @@ func (w *pworker) expand(sys *core.System, raw bool, e *pentry, shards []shard, 
 		} else if t.id == pendingID {
 			if e.id < t.claimParent || (e.id == t.claimParent && int32(mi) < t.claimMove) {
 				t.claimParent, t.claimMove = e.id, int32(mi)
+				t.claimEnt, t.claimLabel = e, label
 			}
 		}
 		sh.mu.Unlock()
@@ -347,14 +441,14 @@ func (w *pworker) expand(sys *core.System, raw bool, e *pentry, shards []shard, 
 		if created {
 			// Only the creating worker touches state/vec; everyone else
 			// first observes them after the level barrier.
-			t.state = ctx.Scratch.Materialize(m)
-			vec, err := ctx.Deriver.Derive(e.vec, m, t.state)
+			t.state = ctx.Scratch.MaterializeSlab(m, ctx.Slab)
+			vec, err := ctx.Deriver.DeriveSlab(e.vec, m, t.state, ctx.Slab)
 			if err != nil {
 				return fmt.Errorf("explore state %d: %w", e.id, err)
 			}
 			t.vec = vec
 		}
-		out = append(out, pedge{target: t, label: sys.Label(m), move: int32(mi)})
+		out = append(out, pedge{target: t, label: label, move: int32(mi)})
 	}
 	e.out = out
 	return nil

@@ -40,9 +40,50 @@ const DefaultMaxStates = 1 << 20
 // sink-requested stop, with Stats.Stopped set.
 var ErrStop = errors.New("lts: stop exploration")
 
-// Sink consumes the exploration event stream. Events arrive in the
-// deterministic order of the sequential breadth-first search, regardless
-// of Options.Workers:
+// Order selects the event-stream discipline of a multi-worker
+// exploration. It trades scheduling freedom against stream determinism;
+// the explored state *set*, the edge set, the truncation flag and every
+// checker verdict (violated / conclusive) are identical either way —
+// only state numbering, event order and therefore which particular
+// counterexample is reported may differ under Unordered.
+type Order int
+
+const (
+	// Deterministic (the default) replays the sequential driver's exact
+	// event stream at any worker count: same state numbering, edges,
+	// BFS tree, truncation — bit-identical sinks. Parallel expansion is
+	// level-synchronized (parallel.go), with the replay pipelined so
+	// workers only meet a numbering barrier, not the sink.
+	Deterministic Order = iota
+	// Unordered runs the work-stealing explorer (wsteal.go): per-worker
+	// chunked deques with steal-half balancing and no barrier anywhere
+	// on the hot path. Events are emitted as expansion completes, so
+	// state numbering and stream order vary run to run; the relaxed
+	// Sink contract below still holds. Prefer it whenever only
+	// verdicts, the state set, or canonical analyses matter.
+	Unordered
+)
+
+// OrderSink is an optional Sink extension: a driver announces the
+// stream order it is about to produce before the first event, so
+// order-sensitive sinks (AutomatonCheck, DeadlockCheck) can pick the
+// matching bookkeeping. Sinks that do not implement it must either be
+// order-insensitive or be used only with deterministic streams.
+// NewMulti forwards the announcement to every child.
+type OrderSink interface {
+	SetStreamOrder(Order)
+}
+
+// announceOrder tells an order-aware sink which stream to expect.
+func announceOrder(sink Sink, o Order) {
+	if os, ok := sink.(OrderSink); ok {
+		os.SetStreamOrder(o)
+	}
+}
+
+// Sink consumes the exploration event stream. With Options.Order ==
+// Deterministic (the default), events arrive in the deterministic order
+// of the sequential breadth-first search, regardless of Options.Workers:
 //
 //   - OnState(id, …) once per admitted state, in increasing id order (the
 //     initial state is id 0). The state is a materialized snapshot the
@@ -59,6 +100,15 @@ var ErrStop = errors.New("lts: stop exploration")
 //     truncated the edge stream.
 //   - Done(truncated) once, after the full (possibly truncated)
 //     exploration — but not after an ErrStop.
+//
+// With Options.Order == Unordered and Workers > 1, the work-stealing
+// driver relaxes the ordering only: ids are still dense and unique,
+// OnState(0) is still the first event, every state's OnState still
+// precedes both every OnEdge mentioning it (either endpoint) and its
+// own OnExpanded — but ids arrive in no particular order, edges of one
+// state need not be contiguous, and a late cross edge may even arrive
+// after its source's OnExpanded. Drivers announce the order through
+// OrderSink before the first event.
 //
 // Methods are never called concurrently. Returning ErrStop ends the
 // exploration early; any other error aborts it and is returned by the
@@ -121,10 +171,14 @@ type Stats struct {
 	// E16 compares against the materialized state count: the maximum
 	// number of states the driver held materialized at once. For the
 	// sequential driver this is exactly the running frontier
-	// (discovered-but-unexpanded states); the level-synchronized
-	// parallel driver measures per level (the level being expanded plus
-	// its admitted discoveries), which is coarser — it is the one Stats
-	// field that may differ across worker counts.
+	// (discovered-but-unexpanded states). The deterministic parallel
+	// driver counts every materialized resident at its worst transient:
+	// the previous level (still held while its pipelined replay runs),
+	// the level being expanded, and all shard-buffered discoveries —
+	// bound-rejected ones included. The work-stealing driver records
+	// the in-flight high-water mark (admitted but not yet
+	// expanded-and-flushed, wherever the state is buffered). It is the
+	// one Stats field that may differ across worker counts and orders.
 	PeakFrontier int
 	// Truncated reports that the MaxStates bound cut the exploration.
 	Truncated bool
@@ -153,8 +207,16 @@ func Stream(sys *core.System, opts Options, sink Sink) (Stats, error) {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > 1 {
+		if opts.Order == Unordered {
+			announceOrder(sink, Unordered)
+			return streamWorkSteal(sys, opts, workers, maxStates, sink)
+		}
+		announceOrder(sink, Deterministic)
 		return streamParallel(sys, opts, workers, maxStates, sink)
 	}
+	// A single worker produces the deterministic stream by construction,
+	// whatever Order asks for — announce what the sink will actually see.
+	announceOrder(sink, Deterministic)
 	return streamSeq(sys, opts, maxStates, sink)
 }
 
@@ -305,8 +367,8 @@ func streamSeq(sys *core.System, opts Options, maxStates int, sink Sink) (Stats,
 					stats.Truncated = true
 					continue
 				}
-				next := ctx.Scratch.Materialize(m)
-				nextVec, err := ctx.Deriver.Derive(e.vec, m, next)
+				next := ctx.Scratch.MaterializeSlab(m, ctx.Slab)
+				nextVec, err := ctx.Deriver.DeriveSlab(e.vec, m, next, ctx.Slab)
 				if err != nil {
 					return stats, fmt.Errorf("explore state %d: %w", id, err)
 				}

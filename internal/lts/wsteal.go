@@ -1,0 +1,506 @@
+package lts
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"bip/internal/core"
+)
+
+// This file implements the work-stealing explorer behind Stream when
+// Options.Workers > 1 and Options.Order == Unordered. There is no
+// barrier anywhere on the hot path:
+//
+//   - Pending states live in per-worker deques of fixed-size chunks. A
+//     worker pushes and pops its newest chunk privately (no lock, good
+//     locality); full chunks are published to the worker's deque under
+//     a per-deque mutex, and a worker that runs dry steals the OLDEST
+//     half of a victim's published chunks (steal-half balancing: one
+//     steal rebalances log-many imbalances, and taking the old end
+//     keeps thieves off the owner's working set). A worker whose deque
+//     is empty publishes its private chunk early, so work never hides
+//     in a private buffer while peers starve.
+//
+//   - Dedup goes through the same lock-striped arena-backed seen-set as
+//     the deterministic driver (parallel.go), but admission is
+//     immediate: a fresh state CASes the next id from a global counter
+//     (or becomes a rejected tombstone once the MaxStates bound is
+//     reached — the admitted state COUNT matches the sequential driver
+//     exactly, though which states are admitted depends on schedule).
+//
+//   - Termination is a global in-flight counter: +1 per admitted state,
+//     -1 once a state's expansion has been flushed and its children
+//     enqueued (children are incremented at admission, strictly before
+//     the parent's decrement, so the counter can only reach zero when
+//     no state is pending anywhere). Idle workers sleep on a condition
+//     variable whose generation is bumped by every publish, by the
+//     final decrement and by stop/error.
+//
+//   - The sink is fed from the workers themselves: after expanding a
+//     state, a worker flushes its recorded events under one global sink
+//     mutex (sink methods are never called concurrently). Fresh
+//     successors' OnState events are emitted in the flush of the
+//     expansion that created them — before the children are enqueued,
+//     so a child's own events always come later — and an edge whose
+//     target has not been announced yet is parked on the target entry
+//     and emitted right after the target's OnState. This yields the
+//     relaxed-but-sound Unordered contract documented on Sink.
+//
+// What is preserved versus the deterministic stream: the reachable
+// state set, the edge set, the truncation flag, the admitted state
+// count, and therefore every checker verdict that does not depend on
+// exploration order (deadlock-freedom, invariant validity,
+// reachability, observer-automaton verdicts — all of them fixpoints of
+// the explored graph). What varies with schedule: state numbering,
+// event order, PeakFrontier, and which particular violation/witness is
+// reported first. The differential tests compare canonically-sorted
+// LTSs and every verdict at several worker counts to pin exactly this
+// contract.
+
+// wsChunkCap is the deque chunk size: the steal granularity and the
+// batch in which work is published.
+const wsChunkCap = 32
+
+// wsChunk is one chunk of pending entries, treated as a stack.
+type wsChunk struct {
+	e [wsChunkCap]*pentry
+	n int
+}
+
+// wsDeque is one worker's published work: a stack of chunks. The owner
+// pushes/pops at the top; thieves steal from the bottom (oldest).
+type wsDeque struct {
+	mu        sync.Mutex
+	chunks    []*wsChunk
+	published atomic.Int32 // len(chunks), readable without the lock
+}
+
+// push publishes a full (or shed) chunk.
+func (q *wsDeque) push(c *wsChunk) {
+	q.mu.Lock()
+	q.chunks = append(q.chunks, c)
+	q.published.Store(int32(len(q.chunks)))
+	q.mu.Unlock()
+}
+
+// pop takes the newest published chunk (owner side).
+func (q *wsDeque) pop() *wsChunk {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := len(q.chunks)
+	if n == 0 {
+		return nil
+	}
+	c := q.chunks[n-1]
+	q.chunks[n-1] = nil
+	q.chunks = q.chunks[:n-1]
+	q.published.Store(int32(n - 1))
+	return c
+}
+
+// stealHalf removes the oldest half of the published chunks (thief
+// side). Only one deque lock is ever held at a time, so cross-steals
+// cannot deadlock.
+func (q *wsDeque) stealHalf(buf []*wsChunk) []*wsChunk {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := len(q.chunks)
+	if n == 0 {
+		return buf
+	}
+	take := (n + 1) / 2
+	buf = append(buf, q.chunks[:take]...)
+	rest := copy(q.chunks, q.chunks[take:])
+	for i := rest; i < n; i++ {
+		q.chunks[i] = nil
+	}
+	q.chunks = q.chunks[:rest]
+	q.published.Store(int32(rest))
+	return buf
+}
+
+// wsRec is one recorded move of an expansion, flushed to the sink after
+// the state is fully expanded.
+type wsRec struct {
+	target *pentry
+	label  string
+	fresh  bool // this expansion created (and will announce) the target
+}
+
+// wsDriver is the shared state of one work-stealing exploration.
+type wsDriver struct {
+	sys       *core.System
+	raw       bool
+	maxStates int
+	sink      Sink
+
+	shards []shard
+	mask   uint64
+	deques []wsDeque
+
+	states    atomic.Int64 // admitted states (ids are 0..states-1)
+	inflight  atomic.Int64 // admitted but not yet expanded+flushed
+	peak      atomic.Int64 // high-water mark of inflight
+	truncated atomic.Bool
+	stopped   atomic.Bool
+
+	sinkMu      sync.Mutex
+	transitions int // guarded by sinkMu
+
+	failOnce sync.Once
+	err      error // first terminal error (ErrStop included); set via fail
+
+	idleMu sync.Mutex
+	cond   *sync.Cond
+	gen    uint64
+}
+
+// notify wakes idle workers after new work was published, the in-flight
+// counter hit zero, or the run was stopped.
+func (d *wsDriver) notify() {
+	d.idleMu.Lock()
+	d.gen++
+	d.cond.Broadcast()
+	d.idleMu.Unlock()
+}
+
+// fail records the first terminal condition (sink ErrStop, sink error,
+// or expansion error) and stops every worker.
+func (d *wsDriver) fail(err error) {
+	d.failOnce.Do(func() {
+		d.err = err
+		d.stopped.Store(true)
+		d.notify()
+	})
+}
+
+// admit reserves the next state id, bounded by MaxStates. The admitted
+// count matches the sequential driver's exactly; which keys win the
+// race near the bound is schedule-dependent.
+func (d *wsDriver) admit() (int32, bool) {
+	for {
+		n := d.states.Load()
+		if int(n) >= d.maxStates {
+			d.truncated.Store(true)
+			return rejectedID, false
+		}
+		if d.states.CompareAndSwap(n, n+1) {
+			in := d.inflight.Add(1)
+			for {
+				p := d.peak.Load()
+				if in <= p || d.peak.CompareAndSwap(p, in) {
+					break
+				}
+			}
+			return int32(n), true
+		}
+	}
+}
+
+// wsWorker is one work-stealing worker.
+type wsWorker struct {
+	id    int
+	ctx   *core.ExploreCtx
+	cur   *wsChunk // private mixed push/pop chunk, invisible to thieves
+	spare *wsChunk // small freelist
+	recs  []wsRec
+	steal []*wsChunk
+}
+
+func (w *wsWorker) newChunk() *wsChunk {
+	if c := w.spare; c != nil {
+		w.spare = nil
+		return c
+	}
+	return new(wsChunk)
+}
+
+// pushLocal enqueues an admitted entry. Full private chunks are
+// published; so is a multi-entry private chunk while the worker's deque
+// is empty, to keep work stealable during narrow phases.
+func (w *wsWorker) pushLocal(d *wsDriver, e *pentry) {
+	c := w.cur
+	if c == nil {
+		c = w.newChunk()
+		w.cur = c
+	}
+	c.e[c.n] = e
+	c.n++
+	if c.n == wsChunkCap || (c.n > 1 && d.deques[w.id].published.Load() == 0) {
+		d.deques[w.id].push(c)
+		w.cur = nil
+		d.notify()
+	}
+}
+
+// next returns the next entry to expand, stealing and sleeping as
+// needed; nil means the exploration terminated (or stopped).
+func (w *wsWorker) next(d *wsDriver) *pentry {
+	for {
+		if d.stopped.Load() {
+			return nil
+		}
+		if c := w.cur; c != nil && c.n > 0 {
+			c.n--
+			e := c.e[c.n]
+			c.e[c.n] = nil
+			return e
+		}
+		if w.takeWork(d) {
+			continue
+		}
+		// Record the wake generation, then scan once more: a publish
+		// between the failed scan and the wait would otherwise be lost.
+		d.idleMu.Lock()
+		g := d.gen
+		d.idleMu.Unlock()
+		if w.takeWork(d) {
+			continue
+		}
+		if d.inflight.Load() == 0 {
+			d.notify() // release the other sleepers
+			return nil
+		}
+		d.idleMu.Lock()
+		for d.gen == g {
+			d.cond.Wait()
+		}
+		d.idleMu.Unlock()
+	}
+}
+
+// takeWork refills the private chunk from the worker's own deque or by
+// stealing half of a victim's published chunks.
+func (w *wsWorker) takeWork(d *wsDriver) bool {
+	if w.cur != nil && w.cur.n == 0 && w.spare == nil {
+		w.spare, w.cur = w.cur, nil
+	}
+	if c := d.deques[w.id].pop(); c != nil {
+		w.cur = c
+		return true
+	}
+	n := len(d.deques)
+	for i := 1; i < n; i++ {
+		v := (w.id + i) % n
+		if d.deques[v].published.Load() == 0 {
+			continue
+		}
+		w.steal = d.deques[v].stealHalf(w.steal[:0])
+		if len(w.steal) == 0 {
+			continue
+		}
+		w.cur = w.steal[0]
+		for _, c := range w.steal[1:] {
+			d.deques[w.id].push(c)
+		}
+		if len(w.steal) > 1 {
+			d.notify()
+		}
+		return true
+	}
+	return false
+}
+
+// run is the worker main loop.
+func (w *wsWorker) run(d *wsDriver, wg *sync.WaitGroup) {
+	defer wg.Done()
+	for {
+		e := w.next(d)
+		if e == nil {
+			return
+		}
+		if err := w.expandFlush(d, e); err != nil {
+			d.fail(err)
+			return
+		}
+	}
+}
+
+// expandFlush expands one entry, flushes its events to the sink, and
+// enqueues its fresh successors. The in-flight decrement comes last, so
+// the counter cannot reach zero while this state's children are still
+// unaccounted.
+func (w *wsWorker) expandFlush(d *wsDriver, e *pentry) error {
+	ctx := w.ctx
+	var moves []core.Move
+	var err error
+	if d.raw {
+		moves = ctx.Deriver.Raw(e.vec, ctx.Moves[:0])
+	} else {
+		moves, err = ctx.Deriver.Enabled(e.vec, e.state, ctx.Moves[:0])
+		if err != nil {
+			return fmt.Errorf("explore state %d: %w", e.id, err)
+		}
+	}
+	ctx.Moves = moves
+	e.moves = int32(len(moves))
+	recs := w.recs[:0]
+	for _, m := range moves {
+		view, err := ctx.Scratch.Exec(e.state, m)
+		if err != nil {
+			return fmt.Errorf("explore state %d: %w", e.id, err)
+		}
+		label := d.sys.Label(m)
+		ctx.Key = d.sys.AppendBinaryKey(ctx.Key[:0], *view)
+		h := hashKey(ctx.Key)
+		sh := &d.shards[h&d.mask]
+
+		sh.mu.Lock()
+		var t *pentry
+		for _, cand := range sh.table[h] {
+			if bytes.Equal(cand.key, ctx.Key) {
+				t = cand
+				break
+			}
+		}
+		created := false
+		if t == nil {
+			id, ok := d.admit()
+			t = &pentry{key: sh.intern(ctx.Key), id: id}
+			sh.table[h] = append(sh.table[h], t)
+			created = ok
+		}
+		sh.mu.Unlock()
+
+		if created {
+			// Only the creating worker touches state/vec/node; thieves
+			// first observe them through the deque mutexes after the
+			// entry is enqueued below.
+			t.state = ctx.Scratch.MaterializeSlab(m, ctx.Slab)
+			vec, err := ctx.Deriver.DeriveSlab(e.vec, m, t.state, ctx.Slab)
+			if err != nil {
+				return fmt.Errorf("explore state %d: %w", e.id, err)
+			}
+			t.vec = vec
+			t.node = &pathNode{parent: e.node, label: label}
+		}
+		recs = append(recs, wsRec{target: t, label: label, fresh: created})
+	}
+	w.recs = recs
+
+	d.sinkMu.Lock()
+	if d.stopped.Load() {
+		// The sink already settled (or the run failed): emit nothing
+		// more; counters no longer matter.
+		d.sinkMu.Unlock()
+		return nil
+	}
+	err = d.flushLocked(e, recs)
+	d.sinkMu.Unlock()
+	if err != nil {
+		return err
+	}
+
+	// The expanded entry keeps only its interned key (and id); the path
+	// nodes of its children stay alive through their own node chains.
+	e.state = core.State{}
+	e.vec = nil
+	e.node = nil
+
+	for _, r := range recs {
+		if r.fresh {
+			w.pushLocal(d, r.target)
+		}
+	}
+	if d.inflight.Add(-1) == 0 {
+		d.notify()
+	}
+	return nil
+}
+
+// flushLocked emits one expansion's events under the sink mutex: fresh
+// targets are announced (OnState) and drain any edges parked on them,
+// edges to announced targets are emitted directly, edges to
+// not-yet-announced targets are parked, and edges to bound-rejected
+// tombstones are dropped (matching the sequential driver). announced
+// and parked are only ever touched here, under the mutex.
+func (d *wsDriver) flushLocked(e *pentry, recs []wsRec) error {
+	for _, r := range recs {
+		t := r.target
+		if t.id == rejectedID {
+			continue
+		}
+		if r.fresh {
+			if err := d.sink.OnState(int(t.id), t.state, Discovery{Parent: int(e.id), Label: r.label, node: t.node}); err != nil {
+				return err
+			}
+			t.announced = true
+			for _, pe := range t.parked {
+				d.transitions++
+				if err := d.sink.OnEdge(int(pe.from), int(t.id), pe.label); err != nil {
+					return err
+				}
+			}
+			t.parked = nil
+		}
+		if t.announced {
+			d.transitions++
+			if err := d.sink.OnEdge(int(e.id), int(t.id), r.label); err != nil {
+				return err
+			}
+		} else {
+			t.parked = append(t.parked, parkedEdge{from: e.id, label: r.label})
+		}
+	}
+	return d.sink.OnExpanded(int(e.id), int(e.moves))
+}
+
+func streamWorkSteal(sys *core.System, opts Options, workers, maxStates int, sink Sink) (Stats, error) {
+	d := &wsDriver{
+		sys:       sys,
+		raw:       opts.Raw,
+		maxStates: maxStates,
+		sink:      sink,
+		deques:    make([]wsDeque, workers),
+	}
+	d.cond = sync.NewCond(&d.idleMu)
+	d.shards, d.mask = newShards(workers)
+	d.states.Store(1)
+	d.inflight.Store(1)
+	d.peak.Store(1)
+
+	init := sys.Initial()
+	initVec, err := sys.EnabledVector(init)
+	if err != nil {
+		return Stats{States: 1, PeakFrontier: 1}, fmt.Errorf("explore state 0: %w", err)
+	}
+	key := sys.AppendBinaryKey(nil, init)
+	e0 := &pentry{key: key, state: init, vec: initVec, id: 0, announced: true}
+	h0 := hashKey(key)
+	d.shards[h0&d.mask].table[h0] = append(d.shards[h0&d.mask].table[h0], e0)
+
+	if err := sink.OnState(0, init, Discovery{Parent: -1}); err != nil {
+		stats := Stats{States: 1, PeakFrontier: 1}
+		return stats, stats.finish(err)
+	}
+
+	var wg sync.WaitGroup
+	ws := make([]*wsWorker, workers)
+	for i := range ws {
+		ws[i] = &wsWorker{id: i, ctx: sys.NewExploreCtx()}
+	}
+	ws[0].pushLocal(d, e0)
+	for _, w := range ws {
+		wg.Add(1)
+		go w.run(d, &wg)
+	}
+	wg.Wait()
+
+	stats := Stats{
+		States:      int(d.states.Load()),
+		Transitions: d.transitions,
+		PeakFrontier: func() int {
+			if p := int(d.peak.Load()); p > 0 {
+				return p
+			}
+			return 1
+		}(),
+		Truncated: d.truncated.Load(),
+	}
+	if d.err != nil {
+		return stats, stats.finish(d.err)
+	}
+	return stats, stats.finish(sink.Done(stats.Truncated))
+}

@@ -479,3 +479,43 @@ func PhilosopherRings(rings, size int) (*core.System, error) {
 	}
 	return b.Build()
 }
+
+// DeepChain builds a narrow-and-deep exploration workload: a bounded
+// forward-only counter (whose value grows by at most one per BFS
+// level, so the state space is about `depth` levels deep) composed
+// with two free-running toggles that keep each level only a handful of
+// states wide. Level-synchronized parallel exploration degenerates on
+// this shape — every level is smaller than the worker pool and the
+// per-level barrier dominates — which is exactly what the
+// work-stealing explorer (experiment E18) is measured against.
+func DeepChain(depth int64) (*core.System, error) {
+	if depth < 1 {
+		return nil, fmt.Errorf("models: deep chain needs depth >= 1")
+	}
+	counter := behavior.NewBuilder("ctr").
+		Location("run", "end").
+		Int("n", 0).
+		Port("step", "n").
+		Port("halt", "n").
+		TransitionG("run", "step", "run",
+			expr.Lt(expr.V("n"), expr.I(depth)),
+			expr.Set("n", expr.Add(expr.V("n"), expr.I(1)))).
+		TransitionG("run", "halt", "end",
+			expr.Ge(expr.V("n"), expr.I(depth)), nil).
+		MustBuild()
+	toggle := behavior.NewBuilder("tgl").
+		Location("off", "on").
+		Port("flip").
+		Transition("off", "flip", "on").
+		Transition("on", "flip", "off").
+		MustBuild()
+	return core.NewSystem(fmt.Sprintf("deepchain-%d", depth)).
+		Add(counter).
+		AddAs("tglA", toggle).
+		AddAs("tglB", toggle).
+		Connect("step", core.P("ctr", "step")).
+		Connect("halt", core.P("ctr", "halt")).
+		Connect("flipA", core.P("tglA", "flip")).
+		Connect("flipB", core.P("tglB", "flip")).
+		Build()
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package bip_test
+
+// raceEnabled reports whether the race detector instruments this build;
+// timing-sensitive gates skip under it.
+const raceEnabled = true

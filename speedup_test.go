@@ -1,0 +1,77 @@
+package bip_test
+
+import (
+	"runtime"
+	"testing"
+
+	"bip/bench"
+	"bip/internal/core"
+	"bip/models"
+)
+
+// TestE18SpeedupMultiCore is the CI gate for the standing ROADMAP item
+// "record and assert multi-core speedups": on hosts with at least 4
+// CPUs, the work-stealing explorer (Options.Order = Unordered) must
+// reach the speedup floors below at 4 workers; on smaller hosts the
+// gate logs a notice and skips, so single-core CI stays green while any
+// multi-core runner enforces the floor. The race detector perturbs
+// timing by an order of magnitude, so the gate also skips under -race.
+//
+// The asserted floor is 1.5x on the wide rings workload (pure
+// intra-level parallelism), after a warmup exploration and with the
+// best of five attempts counting — wall-clock floors on shared runners
+// are noisy, so the gate errs on the side of retrying before failing.
+// The narrow deep chain is recorded but informational only: its
+// critical path (one counter increment per level, frontier width ~4)
+// caps achievable speedup near the frontier width and makes a hard
+// floor flaky on busy 4-vCPU runners; the workload exists to show the
+// work-stealing driver keeps *some* speedup where the level barrier
+// forfeits it all, which EXPERIMENTS.md E18 records.
+func TestE18SpeedupMultiCore(t *testing.T) {
+	if raceEnabled {
+		t.Skip("speedup gate skipped under the race detector (timing floors are meaningless at 10x instrumentation overhead)")
+	}
+	if n := runtime.NumCPU(); n < 4 {
+		t.Skipf("speedup gate skipped: host has %d CPU(s), need >= 4 to assert the multi-core floor (see EXPERIMENTS.md E18 for the recorded sweep)", n)
+	}
+	rings, err := models.PhilosopherRings(5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl, err := models.ControlOnly(rings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deep, err := models.DeepChain(20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	measure := func(name string, sys *core.System, floor float64) float64 {
+		t.Helper()
+		// Warmup: fault in the code paths and let the runtime settle
+		// before anything is timed.
+		if _, err := bench.E18Speedup(sys, 4); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		best := 0.0
+		for attempt := 0; attempt < 5 && best < floor; attempt++ {
+			s, err := bench.E18Speedup(sys, 4)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if s > best {
+				best = s
+			}
+		}
+		return best
+	}
+	if best := measure("rings-5x4", ctl, 1.5); best < 1.5 {
+		t.Errorf("rings-5x4: work-stealing speedup %.2fx at 4 workers, floor 1.5x (NumCPU=%d)",
+			best, runtime.NumCPU())
+	} else {
+		t.Logf("rings-5x4: %.2fx at 4 workers (floor 1.5x)", best)
+	}
+	// Informational: critical-path-bound, so no hard floor (see above).
+	t.Logf("deep-20k: %.2fx at 4 workers (informational; EXPERIMENTS.md E18 records the sweep)",
+		measure("deep-20k", deep, 1.2))
+}

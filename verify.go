@@ -41,7 +41,10 @@ import (
 // streaming checkers observe the sequential exploration order at any
 // Workers setting, so the reported states and counterexample paths are
 // bit-identical to the corresponding analyses on the materialized LTS
-// (check.Explore), which the differential tests pin.
+// (check.Explore), which the differential tests pin. Multi-worker runs
+// that only need the verdicts can opt into the barrier-free
+// work-stealing explorer with Unordered: violated/conclusive and path
+// validity are unaffected, only the particular witness may vary.
 func Verify(sys *System, opts ...Option) (*Report, error) {
 	cfg := verifyConfig{}
 	for _, o := range opts {
@@ -65,6 +68,7 @@ func Verify(sys *System, opts ...Option) (*Report, error) {
 		MaxStates: cfg.maxStates,
 		Workers:   cfg.workers,
 		Raw:       cfg.raw,
+		Order:     cfg.order,
 	}, lts.NewMulti(sinks...))
 	if err != nil {
 		return nil, fmt.Errorf("bip: verify %s: %w", sys.Name, err)
@@ -122,6 +126,7 @@ func Explore(sys *System, opts ...Option) (*lts.LTS, error) {
 		MaxStates: cfg.maxStates,
 		Workers:   cfg.workers,
 		Raw:       cfg.raw,
+		Order:     cfg.order,
 	})
 }
 
@@ -132,6 +137,7 @@ type verifyConfig struct {
 	workers   int
 	maxStates int
 	raw       bool
+	order     lts.Order
 	specs     []propSpec
 }
 
@@ -153,6 +159,20 @@ type property struct {
 // Workers sets the number of exploration workers (negative means
 // GOMAXPROCS). The verdicts do not depend on it.
 func Workers(n int) Option { return func(c *verifyConfig) { c.workers = n } }
+
+// Unordered selects the work-stealing exploration order for a
+// multi-worker run — the fast path for on-the-fly verification, whose
+// verdicts (violated / conclusive) never depended on stream order. The
+// default (deterministic) order replays the sequential event stream at
+// any worker count, paying a per-level synchronization for bit-identical
+// reports; Unordered removes every barrier from the hot path. What can
+// change under Unordered: state numbering (Report.Property State
+// fields), WHICH counterexample is reported when several exist, and the
+// exploration's internal event order. What cannot: whether each
+// property is violated, whether it is conclusive, the visited state
+// set, and the validity of every reported path. With Workers(1) the
+// option is a no-op.
+func Unordered() Option { return func(c *verifyConfig) { c.order = lts.Unordered } }
 
 // MaxStates bounds the exploration; 0 means the shared library default
 // (check.DefaultMaxStates). Hitting the bound makes absence verdicts
