@@ -1,0 +1,136 @@
+package bench
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"bip/internal/core"
+	"bip/internal/lts"
+	"bip/models"
+)
+
+// countSink tallies a streaming exploration without retaining it:
+// states, transitions, and — because OnExpanded always reports the FULL
+// enabled-move count, even at states reduction expanded with a strict
+// ample subset — an exact deadlock count on reduced runs too.
+type countSink struct {
+	states, transitions, deadlocks int
+}
+
+func (c *countSink) OnState(int, core.State, lts.Discovery) error { c.states++; return nil }
+func (c *countSink) OnEdge(int, int, string) error                { c.transitions++; return nil }
+func (c *countSink) OnExpanded(_, moves int) error {
+	if moves == 0 {
+		c.deadlocks++
+	}
+	return nil
+}
+func (c *countSink) Done(bool) error { return nil }
+
+// E19Reduction measures ample-set partial-order reduction
+// (lts.Options.Expander = lts.NewAmpleExpander) against full expansion
+// on three coupling shapes:
+//
+//   - diamond: models.DiamondGrid — n fully independent two-step
+//     components, the textbook best case: the 3^n interleaving lattice
+//     collapses to one chain plus its proviso fallbacks.
+//   - rings: the philosopher-rings family (control skeleton) — one
+//     entangled cluster per ring, so reduction interleaves whole rings
+//     instead of individual philosophers: the factor is the cost of the
+//     cross-ring interleaving, not of the rings themselves.
+//   - philos: a single philosopher ring — every atom shares a connector
+//     with its neighbours, one cluster, honestly factor 1.00x: the
+//     reducer refuses to prune what it cannot prove independent.
+//
+// Reduction here uses empty visibility (nothing to observe), the
+// deadlock-preserving maximum; property-conditioned visibility only
+// shrinks the pruned set further. Each row re-checks the C0/C1 contract
+// cheaply: the reduced run must report exactly the full run's deadlock
+// count (state-set preservation is pinned by internal/lts/expand_test.go
+// and the facade differential tests).
+func E19Reduction(gridN, ringCount, ringSize, phils int) (*Table, error) {
+	t := &Table{
+		ID:      "E19",
+		Title:   "ample-set partial-order reduction vs full expansion (Options.Expander)",
+		Headers: []string{"system", "mode", "states", "transitions", "time", "factor", "ample", "pruned", "proviso", "contract"},
+	}
+	diamond, err := models.DiamondGrid(gridN)
+	if err != nil {
+		return nil, err
+	}
+	rings, err := models.PhilosopherRings(ringCount, ringSize)
+	if err != nil {
+		return nil, err
+	}
+	ringsCtl, err := models.ControlOnly(rings)
+	if err != nil {
+		return nil, err
+	}
+	ring, err := models.Philosophers(phils)
+	if err != nil {
+		return nil, err
+	}
+	ringCtl, err := models.ControlOnly(ring)
+	if err != nil {
+		return nil, err
+	}
+	for _, sys := range []*core.System{diamond, ringsCtl, ringCtl} {
+		full := &countSink{}
+		t0 := time.Now()
+		if _, err := lts.Stream(sys, lts.Options{}, full); err != nil {
+			return nil, err
+		}
+		fullTime := time.Since(t0)
+		t.Rows = append(t.Rows, []string{
+			sys.Name, "full", strconv.Itoa(full.states), strconv.Itoa(full.transitions),
+			ms(fullTime), "1.00x", "-", "-", "-", "reference",
+		})
+		exp, err := lts.NewAmpleExpander(sys, lts.Visibility{})
+		if err != nil {
+			return nil, err
+		}
+		red := &countSink{}
+		t1 := time.Now()
+		stats, err := lts.Stream(sys, lts.Options{Expander: exp}, red)
+		if err != nil {
+			return nil, err
+		}
+		redTime := time.Since(t1)
+		t.Rows = append(t.Rows, []string{
+			sys.Name, "reduced", strconv.Itoa(red.states), strconv.Itoa(red.transitions),
+			ms(redTime), fmt.Sprintf("%.2fx", float64(full.states)/float64(red.states)),
+			strconv.Itoa(stats.AmpleStates), strconv.Itoa(stats.PrunedMoves),
+			strconv.Itoa(stats.ProvisoFallbacks),
+			strconv.FormatBool(red.deadlocks == full.deadlocks),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"factor = full states / reduced states; reduction uses empty visibility (deadlock-preserving maximum)",
+		"ample = states expanded with a strict ample subset, pruned = enabled moves skipped there, proviso = states escalated back to full expansion by the cycle proviso",
+		"contract column: reduced run reports exactly the full run's deadlock count (C0/C1; state-set preservation pinned by internal/lts/expand_test.go)")
+	return t, nil
+}
+
+// E19Factor runs the reduction on sys with empty visibility and returns
+// the state-count reduction factor — the number the CI floor
+// (TestE19ReductionFloor) asserts against. Exposed so the assertion and
+// the table cannot drift apart.
+func E19Factor(sys *core.System) (float64, error) {
+	full := &countSink{}
+	if _, err := lts.Stream(sys, lts.Options{}, full); err != nil {
+		return 0, err
+	}
+	exp, err := lts.NewAmpleExpander(sys, lts.Visibility{})
+	if err != nil {
+		return 0, err
+	}
+	red := &countSink{}
+	if _, err := lts.Stream(sys, lts.Options{Expander: exp}, red); err != nil {
+		return 0, err
+	}
+	if red.deadlocks != full.deadlocks {
+		return 0, fmt.Errorf("bench: reduction changed the deadlock count: %d vs %d", red.deadlocks, full.deadlocks)
+	}
+	return float64(full.states) / float64(red.states), nil
+}

@@ -95,6 +95,30 @@ func BenchmarkE18WorkStealing(b *testing.B) {
 	run(b, func() (*bench.Table, error) { return bench.E18WorkStealing([]int{1, 4}, 4000) })
 }
 
+func BenchmarkE19Reduction(b *testing.B) {
+	run(b, func() (*bench.Table, error) { return bench.E19Reduction(6, 3, 3, 6) })
+}
+
+// TestE19ReductionFloor is the CI gate on the partial-order reducer's
+// effectiveness: on the fully independent DiamondGrid workload the
+// ample-set reduction must shrink the visited state count at least 5x
+// (it collapses the 3^n interleaving lattice to nearly a chain; the
+// factor grows with n, so 5x leaves generous slack at n=6). E19Factor
+// also re-checks deadlock-count preservation on every run.
+func TestE19ReductionFloor(t *testing.T) {
+	diamond, err := models.DiamondGrid(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	factor, err := bench.E19Factor(diamond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if factor < 5 {
+		t.Fatalf("diamond-6 reduction factor %.2fx, want >= 5x", factor)
+	}
+}
+
 // BenchmarkStreamDeadlock measures the streaming deadlock check against
 // materialized exploration on the E16 workload: same visited space, but
 // the streaming side retains only the frontier.

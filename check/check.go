@@ -59,6 +59,19 @@ type (
 	AutomatonCheck = lts.AutomatonCheck
 	// Multi fans the event stream out to several sinks.
 	Multi = lts.Multi
+	// Expander plugs a successor-selection policy into the drivers
+	// (Options.Expander); nil means full expansion.
+	Expander = lts.Expander
+	// WorkerExpander is the per-goroutine face of an Expander.
+	WorkerExpander = lts.WorkerExpander
+	// Visibility declares what an ample-set reduction must preserve: the
+	// interaction labels a property observes and the atoms whose state
+	// its predicates read. The zero value (nothing visible) yields
+	// maximal, deadlock-preserving reduction.
+	Visibility = lts.Visibility
+	// AmpleExpander is the ample-set partial-order reducer; build one
+	// with NewAmpleExpander.
+	AmpleExpander = lts.AmpleExpander
 	// LTS is the materialized state space and its analyses.
 	LTS = lts.LTS
 	// Edge is an outgoing transition of an explored state.
@@ -104,6 +117,16 @@ func Explore(sys *bip.System, opts Options) (*LTS, error) {
 // NewMulti combines sinks so one exploration answers many queries; see
 // Multi.
 func NewMulti(sinks ...Sink) *Multi { return lts.NewMulti(sinks...) }
+
+// NewAmpleExpander builds the ample-set partial-order reducer for sys:
+// plug the result into Options.Expander to explore a property-preserving
+// subset of the state space. vis lists what the run's consumers observe
+// (never pruned); it is rejected if vis.All or if it names unknown
+// labels/atoms. Most callers go through bip.Reduce, which derives vis
+// from the compiled properties.
+func NewAmpleExpander(sys *bip.System, vis Visibility) (*AmpleExpander, error) {
+	return lts.NewAmpleExpander(sys, vis)
+}
 
 // NewAutomatonCheck returns a checker for a compiled observer. Most
 // callers go through bip.Verify with a bip/prop property instead;

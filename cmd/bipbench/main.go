@@ -1,8 +1,8 @@
 // Command bipbench regenerates the paper-reproduction experiments
 // (E1–E14 of DESIGN.md, plus the E15 parallel-exploration scaling table,
 // the E16 streaming-memory comparison, the E17 property-algebra
-// checking costs and the E18 work-stealing exploration sweep) and
-// prints them;
+// checking costs, the E18 work-stealing exploration sweep and the E19
+// partial-order-reduction table) and prints them;
 // EXPERIMENTS.md records a reference run.
 //
 // Usage:
@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("e", "all", "experiment id (e1..e18) or all")
+	exp := flag.String("e", "all", "experiment id (e1..e19) or all")
 	quick := flag.Bool("quick", false, "reduced problem sizes")
 	flag.Parse()
 	if err := run(*exp, *quick); err != nil {
@@ -45,6 +45,7 @@ func run(exp string, quick bool) error {
 	exploreWorkers := []int{1, 2, 4, 8}
 	memRings := 5
 	deepDepth := int64(20000)
+	gridN, redRings, redRingSize, redPhils := 9, 4, 4, 8
 	if quick {
 		rings = 4
 		enginePairs = []int{1, 2}
@@ -55,6 +56,7 @@ func run(exp string, quick bool) error {
 		exploreWorkers = []int{1, 4}
 		memRings = 4
 		deepDepth = 4000
+		gridN, redRings, redRingSize, redPhils = 6, 3, 3, 6
 	}
 	drivers := []driver{
 		{"e1", func() (*bench.Table, error) { return bench.E1DFinderVsMonolithic(rings) }},
@@ -75,6 +77,7 @@ func run(exp string, quick bool) error {
 		{"e16", func() (*bench.Table, error) { return bench.E16StreamingMemory(memRings) }},
 		{"e17", func() (*bench.Table, error) { return bench.E17PropertyCheck(memRings) }},
 		{"e18", func() (*bench.Table, error) { return bench.E18WorkStealing(exploreWorkers, deepDepth) }},
+		{"e19", func() (*bench.Table, error) { return bench.E19Reduction(gridN, redRings, redRingSize, redPhils) }},
 	}
 	want := strings.ToLower(exp)
 	found := false
@@ -90,7 +93,7 @@ func run(exp string, quick bool) error {
 		fmt.Println(t.String())
 	}
 	if !found {
-		return fmt.Errorf("unknown experiment %q (want e1..e18 or all)", exp)
+		return fmt.Errorf("unknown experiment %q (want e1..e19 or all)", exp)
 	}
 	return nil
 }

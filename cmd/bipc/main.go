@@ -41,14 +41,15 @@ func main() {
 	maxStates := flag.Int("max-states", 0, fmt.Sprintf("exploration bound (0 = library default, %d)", check.DefaultMaxStates))
 	workers := flag.Int("workers", runtime.NumCPU(), "exploration workers (<0 = GOMAXPROCS; default: all CPUs)")
 	order := flag.String("order", "det", "multi-worker exploration order: det (deterministic stream) | fast (work-stealing; same verdicts, scheduling-dependent numbering)")
+	reduce := flag.Bool("reduce", false, "ample-set partial-order reduction (degrades to full expansion when a property needs it; -explore gets deadlock-preserving reduction)")
 	var props propFlags
 	flag.Var(&props, "prop", "textual property to check on the fly (repeatable): always/never/until/after/between/reachable/deadlockfree")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: bipc [-verify] [-check] [-prop p]... [-explore] [-workers n] [-order det|fast] file.bip")
+		fmt.Fprintln(os.Stderr, "usage: bipc [-verify] [-check] [-prop p]... [-explore] [-reduce] [-workers n] [-order det|fast] file.bip")
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *verify, *chk, *explore, *maxStates, *workers, *order, props); err != nil {
+	if err := run(flag.Arg(0), *verify, *chk, *explore, *reduce, *maxStates, *workers, *order, props); err != nil {
 		fmt.Fprintln(os.Stderr, "bipc:", err)
 		os.Exit(1)
 	}
@@ -66,10 +67,13 @@ func orderOptions(order string) ([]bip.Option, error) {
 	}
 }
 
-func run(path string, verify, chk, explore bool, maxStates, workers int, order string, props []string) error {
+func run(path string, verify, chk, explore, reduce bool, maxStates, workers int, order string, props []string) error {
 	ordOpts, err := orderOptions(order)
 	if err != nil {
 		return err
+	}
+	if reduce {
+		ordOpts = append(ordOpts, bip.Reduce())
 	}
 	src, err := os.ReadFile(path)
 	if err != nil {
@@ -138,8 +142,12 @@ func run(path string, verify, chk, explore bool, maxStates, workers int, order s
 		if err != nil {
 			return err
 		}
-		fmt.Printf("explored %d states, %d transitions (truncated=%v)\n",
-			l.NumStates(), l.NumTransitions(), l.Truncated())
+		mode := ""
+		if reduce {
+			mode = ", deadlock-preserving reduction"
+		}
+		fmt.Printf("explored %d states, %d transitions (truncated=%v%s)\n",
+			l.NumStates(), l.NumTransitions(), l.Truncated(), mode)
 		if dls := l.Deadlocks(); len(dls) > 0 && !l.Truncated() {
 			fmt.Printf("deadlock reachable via %v\n", l.PathTo(dls[0]))
 		}

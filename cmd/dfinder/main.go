@@ -34,10 +34,11 @@ func main() {
 	workers := flag.Int("workers", runtime.NumCPU(), "monolithic exploration workers (<0 = GOMAXPROCS; default: all CPUs)")
 	order := flag.String("order", "det", "multi-worker exploration order: det (deterministic stream) | fast (work-stealing)")
 	maxStates := flag.Int("max-states", 0, "exploration bound for -prop/-mono (0 = library default; data-carrying models are unbounded)")
+	reduce := flag.Bool("reduce", false, "ample-set partial-order reduction for the -prop/-mono explorations")
 	var props propFlags
 	flag.Var(&props, "prop", "textual property to check on the built model (repeatable)")
 	flag.Parse()
-	if err := run(*model, *n, *m, *mono, *traps, *workers, *maxStates, *order, props); err != nil {
+	if err := run(*model, *n, *m, *mono, *reduce, *traps, *workers, *maxStates, *order, props); err != nil {
 		fmt.Fprintln(os.Stderr, "dfinder:", err)
 		os.Exit(1)
 	}
@@ -72,7 +73,7 @@ func buildModel(model string, n, m int) (*bip.System, error) {
 	}
 }
 
-func run(model string, n, m int, mono bool, maxTraps, workers, maxStates int, order string, props []string) error {
+func run(model string, n, m int, mono, reduce bool, maxTraps, workers, maxStates int, order string, props []string) error {
 	var ordOpts []bip.Option
 	switch order {
 	case "det", "":
@@ -80,6 +81,9 @@ func run(model string, n, m int, mono bool, maxTraps, workers, maxStates int, or
 		ordOpts = append(ordOpts, bip.Unordered())
 	default:
 		return fmt.Errorf("unknown -order %q (want det or fast)", order)
+	}
+	if reduce {
+		ordOpts = append(ordOpts, bip.Reduce())
 	}
 	sys, err := buildModel(model, n, m)
 	if err != nil {
@@ -131,7 +135,12 @@ func run(model string, n, m int, mono bool, maxTraps, workers, maxStates int, or
 	case !dl.Conclusive:
 		verdict = fmt.Sprintf("undecided (bound hit after %d states)", rep.States)
 	}
-	fmt.Printf("monolithic   (%.2fms): %d states, %d transitions streamed — %s\n",
-		float64(time.Since(t1).Microseconds())/1000, rep.States, rep.Transitions, verdict)
+	reduced := ""
+	if rep.Reduced {
+		reduced = fmt.Sprintf(" (reduced: %d ample, %d moves pruned, %d proviso fallbacks)",
+			rep.AmpleStates, rep.PrunedMoves, rep.ProvisoFallbacks)
+	}
+	fmt.Printf("monolithic   (%.2fms): %d states, %d transitions streamed%s — %s\n",
+		float64(time.Since(t1).Microseconds())/1000, rep.States, rep.Transitions, reduced, verdict)
 	return nil
 }

@@ -132,6 +132,9 @@ type System struct {
 	// keyWidth is the size of the fixed-width binary state key
 	// (AppendBinaryKey): the sum of the atoms' record widths.
 	keyWidth int
+	// indep is the static independence structure (clusters, priority
+	// entanglement) partial-order reduction queries; independence.go.
+	indep *independence
 }
 
 // PriorityRule is a pre-resolved priority edge: the owning (low)
@@ -224,6 +227,7 @@ func (s *System) Validate() error {
 	}
 	s.compileInteractions()
 	s.compilePriorities()
+	s.computeIndependence()
 	s.keyWidth = 0
 	s.maxAtomVars = 0
 	for _, a := range s.Atoms {

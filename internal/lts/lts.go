@@ -79,6 +79,17 @@ type Options struct {
 	// and event order are scheduling-dependent. Ignored when the
 	// exploration runs sequentially.
 	Order Order
+	// Expander selects the expansion stage (expand.go): nil explores
+	// every enabled move; an AmpleExpander prunes to ample sets
+	// (partial-order reduction). With a reducing expander the explored
+	// state and edge sets are a property-preserving SUBSET of the full
+	// LTS: deadlocks and the installed visibility's observations are
+	// preserved, other states may be absent. Under Deterministic order
+	// the reduced stream is still bit-identical at any worker count;
+	// under Unordered the reduced state set itself may vary with
+	// schedule (the cycle proviso reacts to discovery order), though
+	// verdicts are preserved either way.
+	Expander Expander
 }
 
 // Explore builds the reachable LTS of sys by breadth-first search: it

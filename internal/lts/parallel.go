@@ -190,7 +190,25 @@ func hashKey(b []byte) uint64 {
 // pworker is one exploration worker with its private machinery.
 type pworker struct {
 	ctx *core.ExploreCtx
+	exp WorkerExpander
 	err error
+
+	// Per-worker reduction counters, folded into Stats once the workers
+	// are done (see gatherReduction).
+	ampleStates      int
+	prunedMoves      int
+	provisoFallbacks int
+}
+
+// gatherReduction folds the workers' reduction counters into stats.
+// Safe to call only while no worker is expanding.
+func gatherReduction(stats *Stats, ws []*pworker) {
+	for _, w := range ws {
+		stats.AmpleStates += w.ampleStates
+		stats.PrunedMoves += w.prunedMoves
+		stats.ProvisoFallbacks += w.provisoFallbacks
+		w.ampleStates, w.prunedMoves, w.provisoFallbacks = 0, 0, 0
+	}
 }
 
 func streamParallel(sys *core.System, opts Options, workers, maxStates int, sink Sink) (Stats, error) {
@@ -213,7 +231,7 @@ func streamParallel(sys *core.System, opts Options, workers, maxStates int, sink
 
 	ws := make([]*pworker, workers)
 	for i := range ws {
-		ws[i] = &pworker{ctx: sys.NewExploreCtx()}
+		ws[i] = &pworker{ctx: sys.NewExploreCtx(), exp: opts.newWorkerExpander(sys)}
 	}
 
 	// replayCh carries the outcome of the in-flight replay goroutine; it
@@ -251,7 +269,7 @@ func streamParallel(sys *core.System, opts Options, workers, maxStates int, sink
 						end = len(level)
 					}
 					for _, e := range level[start:end] {
-						if err := w.expand(sys, opts.Raw, e, shards, mask); err != nil {
+						if err := w.expand(sys, e, shards, mask); err != nil {
 							w.err = err
 							return
 						}
@@ -260,6 +278,7 @@ func streamParallel(sys *core.System, opts Options, workers, maxStates int, sink
 			}(w)
 		}
 		wg.Wait()
+		gatherReduction(&stats, ws[:nw])
 		if err := <-replayCh; err != nil {
 			// The sink stopped (ErrStop) or failed during the previous
 			// level's replay; the level just expanded is discarded
@@ -378,28 +397,31 @@ func replayLevel(level []*pentry, stats *Stats, sink Sink) error {
 	return nil
 }
 
-// expand enumerates e's moves and routes each successor through the
-// sharded seen-set, recording e's outgoing edges on the entry for the
-// later replay.
-func (w *pworker) expand(sys *core.System, raw bool, e *pentry, shards []shard, mask uint64) error {
+// expand enumerates e's moves through the worker's expansion stage and
+// routes each successor through the sharded seen-set, recording e's
+// outgoing edges on the entry for the later replay.
+//
+// Cycle proviso: a successor whose entry already carries an assigned id
+// (>= 0) was admitted at a barrier at or before the current level —
+// exactly the states the sequential driver's id <= levelLast test
+// matches, since the barrier numbers a level's states before any of
+// them expands. Hitting one from inside a strict ample prefix escalates
+// the state to full expansion, so the reduced stream stays bit-identical
+// to the sequential driver's at any worker count.
+func (w *pworker) expand(sys *core.System, e *pentry, shards []shard, mask uint64) error {
 	ctx := w.ctx
-	var moves []core.Move
-	var err error
-	if raw {
-		moves = ctx.Deriver.Raw(e.vec, ctx.Moves[:0])
-	} else {
-		moves, err = ctx.Deriver.Enabled(e.vec, e.state, ctx.Moves[:0])
-		if err != nil {
-			return fmt.Errorf("explore state %d: %w", e.id, err)
-		}
+	moves, nAmple, err := w.exp.Expand(ctx, e.state, e.vec)
+	if err != nil {
+		return fmt.Errorf("explore state %d: %w", e.id, err)
 	}
-	ctx.Moves = moves
 	e.moves = int32(len(moves))
 	if len(moves) == 0 {
 		return nil
 	}
-	out := make([]pedge, 0, len(moves))
-	for mi, m := range moves {
+	explore := nAmple
+	out := make([]pedge, 0, explore)
+	for mi := 0; mi < explore; mi++ {
+		m := moves[mi]
 		view, err := ctx.Scratch.Exec(e.state, m)
 		if err != nil {
 			return fmt.Errorf("explore state %d: %w", e.id, err)
@@ -435,6 +457,8 @@ func (w *pworker) expand(sys *core.System, raw bool, e *pentry, shards []shard, 
 				t.claimParent, t.claimMove = e.id, int32(mi)
 				t.claimEnt, t.claimLabel = e, label
 			}
+		} else if t.id != rejectedID && explore < len(moves) {
+			explore = len(moves)
 		}
 		sh.mu.Unlock()
 
@@ -451,5 +475,13 @@ func (w *pworker) expand(sys *core.System, raw bool, e *pentry, shards []shard, 
 		out = append(out, pedge{target: t, label: label, move: int32(mi)})
 	}
 	e.out = out
+	if nAmple < len(moves) {
+		if explore == len(moves) {
+			w.provisoFallbacks++
+		} else {
+			w.ampleStates++
+			w.prunedMoves += len(moves) - nAmple
+		}
+	}
 	return nil
 }

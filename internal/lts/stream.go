@@ -185,6 +185,17 @@ type Stats struct {
 	// Stopped reports that the sink ended the exploration early with
 	// ErrStop.
 	Stopped bool
+
+	// Reduction counters, nonzero only when Options.Expander reduces
+	// (expand.go). AmpleStates counts states expanded with a strict
+	// ample subset of their enabled moves; PrunedMoves counts the
+	// enabled moves those expansions did not pursue; ProvisoFallbacks
+	// counts states where an ample choice was escalated to full
+	// expansion by the cycle proviso (an ample successor was already
+	// visited).
+	AmpleStates      int
+	PrunedMoves      int
+	ProvisoFallbacks int
 }
 
 // Stream explores the reachable state space of sys breadth-first and
@@ -318,6 +329,7 @@ func streamSeq(sys *core.System, opts Options, maxStates int, sink Sink) (Stats,
 	stats := Stats{States: 1, PeakFrontier: 1}
 	init := sys.Initial()
 	ctx := sys.NewExploreCtx()
+	exp := opts.newWorkerExpander(sys)
 	seen := newSeqSeen(sys.BinaryKeyWidth())
 	seen.add(sys.AppendBinaryKey(nil, init))
 	initVec, err := sys.EnabledVector(init)
@@ -333,8 +345,19 @@ func streamSeq(sys *core.System, opts Options, maxStates int, sink Sink) (Stats,
 	// memory tracks the frontier, not the visited set.
 	queue := []seqEntry{{st: init, vec: initVec}}
 	base, head := 0, 0
+	// levelLast is the id of the last state of the BFS level currently
+	// being expanded. When the head moves past it, every state of the
+	// next level has already been admitted (BFS discovers level d+1
+	// entirely while expanding level d), so the boundary advances to the
+	// last admitted id. The cycle proviso below keys on it: a successor
+	// with id <= levelLast sits at this level or an earlier one, so the
+	// edge can close a cycle in the reduced graph.
+	levelLast := 0
 	for head < len(queue) {
 		id := base + head
+		if id > levelLast {
+			levelLast = stats.States - 1
+		}
 		e := queue[head]
 		queue[head] = seqEntry{}
 		head++
@@ -344,17 +367,16 @@ func streamSeq(sys *core.System, opts Options, maxStates int, sink Sink) (Stats,
 			base += head
 			head = 0
 		}
-		var moves []core.Move
-		if opts.Raw {
-			moves = ctx.Deriver.Raw(e.vec, ctx.Moves[:0])
-		} else {
-			moves, err = ctx.Deriver.Enabled(e.vec, e.st, ctx.Moves[:0])
-			if err != nil {
-				return stats, fmt.Errorf("explore state %d: %w", id, err)
-			}
+		moves, nAmple, err := exp.Expand(ctx, e.st, e.vec)
+		if err != nil {
+			return stats, fmt.Errorf("explore state %d: %w", id, err)
 		}
-		ctx.Moves = moves
-		for _, m := range moves {
+		// Explore the ample prefix; escalate to the full move list if an
+		// ample successor turns out to be already visited (cycle
+		// proviso, condition C3 — see expand.go).
+		explore := nAmple
+		for mi := 0; mi < explore; mi++ {
+			m := moves[mi]
 			view, err := ctx.Scratch.Exec(e.st, m)
 			if err != nil {
 				return stats, fmt.Errorf("explore state %d: %w", id, err)
@@ -383,10 +405,20 @@ func streamSeq(sys *core.System, opts Options, maxStates int, sink Sink) (Stats,
 				if err := sink.OnState(to, next, Discovery{Parent: id, Label: label, node: node}); err != nil {
 					return stats, stats.finish(err)
 				}
+			} else if to <= levelLast && explore < len(moves) {
+				explore = len(moves)
 			}
 			stats.Transitions++
 			if err := sink.OnEdge(id, to, label); err != nil {
 				return stats, stats.finish(err)
+			}
+		}
+		if nAmple < len(moves) {
+			if explore == len(moves) {
+				stats.ProvisoFallbacks++
+			} else {
+				stats.AmpleStates++
+				stats.PrunedMoves += len(moves) - nAmple
 			}
 		}
 		if err := sink.OnExpanded(id, len(moves)); err != nil {

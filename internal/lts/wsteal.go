@@ -58,6 +58,16 @@ import (
 // reported first. The differential tests compare canonically-sorted
 // LTSs and every verdict at several worker counts to pin exactly this
 // contract.
+//
+// One amendment under a reducing Expander (expand.go): the cycle
+// proviso here escalates on ANY already-admitted successor — without
+// levels there is no finer admitted-earlier test — so which states get
+// fully expanded, and therefore the reduced state SET itself, depends
+// on the schedule. The reduction is sound for every schedule (the
+// escalation rule is strictly more eager than the deterministic
+// drivers'), so verdicts are still preserved; only the reduced graph's
+// shape varies. The deterministic drivers keep their bit-identical
+// reduced stream.
 
 // wsChunkCap is the deque chunk size: the steal granularity and the
 // batch in which work is published.
@@ -132,7 +142,6 @@ type wsRec struct {
 // wsDriver is the shared state of one work-stealing exploration.
 type wsDriver struct {
 	sys       *core.System
-	raw       bool
 	maxStates int
 	sink      Sink
 
@@ -203,10 +212,16 @@ func (d *wsDriver) admit() (int32, bool) {
 type wsWorker struct {
 	id    int
 	ctx   *core.ExploreCtx
+	exp   WorkerExpander
 	cur   *wsChunk // private mixed push/pop chunk, invisible to thieves
 	spare *wsChunk // small freelist
 	recs  []wsRec
 	steal []*wsChunk
+
+	// Per-worker reduction counters, summed into Stats after the join.
+	ampleStates      int
+	prunedMoves      int
+	provisoFallbacks int
 }
 
 func (w *wsWorker) newChunk() *wsChunk {
@@ -324,20 +339,18 @@ func (w *wsWorker) run(d *wsDriver, wg *sync.WaitGroup) {
 // unaccounted.
 func (w *wsWorker) expandFlush(d *wsDriver, e *pentry) error {
 	ctx := w.ctx
-	var moves []core.Move
-	var err error
-	if d.raw {
-		moves = ctx.Deriver.Raw(e.vec, ctx.Moves[:0])
-	} else {
-		moves, err = ctx.Deriver.Enabled(e.vec, e.state, ctx.Moves[:0])
-		if err != nil {
-			return fmt.Errorf("explore state %d: %w", e.id, err)
-		}
+	moves, nAmple, err := w.exp.Expand(ctx, e.state, e.vec)
+	if err != nil {
+		return fmt.Errorf("explore state %d: %w", e.id, err)
 	}
-	ctx.Moves = moves
 	e.moves = int32(len(moves))
 	recs := w.recs[:0]
-	for _, m := range moves {
+	// Explore the ample prefix; any successor already admitted (by any
+	// worker, at any time) escalates to the full move list — the
+	// work-stealing cycle proviso (see the file comment and expand.go).
+	explore := nAmple
+	for mi := 0; mi < explore; mi++ {
+		m := moves[mi]
 		view, err := ctx.Scratch.Exec(e.state, m)
 		if err != nil {
 			return fmt.Errorf("explore state %d: %w", e.id, err)
@@ -361,6 +374,8 @@ func (w *wsWorker) expandFlush(d *wsDriver, e *pentry) error {
 			t = &pentry{key: sh.intern(ctx.Key), id: id}
 			sh.table[h] = append(sh.table[h], t)
 			created = ok
+		} else if t.id != rejectedID && explore < len(moves) {
+			explore = len(moves)
 		}
 		sh.mu.Unlock()
 
@@ -379,6 +394,14 @@ func (w *wsWorker) expandFlush(d *wsDriver, e *pentry) error {
 		recs = append(recs, wsRec{target: t, label: label, fresh: created})
 	}
 	w.recs = recs
+	if nAmple < len(moves) {
+		if explore == len(moves) {
+			w.provisoFallbacks++
+		} else {
+			w.ampleStates++
+			w.prunedMoves += len(moves) - nAmple
+		}
+	}
 
 	d.sinkMu.Lock()
 	if d.stopped.Load() {
@@ -450,7 +473,6 @@ func (d *wsDriver) flushLocked(e *pentry, recs []wsRec) error {
 func streamWorkSteal(sys *core.System, opts Options, workers, maxStates int, sink Sink) (Stats, error) {
 	d := &wsDriver{
 		sys:       sys,
-		raw:       opts.Raw,
 		maxStates: maxStates,
 		sink:      sink,
 		deques:    make([]wsDeque, workers),
@@ -479,7 +501,7 @@ func streamWorkSteal(sys *core.System, opts Options, workers, maxStates int, sin
 	var wg sync.WaitGroup
 	ws := make([]*wsWorker, workers)
 	for i := range ws {
-		ws[i] = &wsWorker{id: i, ctx: sys.NewExploreCtx()}
+		ws[i] = &wsWorker{id: i, ctx: sys.NewExploreCtx(), exp: opts.newWorkerExpander(sys)}
 	}
 	ws[0].pushLocal(d, e0)
 	for _, w := range ws {
@@ -498,6 +520,11 @@ func streamWorkSteal(sys *core.System, opts Options, workers, maxStates int, sin
 			return 1
 		}(),
 		Truncated: d.truncated.Load(),
+	}
+	for _, w := range ws {
+		stats.AmpleStates += w.ampleStates
+		stats.PrunedMoves += w.prunedMoves
+		stats.ProvisoFallbacks += w.provisoFallbacks
 	}
 	if d.err != nil {
 		return stats, stats.finish(d.err)

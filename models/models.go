@@ -519,3 +519,32 @@ func DeepChain(depth int64) (*core.System, error) {
 		Connect("flipB", core.P("tglB", "flip")).
 		Build()
 }
+
+// DiamondGrid builds n fully independent two-step components: cell i
+// walks s0 -a-> s1 -b-> s2 through two unary interactions of its own
+// and never synchronizes with anyone. It is the canonical interleaving
+// stress: the full state space is 3^n (every interleaving of the 2n
+// steps is a distinct path through it), while the steps of different
+// cells all commute — the worst case for plain exploration and the
+// best case for partial-order reduction, which can walk the cells one
+// at a time in O(n) states. Interaction labels are "a<i>"/"b<i>".
+func DiamondGrid(n int) (*core.System, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("models: diamond grid needs n >= 1")
+	}
+	cell := behavior.NewBuilder("cell").
+		Location("s0", "s1", "s2").
+		Port("a").
+		Port("b").
+		Transition("s0", "a", "s1").
+		Transition("s1", "b", "s2").
+		MustBuild()
+	b := core.NewSystem(fmt.Sprintf("diamond-%d", n))
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("c%d", i)
+		b.AddAs(name, cell)
+		b.Connect(fmt.Sprintf("a%d", i), core.P(name, "a"))
+		b.Connect(fmt.Sprintf("b%d", i), core.P(name, "b"))
+	}
+	return b.Build()
+}

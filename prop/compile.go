@@ -31,6 +31,13 @@ type Compiled struct {
 	Sink lts.Sink
 	// Verdict is the checker's shared outcome block.
 	Verdict *lts.Verdict
+	// Visible declares what ample-set reduction must preserve for this
+	// property's verdict to survive: the interaction labels the property
+	// observes and the atoms whose locations or variables its predicates
+	// read (see visibility.go for the per-combinator derivation). An
+	// All-visibility property cannot be checked under reduction;
+	// bip.Verify degrades it to full expansion.
+	Visible lts.Visibility
 }
 
 // Compile resolves and compiles p against sys. Pure state-predicate
@@ -40,6 +47,15 @@ type Compiled struct {
 // mismatches — are reported here, before any exploration starts.
 func Compile(sys *core.System, p Prop) (*Compiled, error) {
 	c := &compiler{sys: sys}
+	out, err := compileChecker(c, p)
+	if err != nil {
+		return nil, err
+	}
+	out.Visible = visibilityOf(c, p)
+	return out, nil
+}
+
+func compileChecker(c *compiler, p Prop) (*Compiled, error) {
 	switch q := p.(type) {
 	case alwaysProp:
 		f, err := q.p.compilePred(c)

@@ -1,0 +1,165 @@
+package prop
+
+import (
+	"sort"
+
+	"bip/internal/lts"
+)
+
+// This file derives each property's visibility declaration — what the
+// ample-set reducer (internal/lts/expand.go) must never prune for the
+// property's verdict to survive reduction. The derivation is
+// structural, over the combinator tree, because soundness is a
+// per-combinator argument:
+//
+//   - A state predicate contributes the atoms it reads. The compiled
+//     observers built by the combinators are stutter-insensitive once
+//     those atoms are visible: whenever an observer sits parked in a
+//     state with a pending generic rule "on any event when q, go
+//     elsewhere", the construction guarantees q is false at the
+//     resident state (it would have fired on arrival otherwise), and q
+//     can then only flip on a transition of a visible atom — which
+//     reduction preserves. Inserting or deleting invisible steps
+//     therefore never changes when such a rule fires.
+//
+//   - An On(labels...) event contributes its labels. Moves of a
+//     visible label are never pruned, so the reduced graph contains
+//     every occurrence pattern of the event the property can
+//     distinguish.
+//
+//   - NotOn(...) and AnyEvent() match invisible labels too: a rule
+//     triggered by them can literally count invisible steps, which
+//     reduction by definition removes. They force full expansion
+//     (Visibility.All), as do opaque Fn predicates and explicit
+//     Automaton observers, whose rule structure we do not analyze.
+//
+//   - DeadlockFree needs no visibility at all: ample sets are
+//     persistent and nonempty at non-deadlocks (C0/C1), which preserves
+//     the deadlock states exactly, and the drivers report the full
+//     enabled-move count even for reduced states.
+//
+// Reachable(p) deserves a note: reduction preserves whether a state
+// satisfying p is reachable (with p's atoms visible every p-flip stays
+// on the reduced graph), which is exactly the verdict; the particular
+// witness state and path may differ from the full exploration's.
+
+// visibilityOf computes p's visibility declaration. It is called after
+// p compiled successfully, so every name it meets resolves; a failed
+// resolution degrades to All (full expansion) rather than erroring.
+func visibilityOf(c *compiler, p Prop) lts.Visibility {
+	v := &visAcc{c: c}
+	v.prop(p)
+	return v.result()
+}
+
+// visAcc accumulates visibility while walking a property tree.
+type visAcc struct {
+	c      *compiler
+	all    bool
+	labels []string
+	atoms  map[int]bool
+}
+
+func (v *visAcc) result() lts.Visibility {
+	if v.all {
+		return lts.Visibility{All: true}
+	}
+	out := lts.Visibility{Labels: v.labels}
+	for ai := range v.atoms {
+		out.Atoms = append(out.Atoms, ai)
+	}
+	sort.Ints(out.Atoms)
+	return out
+}
+
+func (v *visAcc) seeAtom(comp string) {
+	ai := v.c.sys.AtomIndex(comp)
+	if ai < 0 {
+		v.all = true
+		return
+	}
+	if v.atoms == nil {
+		v.atoms = map[int]bool{}
+	}
+	v.atoms[ai] = true
+}
+
+func (v *visAcc) prop(p Prop) {
+	switch q := p.(type) {
+	case alwaysProp:
+		v.pred(q.p)
+	case neverProp:
+		v.pred(q.p)
+	case untilProp:
+		v.pred(q.p)
+		v.event(q.e)
+	case afterProp:
+		v.event(q.e)
+		v.prop(q.inner)
+	case betweenProp:
+		v.event(q.open)
+		v.event(q.close)
+		v.pred(q.p)
+	case reachableProp:
+		v.pred(q.p)
+	case deadlockProp:
+		// Nothing: deadlock preservation is structural (C0/C1).
+	default:
+		// Explicit Automaton and any future combinator: no structural
+		// stutter-invariance argument, no reduction.
+		v.all = true
+	}
+}
+
+func (v *visAcc) event(e Event) {
+	switch q := e.(type) {
+	case onEvent:
+		v.labels = append(v.labels, q.labels...)
+	default:
+		// NotOn and AnyEvent match invisible labels: the observer could
+		// count steps reduction removes.
+		v.all = true
+	}
+}
+
+func (v *visAcc) pred(p Pred) {
+	switch q := p.(type) {
+	case atPred:
+		v.seeAtom(q.comp)
+	case VarRef:
+		v.seeAtom(q.Comp)
+	case fnPred:
+		v.all = true // opaque host callback: reads unknown
+	case boolLit:
+	case notPred:
+		v.pred(q.p)
+	case andPred:
+		for _, s := range q.ps {
+			v.pred(s)
+		}
+	case orPred:
+		for _, s := range q.ps {
+			v.pred(s)
+		}
+	case cmpPred:
+		v.term(q.l)
+		v.term(q.r)
+	default:
+		v.all = true
+	}
+}
+
+func (v *visAcc) term(t Term) {
+	switch q := t.(type) {
+	case VarRef:
+		v.seeAtom(q.Comp)
+	case intLit:
+	case arithTerm:
+		v.term(q.l)
+		v.term(q.r)
+	case negTerm:
+		v.term(q.t)
+	default:
+		v.all = true
+	}
+}

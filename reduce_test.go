@@ -1,0 +1,83 @@
+package bip_test
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"bip"
+	"bip/models"
+)
+
+// deadlockKeys fingerprints every deadlock state of a materialized LTS
+// (locations plus variable environments), sorted for set comparison.
+func deadlockKeys(l interface {
+	Deadlocks() []int
+	State(int) bip.State
+}) []string {
+	var keys []string
+	for _, id := range l.Deadlocks() {
+		st := l.State(id)
+		keys = append(keys, strings.Join(st.Locs, "|")+fmt.Sprintf("%v", st.Vars))
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// TestExploreReducePreservesDeadlocks is the regression for the
+// C0/C1 guarantee at the facade: a materialized exploration under
+// bip.Reduce() visits fewer states but its Deadlocks() must be exactly
+// the full exploration's — every deadlock state, none invented — at
+// several worker counts in both stream orders.
+func TestExploreReducePreservesDeadlocks(t *testing.T) {
+	zoo := []struct {
+		name  string
+		build func() (*bip.System, error)
+	}{
+		{"diamond-6", func() (*bip.System, error) { return models.DiamondGrid(6) }},
+		{"philosophers2p-4", func() (*bip.System, error) { return models.PhilosophersDeadlocking(4) }},
+		{"gasstation-2-2", func() (*bip.System, error) { return models.GasStation(2, 2) }},
+		{"rings-3x3", func() (*bip.System, error) {
+			sys, err := models.PhilosopherRings(3, 3)
+			if err != nil {
+				return nil, err
+			}
+			// Strip the unbounded meal counters: the control skeleton is
+			// finite, which a materialized full-vs-reduced comparison needs.
+			return models.ControlOnly(sys)
+		}},
+	}
+	for _, m := range zoo {
+		sys, err := m.build()
+		if err != nil {
+			t.Fatalf("%s: %v", m.name, err)
+		}
+		full, err := bip.Explore(sys)
+		if err != nil {
+			t.Fatalf("%s: full explore: %v", m.name, err)
+		}
+		want := deadlockKeys(full)
+		for _, w := range []int{1, 4} {
+			for _, ord := range []struct {
+				name string
+				opt  []bip.Option
+			}{{"det", nil}, {"fast", []bip.Option{bip.Unordered()}}} {
+				opts := append([]bip.Option{bip.Reduce(), bip.Workers(w)}, ord.opt...)
+				red, err := bip.Explore(sys, opts...)
+				if err != nil {
+					t.Fatalf("%s/%s/w%d: reduced explore: %v", m.name, ord.name, w, err)
+				}
+				if red.NumStates() > full.NumStates() {
+					t.Fatalf("%s/%s/w%d: reduced graph larger than full (%d > %d)",
+						m.name, ord.name, w, red.NumStates(), full.NumStates())
+				}
+				got := deadlockKeys(red)
+				if strings.Join(got, "\n") != strings.Join(want, "\n") {
+					t.Fatalf("%s/%s/w%d: deadlock sets differ:\nreduced: %v\nfull:    %v",
+						m.name, ord.name, w, got, want)
+				}
+			}
+		}
+	}
+}

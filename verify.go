@@ -64,20 +64,44 @@ func Verify(sys *System, opts ...Option) (*Report, error) {
 		props[i] = p
 		sinks[i] = p.sink
 	}
+	var expander lts.Expander
+	if cfg.reduce {
+		var vis lts.Visibility
+		for _, p := range props {
+			vis = vis.Union(p.visible)
+		}
+		// A property that declares full visibility (opaque Fn predicates,
+		// explicit automata, step-counting event forms) cannot be checked
+		// on a reduced graph: degrade the whole run to full expansion
+		// rather than risk the verdict. Report.Reduced records what
+		// actually happened.
+		if !vis.All {
+			exp, err := lts.NewAmpleExpander(sys, vis)
+			if err != nil {
+				return nil, fmt.Errorf("bip: verify %s: reduction: %w", sys.Name, err)
+			}
+			expander = exp
+		}
+	}
 	stats, err := lts.Stream(sys, lts.Options{
 		MaxStates: cfg.maxStates,
 		Workers:   cfg.workers,
 		Raw:       cfg.raw,
 		Order:     cfg.order,
+		Expander:  expander,
 	}, lts.NewMulti(sinks...))
 	if err != nil {
 		return nil, fmt.Errorf("bip: verify %s: %w", sys.Name, err)
 	}
 	rep := &Report{
-		States:      stats.States,
-		Transitions: stats.Transitions,
-		Truncated:   stats.Truncated,
-		OK:          true,
+		States:           stats.States,
+		Transitions:      stats.Transitions,
+		Truncated:        stats.Truncated,
+		Reduced:          expander != nil,
+		AmpleStates:      stats.AmpleStates,
+		PrunedMoves:      stats.PrunedMoves,
+		ProvisoFallbacks: stats.ProvisoFallbacks,
+		OK:               true,
 	}
 	for i, p := range props {
 		res := p.result()
@@ -122,11 +146,23 @@ func Explore(sys *System, opts ...Option) (*lts.LTS, error) {
 	if len(cfg.specs) > 0 {
 		return nil, fmt.Errorf("bip: explore %s: property options are Verify-only (got %d); call Verify for on-the-fly checks", sys.Name, len(cfg.specs))
 	}
+	var expander lts.Expander
+	if cfg.reduce {
+		// No properties ride an Explore, so nothing is visible: maximal,
+		// deadlock-preserving reduction (see the Reduce doc's caveat about
+		// querying the reduced graph).
+		exp, err := lts.NewAmpleExpander(sys, lts.Visibility{})
+		if err != nil {
+			return nil, fmt.Errorf("bip: explore %s: reduction: %w", sys.Name, err)
+		}
+		expander = exp
+	}
 	return lts.Explore(sys, lts.Options{
 		MaxStates: cfg.maxStates,
 		Workers:   cfg.workers,
 		Raw:       cfg.raw,
 		Order:     cfg.order,
+		Expander:  expander,
 	})
 }
 
@@ -137,6 +173,7 @@ type verifyConfig struct {
 	workers   int
 	maxStates int
 	raw       bool
+	reduce    bool
 	order     lts.Order
 	specs     []propSpec
 }
@@ -150,10 +187,12 @@ type propSpec struct {
 }
 
 // property couples a streaming checker with the extraction of its
-// verdict once the exploration returns.
+// verdict once the exploration returns, plus the visibility the checker
+// declares for ample-set reduction (see Reduce).
 type property struct {
-	sink   lts.Sink
-	result func() Property
+	sink    lts.Sink
+	visible lts.Visibility
+	result  func() Property
 }
 
 // Workers sets the number of exploration workers (negative means
@@ -182,6 +221,37 @@ func MaxStates(n int) Option { return func(c *verifyConfig) { c.maxStates = n } 
 // Raw explores the unrestricted interaction semantics, ignoring
 // priority filtering.
 func Raw() Option { return func(c *verifyConfig) { c.raw = true } }
+
+// Reduce requests ample-set partial-order reduction: at states where
+// some connector-cluster's enabled interactions form a persistent set
+// invisible to every requested property, only that subset is explored.
+// Commuting interleavings of independent interactions collapse, often
+// shrinking the visited state count by orders of magnitude on loosely
+// coupled systems, while every requested verdict — deadlock included —
+// is provably unchanged; the differential tests pin this across worker
+// counts and both exploration orders.
+//
+// Reduction is visibility-driven and therefore property-aware: each
+// compiled property declares the interaction labels it observes and the
+// atoms its predicates read, and moves involving them are never pruned.
+// Properties with no structural visibility — opaque func(State) bool
+// predicates (Invariant, Reach, prop.Fn), explicit prop.Automaton
+// observers, and step-counting event forms (prop.NotOn, prop.AnyEvent
+// as an Until/After/Between trigger) — cannot bound what they read, so
+// a run containing one degrades to full expansion rather than risk the
+// verdict. Report.Reduced records whether reduction actually ran;
+// AtomInvariants stays reducible (its visibility is the atoms that
+// declare invariants).
+//
+// Under Reduce the reported States/Transitions counts describe the
+// reduced graph, so they vary with the property set — and, under
+// Unordered, with scheduling. Violated/Conclusive verdicts and path
+// validity do not. With Explore, Reduce applies deadlock-preserving
+// reduction (empty visibility): the materialized LTS keeps every
+// reachable deadlock (and each pruned state's full enabled count feeds
+// the deadlock test) but is NOT the full graph — don't run arbitrary
+// state queries on it.
+func Reduce() Option { return func(c *verifyConfig) { c.reduce = true } }
 
 // Prop requests an on-the-fly check of a declarative property from the
 // bip/prop algebra (or ParseProp). The property is compiled against
@@ -224,7 +294,8 @@ func compileProp(sys *System, p prop.Prop) (property, error) {
 	}
 	v := cp.Verdict
 	return property{
-		sink: cp.Sink,
+		sink:    cp.Sink,
+		visible: cp.Visible,
 		result: func() Property {
 			return Property{
 				Violated:   v.Found,
@@ -269,7 +340,21 @@ func AtomInvariants() Option {
 	return func(c *verifyConfig) {
 		c.specs = append(c.specs, propSpec{name: "atom-invariants", build: func(sys *System) (property, error) {
 			chk := sys.NewInvariantChecker()
-			return compileProp(sys, prop.Always(prop.Fn(func(st State) bool { return chk.Check(st) == nil })))
+			p, err := compileProp(sys, prop.Always(prop.Fn(func(st State) bool { return chk.Check(st) == nil })))
+			if err != nil {
+				return p, err
+			}
+			// The opaque closure defaults to full visibility, but what it
+			// reads is known exactly: the atoms that declare invariants.
+			// Declaring them keeps the check sound under Reduce.
+			var vis lts.Visibility
+			for ai, a := range sys.Atoms {
+				if len(a.Invariants) > 0 {
+					vis.Atoms = append(vis.Atoms, ai)
+				}
+			}
+			p.visible = vis
+			return p, nil
 		}})
 	}
 }
@@ -322,6 +407,18 @@ type Report struct {
 	Transitions int
 	// Truncated reports that the MaxStates bound cut the exploration.
 	Truncated bool
+	// Reduced reports that ample-set reduction was active: Reduce() was
+	// requested AND every property's visibility admitted it. When a
+	// property forces full visibility (opaque predicates, automata), the
+	// run silently degrades to full expansion and Reduced stays false.
+	Reduced bool
+	// AmpleStates counts states expanded with a strict ample subset,
+	// PrunedMoves the enabled moves reduction skipped at them, and
+	// ProvisoFallbacks the states escalated back to full expansion by the
+	// cycle proviso. All zero unless Reduced.
+	AmpleStates      int
+	PrunedMoves      int
+	ProvisoFallbacks int
 	// OK is true when every property is conclusive and none is violated.
 	OK bool
 }
@@ -339,6 +436,10 @@ func (r *Report) Property(name string) (Property, bool) {
 // String renders a one-line summary per property.
 func (r *Report) String() string {
 	out := fmt.Sprintf("verified %d states, %d transitions", r.States, r.Transitions)
+	if r.Reduced {
+		out += fmt.Sprintf(" (reduced: %d ample states, %d moves pruned, %d proviso fallbacks)",
+			r.AmpleStates, r.PrunedMoves, r.ProvisoFallbacks)
+	}
 	for _, p := range r.Properties {
 		switch {
 		case p.Violated:
