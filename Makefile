@@ -30,7 +30,7 @@ test:
 race:
 	$(GO) test -race ./...
 
-# bench prints one line per paper experiment (E1–E19); full tables via
+# bench prints one line per paper experiment (E1–E20); full tables via
 # `go run ./cmd/bipbench` (reference run recorded in EXPERIMENTS.md).
 bench:
 	$(GO) test -bench . -benchtime=1x -run '^$$' .

@@ -178,6 +178,21 @@ func TestAllExperiments(t *testing.T) {
 			}
 		}
 	})
+	t.Run("E20", func(t *testing.T) {
+		tb, err := E20Memory(4, 4, 2, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range tb.Rows {
+			if r[len(r)-1] != "true" {
+				t.Fatalf("E20 row %v: seen-set/spill run broke the exact sequential contract", r)
+			}
+		}
+		spillRow := tb.Rows[len(tb.Rows)-1]
+		if spillRow[6] == "0" {
+			t.Fatalf("E20 spill row %v: budgeted run spilled nothing", spillRow)
+		}
+	})
 }
 
 func TestTableString(t *testing.T) {

@@ -1,13 +1,15 @@
 // This file holds the root benchmark harness: one Go benchmark per
-// experiment of DESIGN.md's paper↔experiment index (E1–E17). Each
+// experiment of DESIGN.md's paper↔experiment index (E1–E20). Each
 // benchmark drives the same code as `bipbench -e <id>`, so the numbers
 // printed by `go test -bench` regenerate the tables of EXPERIMENTS.md.
 package bip_test
 
 import (
 	"fmt"
+	"runtime/debug"
 	"testing"
 
+	"bip"
 	"bip/bench"
 	"bip/internal/core"
 	"bip/internal/lts"
@@ -116,6 +118,63 @@ func TestE19ReductionFloor(t *testing.T) {
 	}
 	if factor < 5 {
 		t.Fatalf("diamond-6 reduction factor %.2fx, want >= 5x", factor)
+	}
+}
+
+func BenchmarkE20Memory(b *testing.B) {
+	run(b, func() (*bench.Table, error) { return bench.E20Memory(6, 4, 4, 8) })
+}
+
+// TestE20MemoryFloor is the CI gate on seen-set compaction: on the
+// CounterGrid workload (wide 78-byte keys, every state live) the
+// compact seen set must use at least 3x fewer seen-set bytes per
+// visited state than the exact default — and E20Ratio errors out if the
+// compact run disagrees with the exact one on states, transitions or
+// deadlock count, so the ratio cannot be bought with a wrong verdict.
+// (The per-verdict/per-path differential across worker counts and both
+// orders lives in internal/lts.)
+func TestE20MemoryFloor(t *testing.T) {
+	grid, err := models.CounterGrid(6, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio, err := bench.E20Ratio(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio < 3 {
+		t.Fatalf("countergrid-6x5 seen-set compaction ratio %.2fx, want >= 3x", ratio)
+	}
+}
+
+// TestE20SpillUnderMemoryLimit runs the work-stealing explorer with a
+// Go runtime memory limit in force and a frontier budget far below the
+// workload's unbounded peak: the exploration must still cover the full
+// k^n space, and must do it by actually round-tripping frontier chunks
+// through the spill file. This is the break-the-RAM-wall contract end
+// to end — completing a space whose frontier exceeds the budget.
+func TestE20SpillUnderMemoryLimit(t *testing.T) {
+	prev := debug.SetMemoryLimit(256 << 20)
+	defer debug.SetMemoryLimit(prev)
+	grid, err := models.CounterGrid(6, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := bip.Verify(grid,
+		bip.Deadlock(),
+		bip.Workers(4), bip.Unordered(),
+		bip.CompactSeen(), bip.MemBudget(64<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 5 * 5 * 5 * 5 * 5 * 5; rep.States != want {
+		t.Fatalf("budgeted run visited %d states, want %d", rep.States, want)
+	}
+	if !rep.OK || rep.Truncated {
+		t.Fatalf("budgeted run: OK=%v truncated=%v, want a clean deadlock-free verdict", rep.OK, rep.Truncated)
+	}
+	if rep.SpilledChunks == 0 {
+		t.Fatal("budgeted run spilled no frontier chunks: the MemBudget path never engaged")
 	}
 }
 

@@ -59,6 +59,20 @@ type (
 	AutomatonCheck = lts.AutomatonCheck
 	// Multi fans the event stream out to several sinks.
 	Multi = lts.Multi
+	// SeenSet is one dedup stripe of the pluggable seen-set layer
+	// (Options.Seen): the mapping from visited-state keys to state ids.
+	SeenSet = lts.SeenSet
+	// SeenSets builds the per-stripe SeenSet instances of one
+	// exploration; nil Options.Seen means ExactSeen.
+	SeenSets = lts.SeenSets
+	// ExactSeen selects exact dedup (the default): full binary keys in
+	// chunked arenas, keyWidth + ~12 bytes per visited state.
+	ExactSeen = lts.ExactSeen
+	// CompactSeen selects hash-compacted dedup: ~12 bytes per visited
+	// state independent of key width, exact up to 64-bit hash
+	// collisions, with a verifying exact-promotion tier at narrow
+	// RemainderBits.
+	CompactSeen = lts.CompactSeen
 	// Expander plugs a successor-selection policy into the drivers
 	// (Options.Expander); nil means full expansion.
 	Expander = lts.Expander

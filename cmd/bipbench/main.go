@@ -1,8 +1,9 @@
 // Command bipbench regenerates the paper-reproduction experiments
 // (E1–E14 of DESIGN.md, plus the E15 parallel-exploration scaling table,
 // the E16 streaming-memory comparison, the E17 property-algebra
-// checking costs, the E18 work-stealing exploration sweep and the E19
-// partial-order-reduction table) and prints them;
+// checking costs, the E18 work-stealing exploration sweep, the E19
+// partial-order-reduction table and the E20 seen-set-compaction /
+// frontier-spill memory table) and prints them;
 // EXPERIMENTS.md records a reference run.
 //
 // Usage:
@@ -22,7 +23,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("e", "all", "experiment id (e1..e19) or all")
+	exp := flag.String("e", "all", "experiment id (e1..e20) or all")
 	quick := flag.Bool("quick", false, "reduced problem sizes")
 	flag.Parse()
 	if err := run(*exp, *quick); err != nil {
@@ -46,6 +47,7 @@ func run(exp string, quick bool) error {
 	memRings := 5
 	deepDepth := int64(20000)
 	gridN, redRings, redRingSize, redPhils := 9, 4, 4, 8
+	memGridN, memGridK, memWorkers := 7, 5, 4
 	if quick {
 		rings = 4
 		enginePairs = []int{1, 2}
@@ -57,6 +59,7 @@ func run(exp string, quick bool) error {
 		memRings = 4
 		deepDepth = 4000
 		gridN, redRings, redRingSize, redPhils = 6, 3, 3, 6
+		memGridN, memGridK = 5, 4
 	}
 	drivers := []driver{
 		{"e1", func() (*bench.Table, error) { return bench.E1DFinderVsMonolithic(rings) }},
@@ -78,6 +81,7 @@ func run(exp string, quick bool) error {
 		{"e17", func() (*bench.Table, error) { return bench.E17PropertyCheck(memRings) }},
 		{"e18", func() (*bench.Table, error) { return bench.E18WorkStealing(exploreWorkers, deepDepth) }},
 		{"e19", func() (*bench.Table, error) { return bench.E19Reduction(gridN, redRings, redRingSize, redPhils) }},
+		{"e20", func() (*bench.Table, error) { return bench.E20Memory(memGridN, memGridK, memWorkers, 8) }},
 	}
 	want := strings.ToLower(exp)
 	found := false
@@ -93,7 +97,7 @@ func run(exp string, quick bool) error {
 		fmt.Println(t.String())
 	}
 	if !found {
-		return fmt.Errorf("unknown experiment %q (want e1..e19 or all)", exp)
+		return fmt.Errorf("unknown experiment %q (want e1..e20 or all)", exp)
 	}
 	return nil
 }

@@ -42,17 +42,33 @@ func main() {
 	workers := flag.Int("workers", runtime.NumCPU(), "exploration workers (<0 = GOMAXPROCS; default: all CPUs)")
 	order := flag.String("order", "det", "multi-worker exploration order: det (deterministic stream) | fast (work-stealing; same verdicts, scheduling-dependent numbering)")
 	reduce := flag.Bool("reduce", false, "ample-set partial-order reduction (degrades to full expansion when a property needs it; -explore gets deadlock-preserving reduction)")
+	seen := flag.String("seen", "exact", "visited-state storage: exact (full keys) | compact (hash-compacted, ~12 B/state)")
+	mem := flag.Int64("mem", 0, "frontier memory budget in bytes (0 = unbounded; spills to disk under -order fast)")
 	var props propFlags
 	flag.Var(&props, "prop", "textual property to check on the fly (repeatable): always/never/until/after/between/reachable/deadlockfree")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: bipc [-verify] [-check] [-prop p]... [-explore] [-reduce] [-workers n] [-order det|fast] file.bip")
+		fmt.Fprintln(os.Stderr, "usage: bipc [-verify] [-check] [-prop p]... [-explore] [-reduce] [-workers n] [-order det|fast] [-seen exact|compact] [-mem bytes] file.bip")
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *verify, *chk, *explore, *reduce, *maxStates, *workers, *order, props); err != nil {
+	if err := run(flag.Arg(0), *verify, *chk, *explore, *reduce, *maxStates, *workers, *order, *seen, *mem, props); err != nil {
 		fmt.Fprintln(os.Stderr, "bipc:", err)
 		os.Exit(1)
 	}
+}
+
+// printMem reports the run's memory accounting (seen-set footprint,
+// frontier high-water mark, and the compact/spill counters when the
+// corresponding machinery engaged).
+func printMem(rep *bip.Report) {
+	fmt.Printf("  memory: seen-set %d B, frontier peak %d B", rep.SeenBytes, rep.PeakFrontierBytes)
+	if rep.ExactPromotions > 0 {
+		fmt.Printf(", %d exact promotions", rep.ExactPromotions)
+	}
+	if rep.SpilledChunks > 0 {
+		fmt.Printf(", %d chunks spilled", rep.SpilledChunks)
+	}
+	fmt.Println()
 }
 
 // orderOptions maps the -order flag to bip exploration options.
@@ -67,13 +83,23 @@ func orderOptions(order string) ([]bip.Option, error) {
 	}
 }
 
-func run(path string, verify, chk, explore, reduce bool, maxStates, workers int, order string, props []string) error {
+func run(path string, verify, chk, explore, reduce bool, maxStates, workers int, order, seen string, mem int64, props []string) error {
 	ordOpts, err := orderOptions(order)
 	if err != nil {
 		return err
 	}
 	if reduce {
 		ordOpts = append(ordOpts, bip.Reduce())
+	}
+	switch seen {
+	case "exact", "":
+	case "compact":
+		ordOpts = append(ordOpts, bip.CompactSeen())
+	default:
+		return fmt.Errorf("unknown -seen %q (want exact or compact)", seen)
+	}
+	if mem > 0 {
+		ordOpts = append(ordOpts, bip.MemBudget(mem))
 	}
 	src, err := os.ReadFile(path)
 	if err != nil {
@@ -110,6 +136,7 @@ func run(path string, verify, chk, explore, reduce bool, maxStates, workers int,
 			return err
 		}
 		fmt.Println(rep.String())
+		printMem(rep)
 	}
 	if len(props) > 0 {
 		// All requested properties ride one exploration; compile errors
@@ -132,6 +159,7 @@ func run(path string, verify, chk, explore, reduce bool, maxStates, workers int,
 			fmt.Printf("  property %-12s %s\n", p.Name+":", parsed[i].String())
 		}
 		fmt.Println(rep.String())
+		printMem(rep)
 		if !rep.OK {
 			return fmt.Errorf("%s: a property is violated or inconclusive", sys.Name)
 		}

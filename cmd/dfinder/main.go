@@ -35,10 +35,12 @@ func main() {
 	order := flag.String("order", "det", "multi-worker exploration order: det (deterministic stream) | fast (work-stealing)")
 	maxStates := flag.Int("max-states", 0, "exploration bound for -prop/-mono (0 = library default; data-carrying models are unbounded)")
 	reduce := flag.Bool("reduce", false, "ample-set partial-order reduction for the -prop/-mono explorations")
+	seen := flag.String("seen", "exact", "visited-state storage for -prop/-mono: exact (full keys) | compact (hash-compacted, ~12 B/state)")
+	mem := flag.Int64("mem", 0, "frontier memory budget in bytes for -prop/-mono (0 = unbounded; spills to disk under -order fast)")
 	var props propFlags
 	flag.Var(&props, "prop", "textual property to check on the built model (repeatable)")
 	flag.Parse()
-	if err := run(*model, *n, *m, *mono, *reduce, *traps, *workers, *maxStates, *order, props); err != nil {
+	if err := run(*model, *n, *m, *mono, *reduce, *traps, *workers, *maxStates, *order, *seen, *mem, props); err != nil {
 		fmt.Fprintln(os.Stderr, "dfinder:", err)
 		os.Exit(1)
 	}
@@ -73,7 +75,7 @@ func buildModel(model string, n, m int) (*bip.System, error) {
 	}
 }
 
-func run(model string, n, m int, mono, reduce bool, maxTraps, workers, maxStates int, order string, props []string) error {
+func run(model string, n, m int, mono, reduce bool, maxTraps, workers, maxStates int, order, seen string, mem int64, props []string) error {
 	var ordOpts []bip.Option
 	switch order {
 	case "det", "":
@@ -84,6 +86,16 @@ func run(model string, n, m int, mono, reduce bool, maxTraps, workers, maxStates
 	}
 	if reduce {
 		ordOpts = append(ordOpts, bip.Reduce())
+	}
+	switch seen {
+	case "exact", "":
+	case "compact":
+		ordOpts = append(ordOpts, bip.CompactSeen())
+	default:
+		return fmt.Errorf("unknown -seen %q (want exact or compact)", seen)
+	}
+	if mem > 0 {
+		ordOpts = append(ordOpts, bip.MemBudget(mem))
 	}
 	sys, err := buildModel(model, n, m)
 	if err != nil {
@@ -140,7 +152,12 @@ func run(model string, n, m int, mono, reduce bool, maxTraps, workers, maxStates
 		reduced = fmt.Sprintf(" (reduced: %d ample, %d moves pruned, %d proviso fallbacks)",
 			rep.AmpleStates, rep.PrunedMoves, rep.ProvisoFallbacks)
 	}
-	fmt.Printf("monolithic   (%.2fms): %d states, %d transitions streamed%s — %s\n",
-		float64(time.Since(t1).Microseconds())/1000, rep.States, rep.Transitions, reduced, verdict)
+	memLine := fmt.Sprintf(" [seen-set %d B, frontier peak %d B", rep.SeenBytes, rep.PeakFrontierBytes)
+	if rep.SpilledChunks > 0 {
+		memLine += fmt.Sprintf(", %d chunks spilled", rep.SpilledChunks)
+	}
+	memLine += "]"
+	fmt.Printf("monolithic   (%.2fms): %d states, %d transitions streamed%s%s — %s\n",
+		float64(time.Since(t1).Microseconds())/1000, rep.States, rep.Transitions, reduced, memLine, verdict)
 	return nil
 }

@@ -561,6 +561,33 @@ func (a *Atom) AppendBinaryKey(buf []byte, s State) []byte {
 	return buf
 }
 
+// DecodeBinaryKey inverts AppendBinaryKey: it rebuilds the atom-local
+// state from one fixed-width binary record (exactly BinaryKeyWidth
+// bytes). The returned location string is the atom's own declared
+// instance, so downstream pointer-fast comparisons (AppendBinaryKey's
+// linear scan included) behave as if the state came from the semantics.
+// Exploration's spilled frontier uses it to reload evicted states.
+func (a *Atom) DecodeBinaryKey(rec []byte) (State, error) {
+	if len(rec) != a.BinaryKeyWidth() {
+		return State{}, fmt.Errorf("behavior: atom %s: binary key record has %d bytes, want %d", a.Name, len(rec), a.BinaryKeyWidth())
+	}
+	li := int(uint32(rec[0]) | uint32(rec[1])<<8 | uint32(rec[2])<<16 | uint32(rec[3])<<24)
+	if li < 0 || li >= len(a.Locations) {
+		return State{}, fmt.Errorf("behavior: atom %s: binary key names location index %d of %d", a.Name, li, len(a.Locations))
+	}
+	vars := make(expr.MapEnv, len(a.Vars))
+	off := 4
+	for _, vd := range a.Vars {
+		v, err := expr.DecodeBinary(rec[off : off+expr.BinaryWidth])
+		if err != nil {
+			return State{}, fmt.Errorf("behavior: atom %s: variable %s: %w", a.Name, vd.Name, err)
+		}
+		vars[vd.Name] = v
+		off += expr.BinaryWidth
+	}
+	return State{Loc: a.Locations[li], Vars: vars}, nil
+}
+
 // Rename returns a deep copy of the atom under a new name. Ports,
 // locations and variables keep their local names; only the component
 // identity changes. Used when instantiating an atom type several times.

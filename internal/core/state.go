@@ -88,6 +88,32 @@ func (s *System) AppendBinaryKey(buf []byte, st State) []byte {
 	return buf
 }
 
+// StateFromBinaryKey inverts AppendBinaryKey: it rebuilds a
+// materialized State from one fixed-width binary key (exactly
+// BinaryKeyWidth bytes). Round-tripping is exact — the decoded state
+// re-encodes to the same key and carries the atoms' own declared
+// location strings — which is what lets the exploration drivers treat
+// the key as the complete on-disk representation of a spilled frontier
+// state.
+func (s *System) StateFromBinaryKey(key []byte) (State, error) {
+	if len(key) != s.keyWidth {
+		return State{}, fmt.Errorf("system %s: binary state key has %d bytes, want %d", s.Name, len(key), s.keyWidth)
+	}
+	st := State{Locs: make([]string, len(s.Atoms)), Vars: make([]expr.MapEnv, len(s.Atoms))}
+	off := 0
+	for i, a := range s.Atoms {
+		w := a.BinaryKeyWidth()
+		local, err := a.DecodeBinaryKey(key[off : off+w])
+		if err != nil {
+			return State{}, fmt.Errorf("system %s: %w", s.Name, err)
+		}
+		st.Locs[i] = local.Loc
+		st.Vars[i] = local.Vars
+		off += w
+	}
+	return st, nil
+}
+
 // Equal reports whether two states coincide.
 func (st State) Equal(o State) bool {
 	if len(st.Locs) != len(o.Locs) {

@@ -127,6 +127,27 @@ func (v Value) AppendBinary(buf []byte) []byte {
 		byte(p>>32), byte(p>>40), byte(p>>48), byte(p>>56))
 }
 
+// DecodeBinary inverts AppendBinary: it decodes one fixed-width value
+// record (exactly BinaryWidth bytes). Exploration's spilled frontier
+// uses it to rebuild states from their on-disk binary keys.
+func DecodeBinary(b []byte) (Value, error) {
+	if len(b) != BinaryWidth {
+		return Value{}, fmt.Errorf("expr: binary value record has %d bytes, want %d", len(b), BinaryWidth)
+	}
+	p := uint64(b[1]) | uint64(b[2])<<8 | uint64(b[3])<<16 | uint64(b[4])<<24 |
+		uint64(b[5])<<32 | uint64(b[6])<<40 | uint64(b[7])<<48 | uint64(b[8])<<56
+	switch b[0] {
+	case 1:
+		return IntVal(int64(p)), nil
+	case 2:
+		return BoolVal(false), nil
+	case 3:
+		return BoolVal(true), nil
+	default:
+		return Value{}, fmt.Errorf("expr: binary value record has unknown tag %d", b[0])
+	}
+}
+
 // Env is the variable store expressions evaluate against.
 type Env interface {
 	// Get returns the value bound to name, reporting whether it exists.

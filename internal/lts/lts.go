@@ -15,6 +15,7 @@
 package lts
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -90,6 +91,45 @@ type Options struct {
 	// schedule (the cycle proviso reacts to discovery order), though
 	// verdicts are preserved either way.
 	Expander Expander
+	// Seen selects the successor-dedup layer (seenset.go): nil or
+	// ExactSeen{} stores full keys (exact membership), CompactSeen{}
+	// stores ~12-byte hash records per visited state. The explored
+	// state set, edges and every verdict are identical across
+	// implementations (see CompactSeen for the precise guarantee); only
+	// memory varies, reported in Stats.SeenBytes.
+	Seen SeenSets
+	// MemBudget approximately bounds the resident frontier of the
+	// Unordered work-stealing driver, in bytes (accounted with the
+	// Stats.PeakFrontierBytes model). When the pending work exceeds it,
+	// whole deque chunks are serialized to a temporary spill file as
+	// flat key records and streamed back as workers drain, so spaces
+	// whose frontier exceeds RAM complete instead of OOMing
+	// (Stats.SpilledChunks counts the round trips). 0 means unlimited;
+	// the setting is ignored by the deterministic drivers, whose level
+	// replay must keep the frontier resident.
+	MemBudget int64
+	// Ctx, when non-nil, cancels the exploration: the drivers poll it
+	// and return its error (context.Canceled / DeadlineExceeded) as
+	// soon as every worker has unwound. The sink's Done is not called
+	// on cancellation.
+	Ctx context.Context
+}
+
+// seenSets resolves the dedup factory, defaulting to exact storage.
+func (o *Options) seenSets() SeenSets {
+	if o.Seen == nil {
+		return ExactSeen{}
+	}
+	return o.Seen
+}
+
+// ctxDone returns the cancellation channel to poll, nil when no context
+// was installed (a nil channel never fires in a select).
+func (o *Options) ctxDone() <-chan struct{} {
+	if o.Ctx == nil {
+		return nil
+	}
+	return o.Ctx.Done()
 }
 
 // Explore builds the reachable LTS of sys by breadth-first search: it

@@ -61,20 +61,30 @@ const (
 	rejectedID int32 = -2 // refused by MaxStates; tombstone, never an edge target
 )
 
-// pedge is one recorded outgoing move of an expanded entry.
+// pedge is one recorded outgoing move of an expanded entry. A target
+// discovered this level is carried as its live entry (numbered at the
+// barrier before the replay reads it); a target admitted at an earlier
+// barrier — or rejected — exists only in the seen-set and is carried as
+// its bare id.
 type pedge struct {
-	target *pentry
-	label  string
-	move   int32 // move index within the source's enabled set
+	target   *pentry // non-nil iff the target is pending this level
+	targetID int32   // used when target == nil
+	label    string
+	move     int32 // move index within the source's enabled set
 }
 
-// pentry is one seen-set entry: an interned key plus, while the state
-// waits on the frontier, its materialized state, move table and BFS-tree
-// node, and, between expansion and its replay, its recorded outgoing
-// edges. The claim* fields serve the deterministic driver's numbering;
-// parked serves the work-stealing driver's event reordering (wsteal.go).
+// pentry is one frontier-resident state: its materialized state, move
+// table and BFS-tree node, and, between expansion and its replay, its
+// recorded outgoing edges. Entries live only while the state is pending
+// or being replayed — once expanded and replayed (deterministic driver)
+// or expanded and flushed (work-stealing driver) the entry is stripped
+// and dropped; what persists per visited state is whatever the SeenSet
+// stores. key/hash serve the deterministic driver's barrier admission
+// (the pending key lives in the shard's recycled level arena and is
+// released at the barrier); the claim* fields its numbering.
 type pentry struct {
 	key   []byte
+	hash  uint64
 	state core.State
 	vec   [][]core.Move
 	node  *pathNode
@@ -91,30 +101,39 @@ type pentry struct {
 	claimEnt    *pentry
 	claimLabel  string
 
-	// announced marks that the entry's OnState has been emitted. In the
-	// deterministic driver it is touched only by the (single) replay
-	// goroutine; in the work-stealing driver only under the sink mutex.
+	// announced marks that the entry's OnState has been emitted
+	// (deterministic driver only; touched only by the single replay
+	// goroutine).
 	announced bool
-	// parked holds edges that reached this entry before its OnState was
-	// emitted (work-stealing driver only; touched under the sink mutex).
-	parked []parkedEdge
 }
 
-// parkedEdge is an edge held back until its target is announced.
+// parkedEdge is an edge held back until its target is announced
+// (work-stealing driver; see wsDriver.parked).
 type parkedEdge struct {
 	from  int32
 	label string
 }
 
-// shard is one lock stripe of the seen-set.
+// shard is one lock stripe of the dedup layer: a SeenSet holding every
+// admitted (or bound-rejected) state, plus — deterministic driver only —
+// the pending table of states discovered during the current level, which
+// are admitted into the SeenSet at the barrier.
 type shard struct {
-	mu sync.Mutex
-	// table buckets entries by key hash; the rare colliding hashes
-	// chain, compared by full key.
-	table map[uint64][]*pentry
-	// arena backs the interned key bytes in fixed-width records; chunks
-	// are replaced, never grown, so interned slices stay valid.
+	mu   sync.Mutex
+	seen SeenSet
+	// pend buckets the current level's pending entries by key hash;
+	// colliding hashes chain, compared by full key. Cleared (not
+	// reallocated) at every barrier.
+	pend map[uint64][]*pentry
+	// arena backs the pending keys in fixed-width records; chunks are
+	// replaced, never grown, so pending key slices stay valid across
+	// the level. At the barrier — once the SeenSet has copied every
+	// admitted key into its own storage — the chunks are recycled via
+	// free, so the level arena's footprint tracks the widest level, not
+	// the visited set.
 	arena []byte
+	used  [][]byte
+	free  [][]byte
 	// fresh lists the entries created during the current level
 	// (deterministic driver only).
 	fresh []*pentry
@@ -122,8 +141,9 @@ type shard struct {
 
 const arenaChunk = 1 << 16
 
-// newShards sizes the lock-striped seen-set for a worker count.
-func newShards(workers int) ([]shard, uint64) {
+// newShards sizes the lock-striped dedup layer for a worker count, one
+// SeenSet stripe per shard.
+func newShards(workers int, seen SeenSets, keyWidth int) ([]shard, uint64) {
 	nShards := 1
 	for nShards < workers*8 {
 		nShards <<= 1
@@ -133,23 +153,56 @@ func newShards(workers int) ([]shard, uint64) {
 	}
 	shards := make([]shard, nShards)
 	for i := range shards {
-		shards[i].table = make(map[uint64][]*pentry)
+		shards[i].seen = seen.NewSeenSet(keyWidth)
+		shards[i].pend = make(map[uint64][]*pentry)
 	}
 	return shards, uint64(nShards - 1)
 }
 
-// intern copies key into the shard's arena and returns the stable copy.
+// seenTotals sums the dedup layer's footprint and promotion count.
+func seenTotals(shards []shard) (bytes, promotions int64) {
+	for i := range shards {
+		bytes += shards[i].seen.Bytes()
+		promotions += shards[i].seen.Promotions()
+	}
+	return bytes, promotions
+}
+
+// intern copies key into the shard's level arena and returns the stable
+// copy, reusing recycled chunks from earlier levels when available.
 func (sh *shard) intern(key []byte) []byte {
 	if len(sh.arena)+len(key) > cap(sh.arena) {
-		size := arenaChunk
-		if len(key) > size {
-			size = len(key)
+		if cap(sh.arena) > 0 {
+			sh.used = append(sh.used, sh.arena)
 		}
-		sh.arena = make([]byte, 0, size)
+		if n := len(sh.free); n > 0 && len(key) <= cap(sh.free[n-1]) {
+			sh.arena = sh.free[n-1][:0]
+			sh.free = sh.free[:n-1]
+		} else {
+			size := arenaChunk
+			if len(key) > size {
+				size = len(key)
+			}
+			sh.arena = make([]byte, 0, size)
+		}
 	}
 	off := len(sh.arena)
 	sh.arena = append(sh.arena, key...)
 	return sh.arena[off : off+len(key) : off+len(key)]
+}
+
+// endLevel releases the level's pending machinery after the barrier has
+// admitted every fresh entry into the SeenSet: the pending table is
+// cleared and the key chunks recycled. Callers must have nil'ed the
+// entries' key slices first — nothing may alias the arena afterwards.
+func (sh *shard) endLevel() {
+	clear(sh.pend)
+	if cap(sh.arena) > 0 {
+		sh.used = append(sh.used, sh.arena)
+		sh.arena = nil
+	}
+	sh.free = append(sh.free, sh.used...)
+	sh.used = sh.used[:0]
 }
 
 // hashKey is FNV-1a folded over 8-byte words (with a byte-wise tail),
@@ -211,9 +264,14 @@ func gatherReduction(stats *Stats, ws []*pworker) {
 	}
 }
 
-func streamParallel(sys *core.System, opts Options, workers, maxStates int, sink Sink) (Stats, error) {
-	stats := Stats{States: 1, PeakFrontier: 1}
-	shards, mask := newShards(workers)
+func streamParallel(sys *core.System, opts Options, workers, maxStates int, sink Sink) (stats Stats, err error) {
+	stats = Stats{States: 1, PeakFrontier: 1}
+	shards, mask := newShards(workers, opts.seenSets(), sys.BinaryKeyWidth())
+	done := opts.ctxDone()
+	defer func() {
+		stats.SeenBytes, stats.ExactPromotions = seenTotals(shards)
+		stats.PeakFrontierBytes = int64(stats.PeakFrontier) * frontierEntryBytes(sys)
+	}()
 
 	init := sys.Initial()
 	initVec, err := sys.EnabledVector(init)
@@ -221,9 +279,9 @@ func streamParallel(sys *core.System, opts Options, workers, maxStates int, sink
 		return stats, fmt.Errorf("explore state 0: %w", err)
 	}
 	key := sys.AppendBinaryKey(nil, init)
-	e0 := &pentry{key: key, state: init, vec: initVec, id: 0, claimParent: -1, announced: true}
+	e0 := &pentry{state: init, vec: initVec, id: 0, claimParent: -1, announced: true}
 	h0 := hashKey(key)
-	shards[h0&mask].table[h0] = append(shards[h0&mask].table[h0], e0)
+	shards[h0&mask].seen.Add(h0, key, 0)
 
 	if err := sink.OnState(0, init, Discovery{Parent: -1}); err != nil {
 		return stats, stats.finish(err)
@@ -260,6 +318,12 @@ func streamParallel(sys *core.System, opts Options, workers, maxStates int, sink
 			go func(w *pworker) {
 				defer wg.Done()
 				for {
+					select {
+					case <-done:
+						w.err = opts.Ctx.Err()
+						return
+					default:
+					}
 					start := int(cursor.Add(batch)) - batch
 					if start >= len(level) || w.err != nil {
 						return
@@ -289,6 +353,14 @@ func streamParallel(sys *core.System, opts Options, workers, maxStates int, sink
 			if w.err != nil {
 				return stats, w.err
 			}
+		}
+		// Cancellation point: the previous replay has been joined and no
+		// new one started, so returning here leaves no goroutine behind
+		// still feeding the sink.
+		select {
+		case <-done:
+			return stats, opts.Ctx.Err()
+		default:
 		}
 		// Expanded states no longer need their move tables.
 		for _, e := range level {
@@ -327,17 +399,26 @@ func streamParallel(sys *core.System, opts Options, workers, maxStates int, sink
 				e.id = rejectedID
 				e.state = core.State{}
 				e.vec = nil
-				continue
+			} else {
+				e.id = int32(stats.States)
+				stats.States++
+				// The BFS-tree node is assigned here, at the barrier, so
+				// the replay below only reads nodes: the claim parent sits
+				// in the just-expanded level, whose nodes were assigned at
+				// the previous barrier and are stripped only by this
+				// level's replay, which has not started yet.
+				e.node = &pathNode{parent: e.claimEnt.node, label: e.claimLabel}
+				next = append(next, e)
 			}
-			e.id = int32(stats.States)
-			stats.States++
-			// The BFS-tree node is assigned here, at the barrier, so the
-			// replay below only reads nodes: the claim parent sits in the
-			// just-expanded level, whose nodes were assigned at the
-			// previous barrier and are stripped only by this level's
-			// replay, which has not started yet.
-			e.node = &pathNode{parent: e.claimEnt.node, label: e.claimLabel}
-			next = append(next, e)
+			// The admission (or tombstone) becomes permanent: the SeenSet
+			// copies what it needs of the key, after which the pending key
+			// slice must not be read again — the level arena it points
+			// into is recycled just below.
+			shards[e.hash&mask].seen.Add(e.hash, e.key, e.id)
+			e.key = nil
+		}
+		for i := range shards {
+			shards[i].endLevel()
 		}
 		freshBuf = fresh
 
@@ -371,19 +452,23 @@ func replayLevel(level []*pentry, stats *Stats, sink Sink) error {
 	for _, e := range level {
 		for _, ed := range e.out {
 			t := ed.target
-			if t.id == rejectedID {
+			id := ed.targetID
+			if t != nil {
+				id = t.id
+			}
+			if id == rejectedID {
 				// No edge: matches the sequential driver's treatment
 				// of states refused by the bound.
 				continue
 			}
-			if !t.announced && t.claimEnt == e && t.claimMove == ed.move {
+			if t != nil && !t.announced && t.claimEnt == e && t.claimMove == ed.move {
 				t.announced = true
-				if err := sink.OnState(int(t.id), t.state, Discovery{Parent: int(e.id), Label: ed.label, node: t.node}); err != nil {
+				if err := sink.OnState(int(id), t.state, Discovery{Parent: int(e.id), Label: ed.label, node: t.node}); err != nil {
 					return err
 				}
 			}
 			stats.Transitions++
-			if err := sink.OnEdge(int(e.id), int(t.id), ed.label); err != nil {
+			if err := sink.OnEdge(int(e.id), int(id), ed.label); err != nil {
 				return err
 			}
 		}
@@ -432,8 +517,19 @@ func (w *pworker) expand(sys *core.System, e *pentry, shards []shard, mask uint6
 		sh := &shards[h&mask]
 
 		sh.mu.Lock()
+		// Earlier levels first: the SeenSet holds every state admitted
+		// (or rejected) at a barrier.
+		if id, dup := sh.seen.Find(h, ctx.Key); dup {
+			sh.mu.Unlock()
+			if id != rejectedID && explore < len(moves) {
+				explore = len(moves)
+			}
+			out = append(out, pedge{targetID: id, label: label, move: int32(mi)})
+			continue
+		}
+		// Then this level's pending table.
 		var t *pentry
-		for _, cand := range sh.table[h] {
+		for _, cand := range sh.pend[h] {
 			if bytes.Equal(cand.key, ctx.Key) {
 				t = cand
 				break
@@ -443,22 +539,19 @@ func (w *pworker) expand(sys *core.System, e *pentry, shards []shard, mask uint6
 		if t == nil {
 			t = &pentry{
 				key:         sh.intern(ctx.Key),
+				hash:        h,
 				id:          pendingID,
 				claimParent: e.id,
 				claimMove:   int32(mi),
 				claimEnt:    e,
 				claimLabel:  label,
 			}
-			sh.table[h] = append(sh.table[h], t)
+			sh.pend[h] = append(sh.pend[h], t)
 			sh.fresh = append(sh.fresh, t)
 			created = true
-		} else if t.id == pendingID {
-			if e.id < t.claimParent || (e.id == t.claimParent && int32(mi) < t.claimMove) {
-				t.claimParent, t.claimMove = e.id, int32(mi)
-				t.claimEnt, t.claimLabel = e, label
-			}
-		} else if t.id != rejectedID && explore < len(moves) {
-			explore = len(moves)
+		} else if e.id < t.claimParent || (e.id == t.claimParent && int32(mi) < t.claimMove) {
+			t.claimParent, t.claimMove = e.id, int32(mi)
+			t.claimEnt, t.claimLabel = e, label
 		}
 		sh.mu.Unlock()
 
@@ -472,7 +565,7 @@ func (w *pworker) expand(sys *core.System, e *pentry, shards []shard, mask uint6
 			}
 			t.vec = vec
 		}
-		out = append(out, pedge{target: t, label: label, move: int32(mi)})
+		out = append(out, pedge{target: t, targetID: pendingID, label: label, move: int32(mi)})
 	}
 	e.out = out
 	if nAmple < len(moves) {

@@ -1,7 +1,6 @@
 package lts
 
 import (
-	"bytes"
 	"errors"
 	"fmt"
 	"math"
@@ -180,6 +179,26 @@ type Stats struct {
 	// expanded-and-flushed, wherever the state is buffered). It is the
 	// one Stats field that may differ across worker counts and orders.
 	PeakFrontier int
+	// PeakFrontierBytes prices PeakFrontier in bytes under the
+	// frontierEntryBytes accounting model (key width + flat per-atom /
+	// per-interaction machinery estimate), so EXPERIMENTS.md memory
+	// claims are measured against one reproducible model. For the
+	// work-stealing driver it prices the RESIDENT peak: states parked
+	// in the spill file are excluded, which is exactly what MemBudget
+	// bounds.
+	PeakFrontierBytes int64
+	// SeenBytes is the dedup layer's final memory footprint, summed
+	// over stripes (see SeenSet.Bytes) — the number the E20 experiment
+	// compares between ExactSeen and CompactSeen.
+	SeenBytes int64
+	// ExactPromotions counts membership answers where CompactSeen's
+	// exact-promotion tier overruled a colliding discriminator; 0 for
+	// exact dedup and for compact dedup at full discriminator width.
+	ExactPromotions int64
+	// SpilledChunks counts frontier chunks the work-stealing driver
+	// serialized to the spill file under Options.MemBudget (each chunk
+	// is written once and read back once).
+	SpilledChunks int64
 	// Truncated reports that the MaxStates bound cut the exploration.
 	Truncated bool
 	// Stopped reports that the sink ended the exploration early with
@@ -240,98 +259,34 @@ type seqEntry struct {
 	node *pathNode
 }
 
-// seqSeen is the sequential driver's dedup set: the single-shard
-// counterpart of the parallel driver's arena-backed table. Keys are the
-// system's fixed-width binary records, stored back to back in chunked
-// arenas (admitted state i's key is the i-th record), indexed by an
-// open-addressed table of bare state ids that compares candidates
-// against the arena in place. Per admitted state the set allocates
-// nothing: no interned Go string (the old map[string]int made one per
-// state), no per-key bucket, no copying growth — only new chunks and
-// the logarithmically many table doublings touch the allocator, which
-// BenchmarkExplore workers=1 measures as the allocation drop.
-type seqSeen struct {
-	width int
-	// slots holds state id + 1 (0 = empty), linear probing, power-of-two
-	// size, grown at 3/4 load.
-	slots []int32
-	n     int
-	// chunks back the keys, perChunk keys apiece; full chunks are never
-	// copied or moved, unlike a single doubling slice.
-	perChunk int
-	chunks   [][]byte
+// frontierEntryBytes is the per-resident-state accounting model behind
+// Stats.PeakFrontierBytes and Options.MemBudget: the fixed-width dedup
+// key plus a flat estimate of the frontier machinery a pending state
+// keeps materialized — the entry struct and BFS-tree node (~128 B),
+// per-atom state storage (location header + variable store, ~48 B per
+// atom), and the per-interaction move-table headers (~24 B each). It
+// deliberately ignores model-dependent variance (large per-move choice
+// vectors, string contents) so the same state always costs the same:
+// budgets and the E20 measurements stay reproducible.
+func frontierEntryBytes(sys *core.System) int64 {
+	return int64(sys.BinaryKeyWidth()) + 128 +
+		48*int64(len(sys.Atoms)) + 24*int64(len(sys.Interactions))
 }
 
-func newSeqSeen(width int) *seqSeen {
-	per := arenaChunk / width
-	if per < 1 {
-		per = 1
-	}
-	return &seqSeen{width: width, slots: make([]int32, 1<<10), perChunk: per}
-}
-
-// keyAt returns admitted state id's interned key.
-func (s *seqSeen) keyAt(id int32) []byte {
-	off := (int(id) % s.perChunk) * s.width
-	return s.chunks[int(id)/s.perChunk][off : off+s.width]
-}
-
-// find returns the id of the state with this key, if present.
-func (s *seqSeen) find(key []byte) (int, bool) {
-	mask := uint64(len(s.slots) - 1)
-	for i := hashKey(key) & mask; ; i = (i + 1) & mask {
-		slot := s.slots[i]
-		if slot == 0 {
-			return 0, false
-		}
-		if bytes.Equal(s.keyAt(slot-1), key) {
-			return int(slot - 1), true
-		}
-	}
-}
-
-// add records key under the next state id (ids are assigned in
-// admission order, matching the arena append order). The caller has
-// established via find that the key is absent.
-func (s *seqSeen) add(key []byte) {
-	if (s.n+1)*4 >= len(s.slots)*3 {
-		s.grow()
-	}
-	id := s.n
-	if id%s.perChunk == 0 {
-		s.chunks = append(s.chunks, make([]byte, s.perChunk*s.width))
-	}
-	copy(s.keyAt(int32(id)), key)
-	s.insert(int32(id))
-	s.n++
-}
-
-// insert probes the table for the first empty slot of id's key.
-func (s *seqSeen) insert(id int32) {
-	mask := uint64(len(s.slots) - 1)
-	i := hashKey(s.keyAt(id)) & mask
-	for s.slots[i] != 0 {
-		i = (i + 1) & mask
-	}
-	s.slots[i] = id + 1
-}
-
-// grow doubles the table and re-inserts every admitted id, re-hashing
-// its arena-resident key.
-func (s *seqSeen) grow() {
-	s.slots = make([]int32, 2*len(s.slots))
-	for id := 0; id < s.n; id++ {
-		s.insert(int32(id))
-	}
-}
-
-func streamSeq(sys *core.System, opts Options, maxStates int, sink Sink) (Stats, error) {
-	stats := Stats{States: 1, PeakFrontier: 1}
+func streamSeq(sys *core.System, opts Options, maxStates int, sink Sink) (stats Stats, err error) {
+	stats = Stats{States: 1, PeakFrontier: 1}
 	init := sys.Initial()
 	ctx := sys.NewExploreCtx()
 	exp := opts.newWorkerExpander(sys)
-	seen := newSeqSeen(sys.BinaryKeyWidth())
-	seen.add(sys.AppendBinaryKey(nil, init))
+	done := opts.ctxDone()
+	seen := opts.seenSets().NewSeenSet(sys.BinaryKeyWidth())
+	initKey := sys.AppendBinaryKey(nil, init)
+	seen.Add(hashKey(initKey), initKey, 0)
+	defer func() {
+		stats.SeenBytes = seen.Bytes()
+		stats.ExactPromotions = seen.Promotions()
+		stats.PeakFrontierBytes = int64(stats.PeakFrontier) * frontierEntryBytes(sys)
+	}()
 	initVec, err := sys.EnabledVector(init)
 	if err != nil {
 		return stats, fmt.Errorf("explore state 0: %w", err)
@@ -354,6 +309,11 @@ func streamSeq(sys *core.System, opts Options, maxStates int, sink Sink) (Stats,
 	// edge can close a cycle in the reduced graph.
 	levelLast := 0
 	for head < len(queue) {
+		select {
+		case <-done:
+			return stats, opts.Ctx.Err()
+		default:
+		}
 		id := base + head
 		if id > levelLast {
 			levelLast = stats.States - 1
@@ -383,7 +343,9 @@ func streamSeq(sys *core.System, opts Options, maxStates int, sink Sink) (Stats,
 			}
 			label := sys.Label(m)
 			ctx.Key = sys.AppendBinaryKey(ctx.Key[:0], *view)
-			to, dup := seen.find(ctx.Key)
+			h := hashKey(ctx.Key)
+			to32, dup := seen.Find(h, ctx.Key)
+			to := int(to32)
 			if !dup {
 				if stats.States >= maxStates {
 					stats.Truncated = true
@@ -396,7 +358,7 @@ func streamSeq(sys *core.System, opts Options, maxStates int, sink Sink) (Stats,
 				}
 				to = stats.States
 				stats.States++
-				seen.add(ctx.Key)
+				seen.Add(h, ctx.Key, int32(to))
 				node := &pathNode{parent: e.node, label: label}
 				queue = append(queue, seqEntry{st: next, vec: nextVec, node: node})
 				if f := len(queue) - head; f > stats.PeakFrontier {

@@ -1,7 +1,6 @@
 package lts
 
 import (
-	"bytes"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -23,12 +22,28 @@ import (
 //     is empty publishes its private chunk early, so work never hides
 //     in a private buffer while peers starve.
 //
-//   - Dedup goes through the same lock-striped arena-backed seen-set as
-//     the deterministic driver (parallel.go), but admission is
+//   - Dedup goes through the same lock-striped SeenSet stripes as the
+//     deterministic driver (parallel.go, seenset.go), but admission is
 //     immediate: a fresh state CASes the next id from a global counter
 //     (or becomes a rejected tombstone once the MaxStates bound is
 //     reached — the admitted state COUNT matches the sequential driver
-//     exactly, though which states are admitted depends on schedule).
+//     exactly, though which states are admitted depends on schedule)
+//     and is recorded in the stripe under the same lock hold. The
+//     frontier entry itself is transient: once expanded and flushed it
+//     is dropped, so per visited state only the SeenSet's storage
+//     persists (plus one announced bit and any still-parked edges).
+//
+//   - With Options.MemBudget set, the frontier spills: whenever the
+//     resident pending states exceed the budget (priced by
+//     frontierEntryBytes), whole published chunks are serialized to a
+//     temporary file — each pending state is reduced to its
+//     fixed-width binary key (recomputed from the state, so nothing
+//     extra is stored) plus its id and RAM-resident path node — and
+//     workers that run out of resident work stream chunks back in,
+//     rebuilding state and move table from the key (spill.go). The
+//     in-flight termination counter is spill-agnostic: spilled states
+//     stay admitted-but-unflushed, so the counter reaches zero only
+//     when the spill file has drained too.
 //
 //   - Termination is a global in-flight counter: +1 per admitted state,
 //     -1 once a state's expansion has been flushed and its children
@@ -110,6 +125,24 @@ func (q *wsDeque) pop() *wsChunk {
 	return c
 }
 
+// takeOldest removes the single oldest published chunk (spill side):
+// the states least likely to be wanted soon, mirroring where thieves
+// steal.
+func (q *wsDeque) takeOldest() *wsChunk {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := len(q.chunks)
+	if n == 0 {
+		return nil
+	}
+	c := q.chunks[0]
+	rest := copy(q.chunks, q.chunks[1:])
+	q.chunks[rest] = nil
+	q.chunks = q.chunks[:rest]
+	q.published.Store(int32(rest))
+	return c
+}
+
 // stealHalf removes the oldest half of the published chunks (thief
 // side). Only one deque lock is ever held at a time, so cross-steals
 // cannot deadlock.
@@ -132,11 +165,14 @@ func (q *wsDeque) stealHalf(buf []*wsChunk) []*wsChunk {
 }
 
 // wsRec is one recorded move of an expansion, flushed to the sink after
-// the state is fully expanded.
+// the state is fully expanded. target is non-nil only for fresh
+// successors (the expansion that created a state announces it); edges
+// to previously admitted states carry the bare id.
 type wsRec struct {
-	target *pentry
-	label  string
-	fresh  bool // this expansion created (and will announce) the target
+	target   *pentry
+	targetID int32
+	label    string
+	fresh    bool // this expansion created (and will announce) the target
 }
 
 // wsDriver is the shared state of one work-stealing exploration.
@@ -149,14 +185,31 @@ type wsDriver struct {
 	mask   uint64
 	deques []wsDeque
 
-	states    atomic.Int64 // admitted states (ids are 0..states-1)
-	inflight  atomic.Int64 // admitted but not yet expanded+flushed
-	peak      atomic.Int64 // high-water mark of inflight
-	truncated atomic.Bool
-	stopped   atomic.Bool
+	// Spill machinery (nil/0 unless Options.MemBudget > 0): resident
+	// counts admitted-but-unflushed states currently in RAM (spilled
+	// ones excluded), entryBytes prices one of them, and spill holds
+	// the chunks written out (spill.go).
+	spill      *wsSpill
+	memBudget  int64
+	entryBytes int64
+
+	states       atomic.Int64 // admitted states (ids are 0..states-1)
+	inflight     atomic.Int64 // admitted but not yet expanded+flushed
+	peak         atomic.Int64 // high-water mark of inflight
+	resident     atomic.Int64 // inflight minus states parked in the spill file
+	residentPeak atomic.Int64 // high-water mark of resident
+	truncated    atomic.Bool
+	stopped      atomic.Bool
 
 	sinkMu      sync.Mutex
 	transitions int // guarded by sinkMu
+	// announced is a bitset over state ids whose OnState has been
+	// emitted; parked holds edges that reached a state before its
+	// OnState (drained and deleted at announcement). Both are guarded
+	// by sinkMu — together they replace the per-entry flags so that
+	// expanded entries can be dropped entirely.
+	announced []uint64
+	parked    map[int32][]parkedEdge
 
 	failOnce sync.Once
 	err      error // first terminal error (ErrStop included); set via fail
@@ -164,6 +217,22 @@ type wsDriver struct {
 	idleMu sync.Mutex
 	cond   *sync.Cond
 	gen    uint64
+}
+
+// setAnnounced marks id's OnState as emitted (caller holds sinkMu).
+func (d *wsDriver) setAnnounced(id int32) {
+	w := int(id) >> 6
+	for len(d.announced) <= w {
+		d.announced = append(d.announced, 0)
+	}
+	d.announced[w] |= 1 << (uint(id) & 63)
+}
+
+// isAnnounced reports whether id's OnState has been emitted (caller
+// holds sinkMu).
+func (d *wsDriver) isAnnounced(id int32) bool {
+	w := int(id) >> 6
+	return w < len(d.announced) && d.announced[w]&(1<<(uint(id)&63)) != 0
 }
 
 // notify wakes idle workers after new work was published, the in-flight
@@ -203,6 +272,13 @@ func (d *wsDriver) admit() (int32, bool) {
 					break
 				}
 			}
+			r := d.resident.Add(1)
+			for {
+				p := d.residentPeak.Load()
+				if r <= p || d.residentPeak.CompareAndSwap(p, r) {
+					break
+				}
+			}
 			return int32(n), true
 		}
 	}
@@ -210,13 +286,14 @@ func (d *wsDriver) admit() (int32, bool) {
 
 // wsWorker is one work-stealing worker.
 type wsWorker struct {
-	id    int
-	ctx   *core.ExploreCtx
-	exp   WorkerExpander
-	cur   *wsChunk // private mixed push/pop chunk, invisible to thieves
-	spare *wsChunk // small freelist
-	recs  []wsRec
-	steal []*wsChunk
+	id     int
+	ctx    *core.ExploreCtx
+	exp    WorkerExpander
+	cur    *wsChunk // private mixed push/pop chunk, invisible to thieves
+	spare  *wsChunk // small freelist
+	recs   []wsRec
+	steal  []*wsChunk
+	keyBuf []byte // spill read/write scratch
 
 	// Per-worker reduction counters, summed into Stats after the join.
 	ampleStates      int
@@ -234,7 +311,9 @@ func (w *wsWorker) newChunk() *wsChunk {
 
 // pushLocal enqueues an admitted entry. Full private chunks are
 // published; so is a multi-entry private chunk while the worker's deque
-// is empty, to keep work stealable during narrow phases.
+// is empty, to keep work stealable during narrow phases. Publishing is
+// also the spill point: while the resident frontier exceeds the memory
+// budget, the worker sheds its own oldest published chunks to disk.
 func (w *wsWorker) pushLocal(d *wsDriver, e *pentry) {
 	c := w.cur
 	if c == nil {
@@ -246,6 +325,39 @@ func (w *wsWorker) pushLocal(d *wsDriver, e *pentry) {
 	if c.n == wsChunkCap || (c.n > 1 && d.deques[w.id].published.Load() == 0) {
 		d.deques[w.id].push(c)
 		w.cur = nil
+		d.notify()
+		w.maybeSpill(d)
+	}
+}
+
+// maybeSpill sheds the worker's oldest published chunks to the spill
+// file while the resident frontier is over budget. Only the worker's
+// own deque is tapped — peers over budget shed on their own next
+// publish — and the loop stops as soon as there is nothing published
+// left to shed (the private chunk and in-expansion states stay
+// resident).
+func (w *wsWorker) maybeSpill(d *wsDriver) {
+	if d.spill == nil {
+		return
+	}
+	for d.resident.Load()*d.entryBytes > d.memBudget {
+		c := d.deques[w.id].takeOldest()
+		if c == nil {
+			return
+		}
+		err := d.spill.write(d.sys, c, w)
+		n := c.n
+		*c = wsChunk{}
+		if w.spare == nil {
+			w.spare = c
+		}
+		if err != nil {
+			d.fail(err)
+			return
+		}
+		d.resident.Add(int64(-n))
+		// Wake sleepers: the chunk left the deques between their scan
+		// and their wait, and only the spill file knows about it now.
 		d.notify()
 	}
 }
@@ -315,7 +427,49 @@ func (w *wsWorker) takeWork(d *wsDriver) bool {
 		}
 		return true
 	}
+	// Nothing resident anywhere: stream a spilled chunk back in. Disk
+	// is last on purpose — resident work drains before reloads widen
+	// the frontier again.
+	if d.spill != nil {
+		rec := d.spill.take()
+		if rec != nil {
+			c, err := w.reload(d, rec)
+			if err != nil {
+				d.fail(err)
+				return false
+			}
+			w.cur = c
+			d.resident.Add(int64(c.n))
+			return true
+		}
+	}
 	return false
+}
+
+// reload rebuilds one spilled chunk: each state is decoded from its
+// fixed-width binary key and its move table recomputed from scratch —
+// the price of eviction is one EnabledVector per reloaded state.
+func (w *wsWorker) reload(d *wsDriver, rec *wsSpillRec) (*wsChunk, error) {
+	buf, err := d.spill.read(rec, w.keyBuf[:0])
+	w.keyBuf = buf
+	if err != nil {
+		return nil, err
+	}
+	c := w.newChunk()
+	width := d.sys.BinaryKeyWidth()
+	for i := 0; i < rec.n; i++ {
+		st, err := d.sys.StateFromBinaryKey(w.keyBuf[i*width : (i+1)*width])
+		if err != nil {
+			return nil, fmt.Errorf("spill reload state %d: %w", rec.ids[i], err)
+		}
+		vec, err := d.sys.EnabledVector(st)
+		if err != nil {
+			return nil, fmt.Errorf("spill reload state %d: %w", rec.ids[i], err)
+		}
+		c.e[i] = &pentry{id: rec.ids[i], state: st, vec: vec, node: rec.nodes[i]}
+	}
+	c.n = rec.n
+	return c, nil
 }
 
 // run is the worker main loop.
@@ -361,29 +515,25 @@ func (w *wsWorker) expandFlush(d *wsDriver, e *pentry) error {
 		sh := &d.shards[h&d.mask]
 
 		sh.mu.Lock()
-		var t *pentry
-		for _, cand := range sh.table[h] {
-			if bytes.Equal(cand.key, ctx.Key) {
-				t = cand
-				break
-			}
-		}
+		id, dup := sh.seen.Find(h, ctx.Key)
 		created := false
-		if t == nil {
-			id, ok := d.admit()
-			t = &pentry{key: sh.intern(ctx.Key), id: id}
-			sh.table[h] = append(sh.table[h], t)
+		if !dup {
+			var ok bool
+			id, ok = d.admit()
+			sh.seen.Add(h, ctx.Key, id)
 			created = ok
-		} else if t.id != rejectedID && explore < len(moves) {
-			explore = len(moves)
 		}
 		sh.mu.Unlock()
 
+		if dup && id != rejectedID && explore < len(moves) {
+			explore = len(moves)
+		}
+		var t *pentry
 		if created {
-			// Only the creating worker touches state/vec/node; thieves
-			// first observe them through the deque mutexes after the
-			// entry is enqueued below.
-			t.state = ctx.Scratch.MaterializeSlab(m, ctx.Slab)
+			// The fresh entry is private to this worker until it is
+			// enqueued below; thieves first observe it through the deque
+			// mutexes.
+			t = &pentry{id: id, state: ctx.Scratch.MaterializeSlab(m, ctx.Slab)}
 			vec, err := ctx.Deriver.DeriveSlab(e.vec, m, t.state, ctx.Slab)
 			if err != nil {
 				return fmt.Errorf("explore state %d: %w", e.id, err)
@@ -391,7 +541,7 @@ func (w *wsWorker) expandFlush(d *wsDriver, e *pentry) error {
 			t.vec = vec
 			t.node = &pathNode{parent: e.node, label: label}
 		}
-		recs = append(recs, wsRec{target: t, label: label, fresh: created})
+		recs = append(recs, wsRec{target: t, targetID: id, label: label, fresh: created})
 	}
 	w.recs = recs
 	if nAmple < len(moves) {
@@ -416,8 +566,9 @@ func (w *wsWorker) expandFlush(d *wsDriver, e *pentry) error {
 		return err
 	}
 
-	// The expanded entry keeps only its interned key (and id); the path
-	// nodes of its children stay alive through their own node chains.
+	// The expanded entry is dropped entirely — per visited state only
+	// the SeenSet's storage persists; the path nodes of its children
+	// stay alive through their own node chains.
 	e.state = core.State{}
 	e.vec = nil
 	e.node = nil
@@ -427,6 +578,7 @@ func (w *wsWorker) expandFlush(d *wsDriver, e *pentry) error {
 			w.pushLocal(d, r.target)
 		}
 	}
+	d.resident.Add(-1)
 	if d.inflight.Add(-1) == 0 {
 		d.notify()
 	}
@@ -437,34 +589,38 @@ func (w *wsWorker) expandFlush(d *wsDriver, e *pentry) error {
 // targets are announced (OnState) and drain any edges parked on them,
 // edges to announced targets are emitted directly, edges to
 // not-yet-announced targets are parked, and edges to bound-rejected
-// tombstones are dropped (matching the sequential driver). announced
-// and parked are only ever touched here, under the mutex.
+// tombstones are dropped (matching the sequential driver). The
+// announced bitset and the parked map are only ever touched here, under
+// the mutex.
 func (d *wsDriver) flushLocked(e *pentry, recs []wsRec) error {
 	for _, r := range recs {
-		t := r.target
-		if t.id == rejectedID {
+		id := r.targetID
+		if id == rejectedID {
 			continue
 		}
 		if r.fresh {
-			if err := d.sink.OnState(int(t.id), t.state, Discovery{Parent: int(e.id), Label: r.label, node: t.node}); err != nil {
+			t := r.target
+			if err := d.sink.OnState(int(id), t.state, Discovery{Parent: int(e.id), Label: r.label, node: t.node}); err != nil {
 				return err
 			}
-			t.announced = true
-			for _, pe := range t.parked {
-				d.transitions++
-				if err := d.sink.OnEdge(int(pe.from), int(t.id), pe.label); err != nil {
-					return err
+			d.setAnnounced(id)
+			if pes, ok := d.parked[id]; ok {
+				for _, pe := range pes {
+					d.transitions++
+					if err := d.sink.OnEdge(int(pe.from), int(id), pe.label); err != nil {
+						return err
+					}
 				}
+				delete(d.parked, id)
 			}
-			t.parked = nil
 		}
-		if t.announced {
+		if d.isAnnounced(id) {
 			d.transitions++
-			if err := d.sink.OnEdge(int(e.id), int(t.id), r.label); err != nil {
+			if err := d.sink.OnEdge(int(e.id), int(id), r.label); err != nil {
 				return err
 			}
 		} else {
-			t.parked = append(t.parked, parkedEdge{from: e.id, label: r.label})
+			d.parked[id] = append(d.parked[id], parkedEdge{from: e.id, label: r.label})
 		}
 	}
 	return d.sink.OnExpanded(int(e.id), int(e.moves))
@@ -472,16 +628,25 @@ func (d *wsDriver) flushLocked(e *pentry, recs []wsRec) error {
 
 func streamWorkSteal(sys *core.System, opts Options, workers, maxStates int, sink Sink) (Stats, error) {
 	d := &wsDriver{
-		sys:       sys,
-		maxStates: maxStates,
-		sink:      sink,
-		deques:    make([]wsDeque, workers),
+		sys:        sys,
+		maxStates:  maxStates,
+		sink:       sink,
+		deques:     make([]wsDeque, workers),
+		parked:     make(map[int32][]parkedEdge),
+		memBudget:  opts.MemBudget,
+		entryBytes: frontierEntryBytes(sys),
 	}
 	d.cond = sync.NewCond(&d.idleMu)
-	d.shards, d.mask = newShards(workers)
+	d.shards, d.mask = newShards(workers, opts.seenSets(), sys.BinaryKeyWidth())
+	if d.memBudget > 0 {
+		d.spill = newWsSpill(sys.BinaryKeyWidth())
+		defer d.spill.close()
+	}
 	d.states.Store(1)
 	d.inflight.Store(1)
 	d.peak.Store(1)
+	d.resident.Store(1)
+	d.residentPeak.Store(1)
 
 	init := sys.Initial()
 	initVec, err := sys.EnabledVector(init)
@@ -489,13 +654,28 @@ func streamWorkSteal(sys *core.System, opts Options, workers, maxStates int, sin
 		return Stats{States: 1, PeakFrontier: 1}, fmt.Errorf("explore state 0: %w", err)
 	}
 	key := sys.AppendBinaryKey(nil, init)
-	e0 := &pentry{key: key, state: init, vec: initVec, id: 0, announced: true}
+	e0 := &pentry{state: init, vec: initVec, id: 0}
 	h0 := hashKey(key)
-	d.shards[h0&d.mask].table[h0] = append(d.shards[h0&d.mask].table[h0], e0)
+	d.shards[h0&d.mask].seen.Add(h0, key, 0)
+	d.setAnnounced(0)
 
 	if err := sink.OnState(0, init, Discovery{Parent: -1}); err != nil {
 		stats := Stats{States: 1, PeakFrontier: 1}
 		return stats, stats.finish(err)
+	}
+
+	if done := opts.ctxDone(); done != nil {
+		// The watcher turns context cancellation into a driver stop
+		// (waking sleepers); it exits with the run.
+		finished := make(chan struct{})
+		defer close(finished)
+		go func() {
+			select {
+			case <-done:
+				d.fail(opts.Ctx.Err())
+			case <-finished:
+			}
+		}()
 	}
 
 	var wg sync.WaitGroup
@@ -520,6 +700,11 @@ func streamWorkSteal(sys *core.System, opts Options, workers, maxStates int, sin
 			return 1
 		}(),
 		Truncated: d.truncated.Load(),
+	}
+	stats.SeenBytes, stats.ExactPromotions = seenTotals(d.shards)
+	stats.PeakFrontierBytes = d.residentPeak.Load() * d.entryBytes
+	if d.spill != nil {
+		stats.SpilledChunks = d.spill.written()
 	}
 	for _, w := range ws {
 		stats.AmpleStates += w.ampleStates

@@ -174,6 +174,8 @@ func zooCases(t *testing.T) []struct {
 	add("gasstation", gas, err, Options{})
 	deep, err := models.DeepChain(200)
 	add("deep-chain", deep, err, Options{})
+	grid, err := models.CounterGrid(4, 4)
+	add("counter-grid", grid, err, Options{})
 	return cases
 }
 

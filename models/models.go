@@ -548,3 +548,35 @@ func DiamondGrid(n int) (*core.System, error) {
 	}
 	return b.Build()
 }
+
+// CounterGrid builds n fully independent modulo-k counters: counter i
+// sits in one location and wraps c through 0..k-1 via its own unary
+// interaction "inc<i>". The reachable space is exactly k^n states (every
+// combination of counter values), all live — no deadlock, no data
+// pruning — which makes it the reference workload for memory
+// experiments: state count and binary-key width (13 bytes per counter)
+// are known in closed form, so seen-set bytes-per-state and frontier
+// accounting can be checked against arithmetic, not just against other
+// runs.
+func CounterGrid(n, k int) (*core.System, error) {
+	if n < 1 || k < 2 {
+		return nil, fmt.Errorf("models: counter grid needs n >= 1 counters of modulus k >= 2, got n=%d k=%d", n, k)
+	}
+	counter := behavior.NewBuilder("counter").
+		Location("s").
+		Int("c", 0).
+		Port("inc").
+		TransitionG("s", "inc", "s", nil,
+			expr.Set("c", expr.Mod(expr.Add(expr.V("c"), expr.I(1)), expr.I(int64(k))))).
+		Invariant(expr.And(
+			expr.Ge(expr.V("c"), expr.I(0)),
+			expr.Lt(expr.V("c"), expr.I(int64(k))))).
+		MustBuild()
+	b := core.NewSystem(fmt.Sprintf("countergrid-%dx%d", n, k))
+	for i := 0; i < n; i++ {
+		name := "ctr" + strconv.Itoa(i)
+		b.AddAs(name, counter)
+		b.Connect("inc"+strconv.Itoa(i), core.P(name, "inc"))
+	}
+	return b.Build()
+}

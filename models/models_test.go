@@ -7,6 +7,7 @@ import (
 
 	"bip/internal/core"
 	"bip/internal/engine"
+	"bip/internal/lts"
 )
 
 func TestModelConstructorsValidate(t *testing.T) {
@@ -21,6 +22,7 @@ func TestModelConstructorsValidate(t *testing.T) {
 		"unsafeelevator": func() error { _, err := UnsafeElevator(3); return err },
 		"gcd":            func() error { _, err := GCD(12, 8); return err },
 		"temperature":    func() error { _, err := Temperature(0, 5, 2); return err },
+		"countergrid":    func() error { _, err := CounterGrid(4, 3); return err },
 	}
 	for name, build := range builders {
 		t.Run(name, func(t *testing.T) {
@@ -44,6 +46,8 @@ func TestModelConstructorErrors(t *testing.T) {
 		func() error { _, err := UnsafeElevator(0); return err },
 		func() error { _, err := GCD(0, 3); return err },
 		func() error { _, err := Temperature(5, 5, 1); return err },
+		func() error { _, err := CounterGrid(0, 3); return err },
+		func() error { _, err := CounterGrid(2, 1); return err },
 	}
 	for i, c := range cases {
 		if c() == nil {
@@ -197,5 +201,27 @@ func buildByName(name string) (*core.System, error) {
 		return GCD(9, 6)
 	default:
 		panic("unknown model " + name)
+	}
+}
+
+func TestCounterGridStateSpace(t *testing.T) {
+	// The reachable space is exactly k^n — every combination of counter
+	// values — and every state has all n increments enabled.
+	sys, err := CounterGrid(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := lts.Explore(sys, lts.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 4 * 4 * 4; l.NumStates() != want {
+		t.Fatalf("CounterGrid(3,4) has %d states, want %d", l.NumStates(), want)
+	}
+	if want := 3 * 4 * 4 * 4; l.NumTransitions() != want {
+		t.Fatalf("CounterGrid(3,4) has %d transitions, want %d", l.NumTransitions(), want)
+	}
+	if dls := l.Deadlocks(); len(dls) != 0 {
+		t.Fatalf("CounterGrid deadlocks at states %v", dls)
 	}
 }

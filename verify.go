@@ -1,6 +1,7 @@
 package bip
 
 import (
+	"context"
 	"fmt"
 
 	"bip/internal/lts"
@@ -89,19 +90,26 @@ func Verify(sys *System, opts ...Option) (*Report, error) {
 		Raw:       cfg.raw,
 		Order:     cfg.order,
 		Expander:  expander,
+		Seen:      cfg.seen,
+		MemBudget: cfg.memBudget,
+		Ctx:       cfg.ctx,
 	}, lts.NewMulti(sinks...))
 	if err != nil {
 		return nil, fmt.Errorf("bip: verify %s: %w", sys.Name, err)
 	}
 	rep := &Report{
-		States:           stats.States,
-		Transitions:      stats.Transitions,
-		Truncated:        stats.Truncated,
-		Reduced:          expander != nil,
-		AmpleStates:      stats.AmpleStates,
-		PrunedMoves:      stats.PrunedMoves,
-		ProvisoFallbacks: stats.ProvisoFallbacks,
-		OK:               true,
+		States:            stats.States,
+		Transitions:       stats.Transitions,
+		Truncated:         stats.Truncated,
+		Reduced:           expander != nil,
+		AmpleStates:       stats.AmpleStates,
+		PrunedMoves:       stats.PrunedMoves,
+		ProvisoFallbacks:  stats.ProvisoFallbacks,
+		SeenBytes:         stats.SeenBytes,
+		PeakFrontierBytes: stats.PeakFrontierBytes,
+		ExactPromotions:   stats.ExactPromotions,
+		SpilledChunks:     stats.SpilledChunks,
+		OK:                true,
 	}
 	for i, p := range props {
 		res := p.result()
@@ -163,6 +171,9 @@ func Explore(sys *System, opts ...Option) (*lts.LTS, error) {
 		Raw:       cfg.raw,
 		Order:     cfg.order,
 		Expander:  expander,
+		Seen:      cfg.seen,
+		MemBudget: cfg.memBudget,
+		Ctx:       cfg.ctx,
 	})
 }
 
@@ -175,6 +186,9 @@ type verifyConfig struct {
 	raw       bool
 	reduce    bool
 	order     lts.Order
+	seen      lts.SeenSets
+	memBudget int64
+	ctx       context.Context
 	specs     []propSpec
 }
 
@@ -221,6 +235,41 @@ func MaxStates(n int) Option { return func(c *verifyConfig) { c.maxStates = n } 
 // Raw explores the unrestricted interaction semantics, ignoring
 // priority filtering.
 func Raw() Option { return func(c *verifyConfig) { c.raw = true } }
+
+// CompactSeen swaps the exploration's visited-state storage for the
+// hash-compacted seen set: ~12 bytes per visited state instead of the
+// full binary key plus table overhead, a 3-10x reduction on typical
+// models (Report.SeenBytes shows the actual footprint). The trade is
+// the classic hash-compaction one (Wolper–Leroy / Stern–Dill): two
+// distinct states are identified only if their full 64-bit hashes
+// collide, an event of probability ~ n^2 * 2^-64 over n visited states
+// — about 10^-8 at a billion states. Verdicts, counterexample paths
+// and state counts are otherwise bit-identical to the exact default;
+// the differential tests pin this across worker counts and both
+// exploration orders.
+func CompactSeen() Option {
+	return func(c *verifyConfig) { c.seen = lts.CompactSeen{} }
+}
+
+// MemBudget caps the frontier's resident memory (bytes, accounted by a
+// deterministic per-entry model — see Report.PeakFrontierBytes). Under
+// Unordered multi-worker exploration, frontier chunks beyond the budget
+// spill to a temporary file as flat binary state keys and stream back
+// as workers drain; Report.SpilledChunks counts the round trips. The
+// visited-state verdict contract is unchanged — spilled states decode
+// bit-identically. Zero (the default) means no budget; the option has
+// no effect on the deterministic orders, which keep only one BFS level
+// in flight.
+func MemBudget(bytes int64) Option {
+	return func(c *verifyConfig) { c.memBudget = bytes }
+}
+
+// WithContext attaches a cancellation context to the exploration: all
+// three drivers poll it and return ctx.Err() promptly when it fires,
+// making long verification runs abortable (timeouts, server shutdown).
+func WithContext(ctx context.Context) Option {
+	return func(c *verifyConfig) { c.ctx = ctx }
+}
 
 // Reduce requests ample-set partial-order reduction: at states where
 // some connector-cluster's enabled interactions form a persistent set
@@ -419,6 +468,20 @@ type Report struct {
 	AmpleStates      int
 	PrunedMoves      int
 	ProvisoFallbacks int
+	// SeenBytes is the visited-state storage footprint at the end of the
+	// run (slot tables, key arenas, hash/id records) — the number
+	// CompactSeen shrinks. PeakFrontierBytes is the frontier's resident
+	// high-water mark under the drivers' deterministic per-entry
+	// accounting model; MemBudget bounds it.
+	SeenBytes         int64
+	PeakFrontierBytes int64
+	// ExactPromotions counts membership answers resolved by the compact
+	// seen set's verifying tier overruling a colliding discriminator
+	// (zero for the exact default and for full-width compact hashing).
+	// SpilledChunks counts frontier chunks written to the spill file
+	// under MemBudget.
+	ExactPromotions int64
+	SpilledChunks   int64
 	// OK is true when every property is conclusive and none is violated.
 	OK bool
 }
