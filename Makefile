@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all fmt vet build test race bench bench-par verify apicheck examples
+.PHONY: all fmt vet build test race bench bench-par verify apicheck examples bipd-smoke
 
 all: verify
 
@@ -23,14 +23,16 @@ test:
 # race pins the concurrent subsystems' data-sharing discipline: the
 # multi-threaded coordinator and the distributed protocol deliberately
 # share offer maps across goroutines/rounds (internal/engine/race_test.go,
-# internal/distributed/nodes_share_test.go), and the parallel explorer
+# internal/distributed/nodes_share_test.go), the parallel explorer
 # shares copy-on-write states and derived move tables across workers
-# (internal/lts/parallel_test.go), so ./... must stay clean under the
+# (internal/lts/parallel_test.go), and the bipd service fans progress
+# callbacks and job state across HTTP handlers, SSE subscribers and the
+# worker pool (serve/serve_test.go), so ./... must stay clean under the
 # race detector.
 race:
 	$(GO) test -race ./...
 
-# bench prints one line per paper experiment (E1–E20); full tables via
+# bench prints one line per paper experiment (E1–E21); full tables via
 # `go run ./cmd/bipbench` (reference run recorded in EXPERIMENTS.md).
 bench:
 	$(GO) test -bench . -benchtime=1x -run '^$$' .
@@ -71,5 +73,12 @@ examples:
 		-prop 'after(hit, until(l.n >= 1, back))' \
 		-prop 'never(at(l, b) & at(r, a))' \
 		examples/pingpong.bip
+
+# bipd-smoke drives the verification service over real HTTP: start
+# bipd, verify examples/pingpong.bip with textual properties, assert
+# the verdict, the cache hit on byte-identical resubmission, and the
+# 400 on malformed input. Needs curl + jq (present on CI runners).
+bipd-smoke:
+	./scripts/bipd_smoke.sh
 
 verify: fmt vet build test apicheck

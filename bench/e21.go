@@ -1,0 +1,202 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"bip/serve"
+)
+
+// serviceModel emits the textual counter grid submitted to bipd by the
+// E21 load harness: gridN independent modulo-gridK counters (gridK^gridN
+// states, no deadlock), with the job index baked into the system name so
+// every job has a distinct content address — round 1 must not be able to
+// answer one job from another's report.
+func serviceModel(i, gridN, gridK int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "system load%d\natom Counter {\n", i)
+	b.WriteString("  var c: int = 0\n  port inc\n  location s\n  init s\n")
+	fmt.Fprintf(&b, "  from s to s on inc do c := (c + 1) %% %d\n}\n", gridK)
+	for j := 0; j < gridN; j++ {
+		fmt.Fprintf(&b, "instance t%d : Counter\n", j)
+	}
+	for j := 0; j < gridN; j++ {
+		fmt.Fprintf(&b, "connector inc%d = t%d.inc\n", j, j)
+	}
+	return b.String()
+}
+
+// pctDur picks the p-th percentile (0 < p <= 1) of sorted latencies by
+// the nearest-rank rule.
+func pctDur(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(float64(len(sorted))*p+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// E21Service is the bipd load harness: it stands up the verification
+// service on a loopback listener and pushes `jobs` concurrent
+// submissions through a worker pool of `pool` explorations (pool <
+// jobs, so jobs queue), measuring end-to-end latency — submit to
+// terminal poll — and service throughput. Each job explores a distinct
+// gridK^gridN-state counter grid under a conclusive-only-at-exhaustion
+// invariant, so every round-1 report costs a full exploration. Round 2
+// resubmits the identical workload: every job must be answered from
+// the content-addressed report cache (the harness errors out if any
+// round-2 job misses, runs, or diverges from round 1), which is where
+// the latency collapse in the table comes from.
+func E21Service(jobs, pool, gridN, gridK int) (*Table, error) {
+	if pool >= jobs {
+		return nil, fmt.Errorf("bench: E21 needs pool < jobs, got pool=%d jobs=%d", pool, jobs)
+	}
+	t := &Table{
+		ID:    "E21",
+		Title: fmt.Sprintf("bipd service: %d concurrent jobs over a %d-worker pool (%d^%d states/job)", jobs, pool, gridK, gridN),
+		Headers: []string{"round", "jobs", "pool", "cache hits", "jobs/s",
+			"p50", "p95", "p99", "wall", "contract"},
+	}
+
+	srv := serve.New(serve.Config{
+		Pool:           pool,
+		Queue:          jobs,
+		CacheSize:      2 * jobs,
+		Tick:           10 * time.Millisecond,
+		DefaultTimeout: 2 * time.Minute,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+
+	reqs := make([][]byte, jobs)
+	for i := range reqs {
+		body, err := json.Marshal(serve.JobRequest{
+			Model:      serviceModel(i, gridN, gridK),
+			Properties: []string{"always(t0.c >= 0)"},
+		})
+		if err != nil {
+			return nil, err
+		}
+		reqs[i] = body
+	}
+
+	wantStates := 1
+	for i := 0; i < gridN; i++ {
+		wantStates *= gridK
+	}
+
+	// runJob drives one submission to its terminal state and returns
+	// the end-to-end latency plus whether the cache answered it.
+	runJob := func(body []byte) (time.Duration, bool, error) {
+		t0 := time.Now()
+		resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return 0, false, err
+		}
+		var v serve.JobView
+		err = json.NewDecoder(resp.Body).Decode(&v)
+		resp.Body.Close()
+		if err != nil {
+			return 0, false, err
+		}
+		if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+			return 0, false, fmt.Errorf("submit status %d", resp.StatusCode)
+		}
+		for v.State == serve.StateQueued || v.State == serve.StateRunning {
+			time.Sleep(2 * time.Millisecond)
+			resp, err := http.Get(base + "/v1/jobs/" + v.ID)
+			if err != nil {
+				return 0, false, err
+			}
+			err = json.NewDecoder(resp.Body).Decode(&v)
+			resp.Body.Close()
+			if err != nil {
+				return 0, false, err
+			}
+		}
+		if v.State != serve.StateDone || v.Report == nil {
+			return 0, false, fmt.Errorf("job %s ended %s (%s)", v.ID, v.State, v.Error)
+		}
+		if !v.Report.OK || v.Report.States != wantStates {
+			return 0, false, fmt.Errorf("job %s: ok=%v states=%d (want %d)", v.ID, v.Report.OK, v.Report.States, wantStates)
+		}
+		return time.Since(t0), v.Cached, nil
+	}
+
+	round := func(name string, wantCached bool) error {
+		lats := make([]time.Duration, jobs)
+		cached := make([]bool, jobs)
+		errs := make([]error, jobs)
+		var wg sync.WaitGroup
+		wall0 := time.Now()
+		for i := 0; i < jobs; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				lats[i], cached[i], errs[i] = runJob(reqs[i])
+			}(i)
+		}
+		wg.Wait()
+		wall := time.Since(wall0)
+		hitCount := 0
+		for i := 0; i < jobs; i++ {
+			if errs[i] != nil {
+				return fmt.Errorf("round %s job %d: %w", name, i, errs[i])
+			}
+			if cached[i] {
+				hitCount++
+			}
+			if cached[i] != wantCached {
+				return fmt.Errorf("round %s job %d: cached=%v, want %v", name, i, cached[i], wantCached)
+			}
+		}
+		sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+		t.Rows = append(t.Rows, []string{
+			name,
+			fmt.Sprint(jobs),
+			fmt.Sprint(pool),
+			fmt.Sprint(hitCount),
+			fmt.Sprintf("%.1f", float64(jobs)/wall.Seconds()),
+			pctDur(lats, 0.50).Round(time.Millisecond).String(),
+			pctDur(lats, 0.95).Round(time.Millisecond).String(),
+			pctDur(lats, 0.99).Round(time.Millisecond).String(),
+			wall.Round(time.Millisecond).String(),
+			"ok",
+		})
+		return nil
+	}
+
+	if err := round("cold", false); err != nil {
+		return nil, err
+	}
+	if err := round("cached", true); err != nil {
+		return nil, err
+	}
+	hits, _, _ := srv.CacheStats()
+	if hits < int64(jobs) {
+		return nil, fmt.Errorf("bench: E21 cache hits %d after resubmission, want >= %d", hits, jobs)
+	}
+	t.Notes = append(t.Notes,
+		"latency = POST /v1/jobs to terminal GET, polled at 2ms; pool < jobs forces queueing, so cold p99 ≈ (jobs/pool) · exploration time",
+		fmt.Sprintf("round 2 resubmits byte-identical jobs: %d/%d served by the report cache without exploration", hits, jobs))
+	return t, nil
+}

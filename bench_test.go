@@ -1,5 +1,5 @@
 // This file holds the root benchmark harness: one Go benchmark per
-// experiment of DESIGN.md's paper↔experiment index (E1–E20). Each
+// experiment of DESIGN.md's paper↔experiment index (E1–E21). Each
 // benchmark drives the same code as `bipbench -e <id>`, so the numbers
 // printed by `go test -bench` regenerate the tables of EXPERIMENTS.md.
 package bip_test
@@ -123,6 +123,32 @@ func TestE19ReductionFloor(t *testing.T) {
 
 func BenchmarkE20Memory(b *testing.B) {
 	run(b, func() (*bench.Table, error) { return bench.E20Memory(6, 4, 4, 8) })
+}
+
+func BenchmarkE21Service(b *testing.B) {
+	run(b, func() (*bench.Table, error) { return bench.E21Service(8, 2, 4, 4) })
+}
+
+// TestE21ServiceFloor is the CI gate on the bipd service: 8 concurrent
+// jobs through a 2-worker pool must all complete with the expected
+// report, and a byte-identical resubmission of the whole workload must
+// be answered entirely from the content-addressed report cache —
+// E21Service errors out on any failed job, wrong state count, or
+// round-2 cache miss, so a green run certifies the queue, the pool,
+// and the cache end to end over real HTTP.
+func TestE21ServiceFloor(t *testing.T) {
+	tab, err := bench.E21Service(8, 2, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("E21 rows = %d, want cold + cached", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if row[len(row)-1] != "ok" {
+			t.Fatalf("E21 row %v failed its contract", row)
+		}
+	}
 }
 
 // TestE20MemoryFloor is the CI gate on seen-set compaction: on the

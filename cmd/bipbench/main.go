@@ -2,8 +2,9 @@
 // (E1–E14 of DESIGN.md, plus the E15 parallel-exploration scaling table,
 // the E16 streaming-memory comparison, the E17 property-algebra
 // checking costs, the E18 work-stealing exploration sweep, the E19
-// partial-order-reduction table and the E20 seen-set-compaction /
-// frontier-spill memory table) and prints them;
+// partial-order-reduction table, the E20 seen-set-compaction /
+// frontier-spill memory table and the E21 bipd service load table) and
+// prints them;
 // EXPERIMENTS.md records a reference run.
 //
 // Usage:
@@ -23,7 +24,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("e", "all", "experiment id (e1..e20) or all")
+	exp := flag.String("e", "all", "experiment id (e1..e21) or all")
 	quick := flag.Bool("quick", false, "reduced problem sizes")
 	flag.Parse()
 	if err := run(*exp, *quick); err != nil {
@@ -48,6 +49,7 @@ func run(exp string, quick bool) error {
 	deepDepth := int64(20000)
 	gridN, redRings, redRingSize, redPhils := 9, 4, 4, 8
 	memGridN, memGridK, memWorkers := 7, 5, 4
+	svcJobs, svcPool, svcGridN, svcGridK := 16, 4, 6, 5
 	if quick {
 		rings = 4
 		enginePairs = []int{1, 2}
@@ -60,6 +62,7 @@ func run(exp string, quick bool) error {
 		deepDepth = 4000
 		gridN, redRings, redRingSize, redPhils = 6, 3, 3, 6
 		memGridN, memGridK = 5, 4
+		svcJobs, svcPool, svcGridN, svcGridK = 8, 2, 4, 4
 	}
 	drivers := []driver{
 		{"e1", func() (*bench.Table, error) { return bench.E1DFinderVsMonolithic(rings) }},
@@ -82,6 +85,7 @@ func run(exp string, quick bool) error {
 		{"e18", func() (*bench.Table, error) { return bench.E18WorkStealing(exploreWorkers, deepDepth) }},
 		{"e19", func() (*bench.Table, error) { return bench.E19Reduction(gridN, redRings, redRingSize, redPhils) }},
 		{"e20", func() (*bench.Table, error) { return bench.E20Memory(memGridN, memGridK, memWorkers, 8) }},
+		{"e21", func() (*bench.Table, error) { return bench.E21Service(svcJobs, svcPool, svcGridN, svcGridK) }},
 	}
 	want := strings.ToLower(exp)
 	found := false
@@ -97,7 +101,7 @@ func run(exp string, quick bool) error {
 		fmt.Println(t.String())
 	}
 	if !found {
-		return fmt.Errorf("unknown experiment %q (want e1..e20 or all)", exp)
+		return fmt.Errorf("unknown experiment %q (want e1..e21 or all)", exp)
 	}
 	return nil
 }

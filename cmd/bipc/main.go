@@ -14,10 +14,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
+	"time"
 
 	"bip"
 	"bip/check"
@@ -44,14 +47,18 @@ func main() {
 	reduce := flag.Bool("reduce", false, "ample-set partial-order reduction (degrades to full expansion when a property needs it; -explore gets deadlock-preserving reduction)")
 	seen := flag.String("seen", "exact", "visited-state storage: exact (full keys) | compact (hash-compacted, ~12 B/state)")
 	mem := flag.Int64("mem", 0, "frontier memory budget in bytes (0 = unbounded; spills to disk under -order fast)")
+	timeout := flag.Duration("timeout", 0, "wall-clock bound on each analysis (0 = none); timed-out runs exit non-zero")
 	var props propFlags
 	flag.Var(&props, "prop", "textual property to check on the fly (repeatable): always/never/until/after/between/reachable/deadlockfree")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: bipc [-verify] [-check] [-prop p]... [-explore] [-reduce] [-workers n] [-order det|fast] [-seen exact|compact] [-mem bytes] file.bip")
+		fmt.Fprintln(os.Stderr, "usage: bipc [-verify] [-check] [-prop p]... [-explore] [-reduce] [-workers n] [-order det|fast] [-seen exact|compact] [-mem bytes] [-timeout d] file.bip")
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *verify, *chk, *explore, *reduce, *maxStates, *workers, *order, *seen, *mem, props); err != nil {
+	if err := run(flag.Arg(0), *verify, *chk, *explore, *reduce, *maxStates, *workers, *order, *seen, *mem, *timeout, props); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			err = fmt.Errorf("timed out after %s (-timeout): %w", *timeout, err)
+		}
 		fmt.Fprintln(os.Stderr, "bipc:", err)
 		os.Exit(1)
 	}
@@ -83,10 +90,17 @@ func orderOptions(order string) ([]bip.Option, error) {
 	}
 }
 
-func run(path string, verify, chk, explore, reduce bool, maxStates, workers int, order, seen string, mem int64, props []string) error {
+func run(path string, verify, chk, explore, reduce bool, maxStates, workers int, order, seen string, mem int64, timeout time.Duration, props []string) error {
 	ordOpts, err := orderOptions(order)
 	if err != nil {
 		return err
+	}
+	if timeout > 0 {
+		// One budget for the whole invocation: every analysis below
+		// shares the deadline through bip.WithContext.
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		defer cancel()
+		ordOpts = append(ordOpts, bip.WithContext(ctx))
 	}
 	if reduce {
 		ordOpts = append(ordOpts, bip.Reduce())

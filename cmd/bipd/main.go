@@ -1,0 +1,92 @@
+// Command bipd serves BIP verification over HTTP/JSON: POST a textual
+// model plus textual properties to /v1/jobs, poll or stream the job,
+// read the report. Built entirely on the public bip/serve package; see
+// its doc for the API.
+//
+// Usage:
+//
+//	bipd -addr :8080 -pool 4
+//
+//	curl -s localhost:8080/v1/jobs -d '{
+//	    "model": "system pair\natom A { ... }",
+//	    "properties": ["always(l.n <= 10)"],
+//	    "options": {"workers": 4, "timeout_ms": 30000}
+//	}'
+//	curl -s localhost:8080/v1/jobs/j1
+//	curl -N localhost:8080/v1/jobs/j1/events
+//	curl -s -X DELETE localhost:8080/v1/jobs/j1
+//
+// SIGINT/SIGTERM drains gracefully: new submissions get 503, accepted
+// jobs run to completion (bounded by -drain, after which they are
+// canceled).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"bip/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	pool := flag.Int("pool", 2, "concurrent explorations")
+	queue := flag.Int("queue", 16, "jobs accepted beyond the running ones (full queue rejects with 429)")
+	cache := flag.Int("cache", 64, "completed reports kept in the content-addressed cache")
+	tick := flag.Duration("tick", 100*time.Millisecond, "progress interval (stats refresh, SSE events, cancellation latency)")
+	timeout := flag.Duration("timeout", time.Minute, "default per-job wall clock (overridable per job via timeout_ms; <0 disables)")
+	drain := flag.Duration("drain", 30*time.Second, "shutdown grace: running jobs beyond this are canceled")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: bipd [-addr host:port] [-pool n] [-queue n] [-cache n] [-tick d] [-timeout d] [-drain d]")
+		os.Exit(2)
+	}
+	if err := run(*addr, *pool, *queue, *cache, *tick, *timeout, *drain); err != nil {
+		fmt.Fprintln(os.Stderr, "bipd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, pool, queue, cache int, tick, timeout, drain time.Duration) error {
+	s := serve.New(serve.Config{
+		Pool:           pool,
+		Queue:          queue,
+		CacheSize:      cache,
+		Tick:           tick,
+		DefaultTimeout: timeout,
+	})
+	hs := &http.Server{Addr: addr, Handler: s.Handler()}
+	errCh := make(chan error, 1)
+	go func() {
+		if err := hs.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+		}
+	}()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Fprintf(os.Stderr, "bipd: listening on %s (pool %d, queue %d)\n", addr, pool, queue)
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "bipd: draining...")
+	drainCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := s.Shutdown(drainCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "bipd: drain expired, canceled remaining jobs")
+	}
+	// The job drain already happened; closing idle HTTP connections is
+	// quick, so give it its own short deadline rather than the possibly
+	// exhausted drain budget.
+	closeCtx, cancelClose := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelClose()
+	return hs.Shutdown(closeCtx)
+}

@@ -14,6 +14,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -37,10 +39,14 @@ func main() {
 	reduce := flag.Bool("reduce", false, "ample-set partial-order reduction for the -prop/-mono explorations")
 	seen := flag.String("seen", "exact", "visited-state storage for -prop/-mono: exact (full keys) | compact (hash-compacted, ~12 B/state)")
 	mem := flag.Int64("mem", 0, "frontier memory budget in bytes for -prop/-mono (0 = unbounded; spills to disk under -order fast)")
+	timeout := flag.Duration("timeout", 0, "wall-clock bound on the -prop/-mono explorations (0 = none); timed-out runs exit non-zero")
 	var props propFlags
 	flag.Var(&props, "prop", "textual property to check on the built model (repeatable)")
 	flag.Parse()
-	if err := run(*model, *n, *m, *mono, *reduce, *traps, *workers, *maxStates, *order, *seen, *mem, props); err != nil {
+	if err := run(*model, *n, *m, *mono, *reduce, *traps, *workers, *maxStates, *order, *seen, *mem, *timeout, props); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			err = fmt.Errorf("timed out after %s (-timeout): %w", *timeout, err)
+		}
 		fmt.Fprintln(os.Stderr, "dfinder:", err)
 		os.Exit(1)
 	}
@@ -75,8 +81,14 @@ func buildModel(model string, n, m int) (*bip.System, error) {
 	}
 }
 
-func run(model string, n, m int, mono, reduce bool, maxTraps, workers, maxStates int, order, seen string, mem int64, props []string) error {
+func run(model string, n, m int, mono, reduce bool, maxTraps, workers, maxStates int, order, seen string, mem int64, timeout time.Duration, props []string) error {
 	var ordOpts []bip.Option
+	if timeout > 0 {
+		// One budget shared by every exploration this invocation runs.
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		defer cancel()
+		ordOpts = append(ordOpts, bip.WithContext(ctx))
+	}
 	switch order {
 	case "det", "":
 	case "fast":

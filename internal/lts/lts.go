@@ -18,6 +18,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"bip/internal/core"
 )
@@ -113,6 +114,23 @@ type Options struct {
 	// soon as every worker has unwound. The sink's Done is not called
 	// on cancellation.
 	Ctx context.Context
+	// Progress, when non-nil, receives periodic snapshots of the
+	// running exploration's Stats — the hook behind bip.WithProgress
+	// and the bipd job progress stream. Snapshots are cumulative
+	// (States/Transitions only grow) but best-effort: memory figures
+	// are the values the driver can read cheaply at the tick. The
+	// sequential driver calls it between state expansions and the
+	// deterministic parallel driver between level barriers, both from
+	// the exploring goroutine; the work-stealing driver calls it from
+	// a dedicated ticker goroutine, so under Unordered it may run
+	// concurrently with Sink calls (never with itself). The callback
+	// must return quickly and must not call back into the exploration.
+	// No final call is guaranteed at termination — the Stats returned
+	// by Stream is the authoritative summary.
+	Progress func(Stats)
+	// ProgressEvery is the minimum interval between Progress calls;
+	// 0 means DefaultProgressEvery.
+	ProgressEvery time.Duration
 }
 
 // seenSets resolves the dedup factory, defaulting to exact storage.

@@ -268,6 +268,7 @@ func streamParallel(sys *core.System, opts Options, workers, maxStates int, sink
 	stats = Stats{States: 1, PeakFrontier: 1}
 	shards, mask := newShards(workers, opts.seenSets(), sys.BinaryKeyWidth())
 	done := opts.ctxDone()
+	pm := newProgressMeter(&opts)
 	defer func() {
 		stats.SeenBytes, stats.ExactPromotions = seenTotals(shards)
 		stats.PeakFrontierBytes = int64(stats.PeakFrontier) * frontierEntryBytes(sys)
@@ -362,6 +363,16 @@ func streamParallel(sys *core.System, opts Options, workers, maxStates int, sink
 			return stats, opts.Ctx.Err()
 		default:
 		}
+		// Progress point: workers and the previous replay are both
+		// joined, so every Stats field is quiescent — States counts
+		// through the last barrier, Transitions through the last
+		// replayed level.
+		pm.check(func() Stats {
+			s := stats
+			s.SeenBytes, s.ExactPromotions = seenTotals(shards)
+			s.PeakFrontierBytes = int64(s.PeakFrontier) * frontierEntryBytes(sys)
+			return s
+		})
 		// Expanded states no longer need their move tables.
 		for _, e := range level {
 			e.vec = nil

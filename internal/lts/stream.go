@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"time"
 
 	"bip/internal/core"
 )
@@ -32,6 +33,77 @@ import (
 // the command-line tools — routes its default through this constant, so
 // CLIs and library agree.
 const DefaultMaxStates = 1 << 20
+
+// DefaultProgressEvery is the interval between Options.Progress
+// callbacks when Options.ProgressEvery is zero. Ten snapshots a second
+// is enough for a live progress stream while keeping the callback cost
+// invisible next to state expansion.
+const DefaultProgressEvery = 100 * time.Millisecond
+
+// progressStride is how many expansions the sequential driver lets pass
+// between clock reads when rate-limiting Progress callbacks: one
+// time.Now per stride instead of per state keeps the hook free on the
+// hot path while still honoring ProgressEvery to within a few
+// expansions.
+const progressStride = 16
+
+// progressMeter rate-limits Options.Progress for the drivers that call
+// it inline (sequential per expansion, deterministic parallel per level
+// barrier). The work-stealing driver uses a time.Ticker goroutine
+// instead (wsteal.go) — its workers never meet a common point to tick
+// from.
+type progressMeter struct {
+	fn    func(Stats)
+	every time.Duration
+	last  time.Time
+	skip  int
+}
+
+// newProgressMeter returns nil (a no-op receiver) when no callback is
+// installed.
+func newProgressMeter(opts *Options) *progressMeter {
+	if opts.Progress == nil {
+		return nil
+	}
+	return &progressMeter{fn: opts.Progress, every: opts.progressEvery(), last: time.Now()}
+}
+
+// progressEvery resolves the callback interval.
+func (o *Options) progressEvery() time.Duration {
+	if o.ProgressEvery > 0 {
+		return o.ProgressEvery
+	}
+	return DefaultProgressEvery
+}
+
+// tick is the strided per-expansion form: it reads the clock only every
+// progressStride calls. snap builds the snapshot and runs only when a
+// callback actually fires.
+func (p *progressMeter) tick(snap func() Stats) {
+	if p == nil {
+		return
+	}
+	if p.skip > 0 {
+		p.skip--
+		return
+	}
+	p.skip = progressStride
+	p.check(snap)
+}
+
+// check fires the callback if the interval has elapsed (no stride — the
+// barrier-paced caller is already infrequent).
+func (p *progressMeter) check(snap func() Stats) {
+	if p == nil {
+		return
+	}
+	now := time.Now()
+	if now.Sub(p.last) < p.every {
+		return
+	}
+	p.last = now
+	p.fn(snap())
+}
 
 // ErrStop is the sentinel a Sink returns to end exploration early
 // without reporting an error (a checker found its violation, a collector
@@ -160,12 +232,15 @@ func (d Discovery) Path() []string {
 	return out
 }
 
-// Stats summarizes a streaming run.
+// Stats summarizes a streaming run. It is JSON-round-trippable (every
+// field carries a wire tag): bipd streams Stats snapshots as progress
+// events and serializes them into job views, so the struct doubles as a
+// wire shape — keep the tags stable.
 type Stats struct {
 	// States is the number of admitted (numbered) states.
-	States int
+	States int `json:"states"`
 	// Transitions is the number of edges emitted.
-	Transitions int
+	Transitions int `json:"transitions"`
 	// PeakFrontier is the streaming memory high-water mark experiment
 	// E16 compares against the materialized state count: the maximum
 	// number of states the driver held materialized at once. For the
@@ -178,7 +253,7 @@ type Stats struct {
 	// the in-flight high-water mark (admitted but not yet
 	// expanded-and-flushed, wherever the state is buffered). It is the
 	// one Stats field that may differ across worker counts and orders.
-	PeakFrontier int
+	PeakFrontier int `json:"peak_frontier"`
 	// PeakFrontierBytes prices PeakFrontier in bytes under the
 	// frontierEntryBytes accounting model (key width + flat per-atom /
 	// per-interaction machinery estimate), so EXPERIMENTS.md memory
@@ -186,24 +261,24 @@ type Stats struct {
 	// work-stealing driver it prices the RESIDENT peak: states parked
 	// in the spill file are excluded, which is exactly what MemBudget
 	// bounds.
-	PeakFrontierBytes int64
+	PeakFrontierBytes int64 `json:"peak_frontier_bytes"`
 	// SeenBytes is the dedup layer's final memory footprint, summed
 	// over stripes (see SeenSet.Bytes) — the number the E20 experiment
 	// compares between ExactSeen and CompactSeen.
-	SeenBytes int64
+	SeenBytes int64 `json:"seen_bytes"`
 	// ExactPromotions counts membership answers where CompactSeen's
 	// exact-promotion tier overruled a colliding discriminator; 0 for
 	// exact dedup and for compact dedup at full discriminator width.
-	ExactPromotions int64
+	ExactPromotions int64 `json:"exact_promotions"`
 	// SpilledChunks counts frontier chunks the work-stealing driver
 	// serialized to the spill file under Options.MemBudget (each chunk
 	// is written once and read back once).
-	SpilledChunks int64
+	SpilledChunks int64 `json:"spilled_chunks"`
 	// Truncated reports that the MaxStates bound cut the exploration.
-	Truncated bool
+	Truncated bool `json:"truncated"`
 	// Stopped reports that the sink ended the exploration early with
 	// ErrStop.
-	Stopped bool
+	Stopped bool `json:"stopped"`
 
 	// Reduction counters, nonzero only when Options.Expander reduces
 	// (expand.go). AmpleStates counts states expanded with a strict
@@ -212,9 +287,9 @@ type Stats struct {
 	// counts states where an ample choice was escalated to full
 	// expansion by the cycle proviso (an ample successor was already
 	// visited).
-	AmpleStates      int
-	PrunedMoves      int
-	ProvisoFallbacks int
+	AmpleStates      int `json:"ample_states"`
+	PrunedMoves      int `json:"pruned_moves"`
+	ProvisoFallbacks int `json:"proviso_fallbacks"`
 }
 
 // Stream explores the reachable state space of sys breadth-first and
@@ -279,6 +354,8 @@ func streamSeq(sys *core.System, opts Options, maxStates int, sink Sink) (stats 
 	ctx := sys.NewExploreCtx()
 	exp := opts.newWorkerExpander(sys)
 	done := opts.ctxDone()
+	pm := newProgressMeter(&opts)
+	entryBytes := frontierEntryBytes(sys)
 	seen := opts.seenSets().NewSeenSet(sys.BinaryKeyWidth())
 	initKey := sys.AppendBinaryKey(nil, init)
 	seen.Add(hashKey(initKey), initKey, 0)
@@ -386,6 +463,13 @@ func streamSeq(sys *core.System, opts Options, maxStates int, sink Sink) (stats 
 		if err := sink.OnExpanded(id, len(moves)); err != nil {
 			return stats, stats.finish(err)
 		}
+		pm.tick(func() Stats {
+			s := stats
+			s.SeenBytes = seen.Bytes()
+			s.ExactPromotions = seen.Promotions()
+			s.PeakFrontierBytes = int64(s.PeakFrontier) * entryBytes
+			return s
+		})
 	}
 	return stats, stats.finish(sink.Done(stats.Truncated))
 }

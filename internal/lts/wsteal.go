@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"bip/internal/core"
 )
@@ -217,6 +218,36 @@ type wsDriver struct {
 	idleMu sync.Mutex
 	cond   *sync.Cond
 	gen    uint64
+}
+
+// progressSnapshot assembles a best-effort Stats snapshot for the
+// Options.Progress ticker goroutine: counters come from the atomics,
+// Transitions from a brief sinkMu hold, and the seen-set footprint from
+// one pass over the stripes under their own locks. States/Transitions
+// are monotonic across snapshots; the memory figures are whatever the
+// stripes hold at the instant of the pass.
+func (d *wsDriver) progressSnapshot() Stats {
+	d.sinkMu.Lock()
+	tr := d.transitions
+	d.sinkMu.Unlock()
+	s := Stats{
+		States:       int(d.states.Load()),
+		Transitions:  tr,
+		PeakFrontier: int(d.peak.Load()),
+		Truncated:    d.truncated.Load(),
+	}
+	s.PeakFrontierBytes = d.residentPeak.Load() * d.entryBytes
+	if d.spill != nil {
+		s.SpilledChunks = d.spill.written()
+	}
+	for i := range d.shards {
+		sh := &d.shards[i]
+		sh.mu.Lock()
+		s.SeenBytes += sh.seen.Bytes()
+		s.ExactPromotions += sh.seen.Promotions()
+		sh.mu.Unlock()
+	}
+	return s
 }
 
 // setAnnounced marks id's OnState as emitted (caller holds sinkMu).
@@ -662,6 +693,28 @@ func streamWorkSteal(sys *core.System, opts Options, workers, maxStates int, sin
 	if err := sink.OnState(0, init, Discovery{Parent: -1}); err != nil {
 		stats := Stats{States: 1, PeakFrontier: 1}
 		return stats, stats.finish(err)
+	}
+
+	if opts.Progress != nil {
+		// The ticker goroutine is the one Progress source of this
+		// driver: workers never meet a common point to tick from, so a
+		// clock drives the snapshots instead. It exits with the run;
+		// a tick may race the final sink.Done, which the Progress
+		// contract allows (see Options.Progress).
+		stopProg := make(chan struct{})
+		defer close(stopProg)
+		go func() {
+			t := time.NewTicker(opts.progressEvery())
+			defer t.Stop()
+			for {
+				select {
+				case <-stopProg:
+					return
+				case <-t.C:
+					opts.Progress(d.progressSnapshot())
+				}
+			}
+		}()
 	}
 
 	if done := opts.ctxDone(); done != nil {

@@ -1,0 +1,93 @@
+package bip_test
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"bip"
+)
+
+// TestReportJSONRoundTrip pins the wire shape bipd serves and caches:
+// a fully-populated Report (every field non-zero) survives
+// marshal→unmarshal bit-identically, and the JSON uses the stable
+// snake_case keys external tooling depends on.
+func TestReportJSONRoundTrip(t *testing.T) {
+	rep := bip.Report{
+		Properties: []bip.Property{
+			{
+				Name:       "deadlock",
+				Violated:   true,
+				State:      42,
+				Path:       []string{"go", "stop", "go"},
+				Conclusive: true,
+			},
+			{Name: "always#2", Conclusive: false},
+		},
+		States:            625,
+		Transitions:       2000,
+		Truncated:         true,
+		Reduced:           true,
+		AmpleStates:       100,
+		PrunedMoves:       50,
+		ProvisoFallbacks:  3,
+		SeenBytes:         1 << 20,
+		PeakFrontierBytes: 1 << 16,
+		ExactPromotions:   7,
+		SpilledChunks:     2,
+		OK:                false,
+	}
+	data, err := json.Marshal(&rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back bip.Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep, back) {
+		t.Fatalf("round trip changed the report:\n got %+v\nwant %+v", back, rep)
+	}
+	for _, key := range []string{
+		`"properties"`, `"name"`, `"violated"`, `"state"`, `"path"`,
+		`"conclusive"`, `"states"`, `"transitions"`, `"truncated"`,
+		`"reduced"`, `"ample_states"`, `"pruned_moves"`,
+		`"proviso_fallbacks"`, `"seen_bytes"`, `"peak_frontier_bytes"`,
+		`"exact_promotions"`, `"spilled_chunks"`, `"ok"`,
+	} {
+		if !strings.Contains(string(data), key) {
+			t.Fatalf("wire key %s missing from %s", key, data)
+		}
+	}
+}
+
+// TestStatsJSONRoundTrip does the same for the progress snapshot shape
+// streamed over SSE.
+func TestStatsJSONRoundTrip(t *testing.T) {
+	st := bip.Stats{
+		States:            1000,
+		Transitions:       4000,
+		PeakFrontier:      128,
+		PeakFrontierBytes: 4096,
+		SeenBytes:         1 << 18,
+		ExactPromotions:   5,
+		SpilledChunks:     1,
+		Truncated:         true,
+		Stopped:           true,
+		AmpleStates:       12,
+		PrunedMoves:       34,
+		ProvisoFallbacks:  1,
+	}
+	data, err := json.Marshal(&st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back bip.Stats
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != st {
+		t.Fatalf("round trip changed the stats:\n got %+v\nwant %+v", back, st)
+	}
+}

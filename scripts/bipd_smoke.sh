@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the bipd verification service, as run by CI
+# and `make bipd-smoke`: start the server, submit examples/pingpong.bip
+# with two textual properties, poll the job to completion, assert the
+# verdict, assert the byte-identical resubmission is answered from the
+# content-addressed report cache, and assert malformed input is a 400.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ADDR=${BIPD_ADDR:-127.0.0.1:18099}
+BIN=$(mktemp -d)/bipd
+go build -o "$BIN" ./cmd/bipd
+"$BIN" -addr "$ADDR" -pool 2 &
+BIPD_PID=$!
+trap 'kill "$BIPD_PID" 2>/dev/null || true' EXIT
+
+for _ in $(seq 1 50); do
+  curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+curl -fsS "http://$ADDR/healthz" >/dev/null
+
+REQ=$(jq -n --rawfile model examples/pingpong.bip \
+  '{model: $model, properties: ["always(l.n <= 10)", "always(r.n <= 10)"]}')
+
+ID=$(curl -fsS -d "$REQ" "http://$ADDR/v1/jobs" | jq -r .id)
+for _ in $(seq 1 100); do
+  STATE=$(curl -fsS "http://$ADDR/v1/jobs/$ID" | jq -r .state)
+  case "$STATE" in done|failed|canceled) break ;; esac
+  sleep 0.1
+done
+
+VIEW=$(curl -fsS "http://$ADDR/v1/jobs/$ID")
+test "$(jq -r .state <<<"$VIEW")" = done
+test "$(jq -r .report.ok <<<"$VIEW")" = true
+test "$(jq -r '.report.properties | length' <<<"$VIEW")" = 2
+test "$(jq -r '.report.properties[0].conclusive' <<<"$VIEW")" = true
+
+# Byte-identical resubmission: born done, served from the cache.
+VIEW2=$(curl -fsS -d "$REQ" "http://$ADDR/v1/jobs")
+test "$(jq -r .cached <<<"$VIEW2")" = true
+test "$(jq -r .state <<<"$VIEW2")" = done
+curl -fsS "http://$ADDR/metrics" | grep -q '^bipd_cache_hits 1$'
+
+# Malformed model: a 400 with a reason, never a job.
+CODE=$(curl -s -o /dev/null -w '%{http_code}' -d '{"model":"system ("}' "http://$ADDR/v1/jobs")
+test "$CODE" = 400
+
+echo "bipd smoke: ok (job $ID verified, resubmission cache hit)"

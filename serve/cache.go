@@ -1,0 +1,133 @@
+package serve
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"sync"
+
+	"bip"
+	"bip/check"
+	"bip/prop"
+)
+
+// fingerprint content-addresses a verification: two submissions with
+// the same fingerprint are guaranteed the same Report, so a completed
+// one answers both.
+//
+// What goes in — everything that can change the report:
+//
+//   - the model source, byte-for-byte (the compiled system is a pure
+//     function of it);
+//   - each property's canonical compiled form (prop.String()), in
+//     submission order — order fixes the report's property names and
+//     slice layout;
+//   - the resolved MaxStates bound (0 normalizes to
+//     check.DefaultMaxStates): it decides Truncated and which verdicts
+//     are conclusive;
+//   - Reduce: reduction changes the visited set and the report's
+//     reduction accounting.
+//
+// What stays out — Workers, Order, Seen, MemBudget, and the timeout.
+// The engine pins (differential tests, PRs 5–7) that these never
+// change verdicts: any worker count and either order produce the same
+// violated/conclusive flags, and seen-set/budget choices only move
+// memory accounting. Two caveats, both benign: a cached report's
+// memory/throughput accounting (SeenBytes, PeakFrontierBytes, ...)
+// reflects the configuration of the run that populated the cache, and
+// under Order=fast the particular counterexample witness may differ
+// between runs — which the Unordered contract already allows. Failed,
+// canceled, and timed-out jobs are never cached, so resource options
+// cannot leak a partial result across configurations.
+func fingerprint(model string, props []prop.Prop, o JobOptions) string {
+	h := sha256.New()
+	writeBlob(h, "bipd-fp-v1")
+	writeBlob(h, model)
+	var n [8]byte
+	binary.LittleEndian.PutUint64(n[:], uint64(len(props)))
+	h.Write(n[:])
+	for _, p := range props {
+		writeBlob(h, p.String())
+	}
+	maxStates := o.MaxStates
+	if maxStates == 0 {
+		maxStates = check.DefaultMaxStates
+	}
+	binary.LittleEndian.PutUint64(n[:], uint64(maxStates))
+	h.Write(n[:])
+	if o.Reduce {
+		h.Write([]byte{1})
+	} else {
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// writeBlob writes a length-prefixed string so adjacent fields cannot
+// alias ("ab"+"c" vs "a"+"bc").
+func writeBlob(h interface{ Write([]byte) (int, error) }, s string) {
+	var n [8]byte
+	binary.LittleEndian.PutUint64(n[:], uint64(len(s)))
+	h.Write(n[:])
+	h.Write([]byte(s))
+}
+
+// reportCache is a bounded LRU of completed reports keyed by
+// fingerprint. Cached *bip.Report values are shared between hits and
+// must be treated as immutable.
+type reportCache struct {
+	mu     sync.Mutex
+	cap    int
+	ll     *list.List // front = most recently used
+	byKey  map[string]*list.Element
+	hits   int64
+	misses int64
+}
+
+type cacheEntry struct {
+	key string
+	rep *bip.Report
+}
+
+func newReportCache(capacity int) *reportCache {
+	return &reportCache{
+		cap:   capacity,
+		ll:    list.New(),
+		byKey: make(map[string]*list.Element, capacity),
+	}
+}
+
+func (c *reportCache) get(key string) (*bip.Report, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*cacheEntry).rep, true
+	}
+	c.misses++
+	return nil, false
+}
+
+func (c *reportCache) put(key string, rep *bip.Report) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*cacheEntry).rep = rep
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.ll.PushFront(&cacheEntry{key: key, rep: rep})
+	for c.ll.Len() > c.cap {
+		el := c.ll.Back()
+		c.ll.Remove(el)
+		delete(c.byKey, el.Value.(*cacheEntry).key)
+	}
+}
+
+func (c *reportCache) stats() (hits, misses int64, size int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.ll.Len()
+}

@@ -1,0 +1,360 @@
+// Package serve implements bipd, the BIP verification service: an
+// HTTP/JSON front-end over the public bip API. Clients POST textual
+// models and properties to /v1/jobs; the server parses and validates
+// the submission synchronously (malformed input is a 400, never a
+// job), runs accepted jobs on a bounded worker pool with per-job
+// deadlines, and exposes the lifecycle —
+//
+//	POST   /v1/jobs            submit (202, or 200 on a cache hit)
+//	GET    /v1/jobs/{id}       poll state, progress, report
+//	DELETE /v1/jobs/{id}       cancel (queued or running)
+//	GET    /v1/jobs/{id}/events  SSE progress stream + terminal event
+//	GET    /healthz            liveness
+//	GET    /metrics            plain-text counters
+//
+// Completed reports are cached by a content address of the submission
+// (see fingerprint): resubmitting the same model, properties, and
+// semantics-relevant options is answered without an exploration. The
+// package is intentionally engine-free — everything it knows about
+// verification it learns from the bip surface, so it exercises exactly
+// the API an external client would.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bip"
+	"bip/prop"
+)
+
+// Config sizes the service. Zero values pick the defaults.
+type Config struct {
+	// Pool is the number of concurrent explorations (default 2).
+	Pool int
+	// Queue bounds jobs accepted beyond the running ones; a full queue
+	// rejects submissions with 429 (default 16).
+	Queue int
+	// CacheSize bounds the completed-report LRU (default 64).
+	CacheSize int
+	// Tick is the progress interval: how often running jobs refresh
+	// their stats, stream SSE events, and observe cancellation
+	// (default 100ms).
+	Tick time.Duration
+	// DefaultTimeout bounds each job's wall clock when the submission
+	// does not set timeout_ms (default 1 minute; <0 disables).
+	DefaultTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Pool <= 0 {
+		c.Pool = 2
+	}
+	if c.Queue <= 0 {
+		c.Queue = 16
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 64
+	}
+	if c.Tick <= 0 {
+		c.Tick = 100 * time.Millisecond
+	}
+	if c.DefaultTimeout == 0 {
+		c.DefaultTimeout = time.Minute
+	}
+	if c.DefaultTimeout < 0 {
+		c.DefaultTimeout = 0
+	}
+	return c
+}
+
+// Server is the verification service. Create with New, mount Handler
+// on an http.Server, and Shutdown to drain.
+type Server struct {
+	cfg   Config
+	cache *reportCache
+
+	mu     sync.Mutex
+	closed bool
+	jobs   map[string]*job
+	queue  chan *job
+	wg     sync.WaitGroup
+
+	nextID   atomic.Int64
+	running  atomic.Int64
+	queued   atomic.Int64
+	total    atomic.Int64
+	done     atomic.Int64
+	failed   atomic.Int64
+	canceled atomic.Int64
+}
+
+// New starts a Server's worker pool and returns it.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		cache: newReportCache(cfg.CacheSize),
+		jobs:  make(map[string]*job),
+		queue: make(chan *job, cfg.Queue),
+	}
+	for i := 0; i < cfg.Pool; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for jb := range s.queue {
+		s.queued.Add(-1)
+		s.running.Add(1)
+		switch jb.run(s.cfg.Tick) {
+		case StateDone:
+			s.done.Add(1)
+			s.cache.put(jb.fp, jb.report)
+		case StateFailed:
+			s.failed.Add(1)
+		case StateCanceled:
+			s.canceled.Add(1)
+		}
+		s.running.Add(-1)
+	}
+}
+
+// Shutdown drains the service: new submissions are rejected with 503,
+// queued and running jobs run to completion. If ctx expires first,
+// every live job is canceled and Shutdown waits for the (now prompt)
+// drain before returning ctx.Err().
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	drained := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for _, jb := range s.jobs {
+			jb.requestCancel()
+		}
+		s.mu.Unlock()
+		<-drained
+		return ctx.Err()
+	}
+}
+
+// CacheStats exposes the report cache counters for tests and harnesses.
+func (s *Server) CacheStats() (hits, misses int64, size int) {
+	return s.cache.stats()
+}
+
+// Handler returns the service's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// apiError is the JSON error body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// maxRequestBytes bounds a submission body; models are text, a megabyte
+// is generous.
+const maxRequestBytes = 1 << 20
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	// Validate everything up front: a malformed model or property is
+	// the client's error and never becomes a job.
+	sys, err := bip.Parse(req.Model)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "model: %v", err)
+		return
+	}
+	props := make([]prop.Prop, 0, len(req.Properties))
+	for i, src := range req.Properties {
+		p, err := bip.ParseProp(src)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "property %d: %v", i, err)
+			return
+		}
+		props = append(props, p)
+	}
+	opts, err := req.Options.compile()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "options: %v", err)
+		return
+	}
+	for _, p := range props {
+		opts = append(opts, bip.Prop(p))
+	}
+	timeout := s.cfg.DefaultTimeout
+	if req.Options.TimeoutMS > 0 {
+		timeout = time.Duration(req.Options.TimeoutMS) * time.Millisecond
+	}
+	fp := fingerprint(req.Model, props, req.Options)
+	id := "j" + strconv.FormatInt(s.nextID.Add(1), 10)
+	jb := newJob(id, fp, sys, opts, timeout)
+
+	if rep, ok := s.cache.get(fp); ok {
+		// Answered without an exploration: the job is born terminal.
+		jb.cached, jb.state, jb.report = true, StateDone, rep
+		close(jb.done)
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			writeError(w, http.StatusServiceUnavailable, "shutting down")
+			return
+		}
+		s.jobs[id] = jb
+		s.mu.Unlock()
+		s.total.Add(1)
+		s.done.Add(1)
+		writeJSON(w, http.StatusOK, jb.view())
+		return
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "shutting down")
+		return
+	}
+	select {
+	case s.queue <- jb:
+		s.jobs[id] = jb
+		s.mu.Unlock()
+		s.queued.Add(1)
+		s.total.Add(1)
+		writeJSON(w, http.StatusAccepted, jb.view())
+	default:
+		s.mu.Unlock()
+		writeError(w, http.StatusTooManyRequests, "queue full (%d pending)", s.cfg.Queue)
+	}
+}
+
+func (s *Server) lookup(r *http.Request) (*job, bool) {
+	s.mu.Lock()
+	jb, ok := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	return jb, ok
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	jb, ok := s.lookup(r)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, jb.view())
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	jb, ok := s.lookup(r)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	jb.requestCancel()
+	writeJSON(w, http.StatusOK, jb.view())
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	jb, ok := s.lookup(r)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	ch := make(chan Event, 8)
+	jb.subscribe(ch)
+	defer jb.unsubscribe(ch)
+	writeSSE(w, "snapshot", Event{State: jb.view().State})
+	fl.Flush()
+	for {
+		select {
+		case ev := <-ch:
+			writeSSE(w, "progress", ev)
+			fl.Flush()
+		case <-jb.done:
+			// Drain progress already queued so the terminal event is last.
+			for {
+				select {
+				case ev := <-ch:
+					writeSSE(w, "progress", ev)
+				default:
+					writeSSE(w, "done", jb.terminalEvent())
+					fl.Flush()
+					return
+				}
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func writeSSE(w http.ResponseWriter, event string, v any) {
+	data, _ := json.Marshal(v)
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	hits, misses, size := s.cache.stats()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "bipd_jobs_total %d\n", s.total.Load())
+	fmt.Fprintf(w, "bipd_jobs_queued %d\n", s.queued.Load())
+	fmt.Fprintf(w, "bipd_jobs_running %d\n", s.running.Load())
+	fmt.Fprintf(w, "bipd_jobs_done %d\n", s.done.Load())
+	fmt.Fprintf(w, "bipd_jobs_failed %d\n", s.failed.Load())
+	fmt.Fprintf(w, "bipd_jobs_canceled %d\n", s.canceled.Load())
+	fmt.Fprintf(w, "bipd_cache_hits %d\n", hits)
+	fmt.Fprintf(w, "bipd_cache_misses %d\n", misses)
+	fmt.Fprintf(w, "bipd_cache_size %d\n", size)
+}

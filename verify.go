@@ -3,10 +3,16 @@ package bip
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"bip/internal/lts"
 	"bip/prop"
 )
+
+// Stats is a cumulative snapshot of a running exploration, delivered to
+// WithProgress observers (check.Stats is the same type). It marshals to
+// JSON — bipd streams it as progress events.
+type Stats = lts.Stats
 
 // Verify streams the reachable state space of sys through on-the-fly
 // checkers selected by functional options:
@@ -85,14 +91,16 @@ func Verify(sys *System, opts ...Option) (*Report, error) {
 		}
 	}
 	stats, err := lts.Stream(sys, lts.Options{
-		MaxStates: cfg.maxStates,
-		Workers:   cfg.workers,
-		Raw:       cfg.raw,
-		Order:     cfg.order,
-		Expander:  expander,
-		Seen:      cfg.seen,
-		MemBudget: cfg.memBudget,
-		Ctx:       cfg.ctx,
+		MaxStates:     cfg.maxStates,
+		Workers:       cfg.workers,
+		Raw:           cfg.raw,
+		Order:         cfg.order,
+		Expander:      expander,
+		Seen:          cfg.seen,
+		MemBudget:     cfg.memBudget,
+		Ctx:           cfg.ctx,
+		Progress:      cfg.progress,
+		ProgressEvery: cfg.progressEvery,
 	}, lts.NewMulti(sinks...))
 	if err != nil {
 		return nil, fmt.Errorf("bip: verify %s: %w", sys.Name, err)
@@ -166,14 +174,16 @@ func Explore(sys *System, opts ...Option) (*lts.LTS, error) {
 		expander = exp
 	}
 	return lts.Explore(sys, lts.Options{
-		MaxStates: cfg.maxStates,
-		Workers:   cfg.workers,
-		Raw:       cfg.raw,
-		Order:     cfg.order,
-		Expander:  expander,
-		Seen:      cfg.seen,
-		MemBudget: cfg.memBudget,
-		Ctx:       cfg.ctx,
+		MaxStates:     cfg.maxStates,
+		Workers:       cfg.workers,
+		Raw:           cfg.raw,
+		Order:         cfg.order,
+		Expander:      expander,
+		Seen:          cfg.seen,
+		MemBudget:     cfg.memBudget,
+		Ctx:           cfg.ctx,
+		Progress:      cfg.progress,
+		ProgressEvery: cfg.progressEvery,
 	})
 }
 
@@ -181,15 +191,17 @@ func Explore(sys *System, opts ...Option) (*lts.LTS, error) {
 type Option func(*verifyConfig)
 
 type verifyConfig struct {
-	workers   int
-	maxStates int
-	raw       bool
-	reduce    bool
-	order     lts.Order
-	seen      lts.SeenSets
-	memBudget int64
-	ctx       context.Context
-	specs     []propSpec
+	workers       int
+	maxStates     int
+	raw           bool
+	reduce        bool
+	order         lts.Order
+	seen          lts.SeenSets
+	memBudget     int64
+	ctx           context.Context
+	progress      func(Stats)
+	progressEvery time.Duration
+	specs         []propSpec
 }
 
 // propSpec is one requested property: its report name plus the deferred
@@ -269,6 +281,23 @@ func MemBudget(bytes int64) Option {
 // making long verification runs abortable (timeouts, server shutdown).
 func WithContext(ctx context.Context) Option {
 	return func(c *verifyConfig) { c.ctx = ctx }
+}
+
+// WithProgress installs fn as a periodic observer of the running
+// exploration: at most once per `every` (0 means the engine default,
+// 100ms) it receives a cumulative Stats snapshot — states, transitions,
+// memory accounting — while the run is still going. This is the hook
+// bipd's progress streaming rides. The callback must return quickly;
+// under Unordered multi-worker exploration it is invoked from a ticker
+// goroutine and may run concurrently with the exploration itself (never
+// with another invocation of fn), so it must be safe to call from a
+// different goroutine than Verify's. There is no guaranteed final call:
+// the returned Report carries the authoritative totals.
+func WithProgress(every time.Duration, fn func(Stats)) Option {
+	return func(c *verifyConfig) {
+		c.progress = fn
+		c.progressEvery = every
+	}
 }
 
 // Reduce requests ample-set partial-order reduction: at states where
@@ -421,69 +450,74 @@ func Reach(pred func(State) bool) Option {
 	}
 }
 
-// Property is the outcome of one requested check.
+// Property is the outcome of one requested check. Like Report it is
+// JSON-round-trippable — the tags are bipd's wire shape; keep them
+// stable.
 type Property struct {
 	// Name identifies the check: the property kind ("deadlock",
 	// "invariant", "always", "after", ...), a Named override, or a
 	// "#n"-suffixed form when several options share a name.
-	Name string
+	Name string `json:"name"`
 	// Violated reports a definite violation — a reachable deadlock, a
 	// state breaking a safety property or, for Reach/Reachable, the
 	// target being found.
-	Violated bool
+	Violated bool `json:"violated"`
 	// State is the id (exploration order) of the violating/target state;
 	// meaningful when Violated.
-	State int
+	State int `json:"state"`
 	// Path is the interaction sequence leading from the initial state to
 	// State; meaningful when Violated. For temporal properties it is the
 	// product path — a run that both exists in the system and drives the
 	// observer to its bad state.
-	Path []string
+	Path []string `json:"path,omitempty"`
 	// Conclusive reports that the verdict is definite: either a
 	// violation was found, or the full state space was covered without
 	// one. It is false when the MaxStates bound (or another property's
 	// early stop ending the exploration) left the check unsettled.
-	Conclusive bool
+	Conclusive bool `json:"conclusive"`
 }
 
-// Report is the outcome of a Verify run.
+// Report is the outcome of a Verify run. It is JSON-round-trippable
+// (every field carries a wire tag): bipd serves completed Reports over
+// HTTP and caches them by content address, so the struct doubles as a
+// wire shape shared with external tooling — keep the tags stable.
 type Report struct {
 	// Properties holds one entry per requested check, in option order.
-	Properties []Property
+	Properties []Property `json:"properties"`
 	// States and Transitions count what the exploration visited before
 	// finishing or stopping early.
-	States      int
-	Transitions int
+	States      int `json:"states"`
+	Transitions int `json:"transitions"`
 	// Truncated reports that the MaxStates bound cut the exploration.
-	Truncated bool
+	Truncated bool `json:"truncated"`
 	// Reduced reports that ample-set reduction was active: Reduce() was
 	// requested AND every property's visibility admitted it. When a
 	// property forces full visibility (opaque predicates, automata), the
 	// run silently degrades to full expansion and Reduced stays false.
-	Reduced bool
+	Reduced bool `json:"reduced"`
 	// AmpleStates counts states expanded with a strict ample subset,
 	// PrunedMoves the enabled moves reduction skipped at them, and
 	// ProvisoFallbacks the states escalated back to full expansion by the
 	// cycle proviso. All zero unless Reduced.
-	AmpleStates      int
-	PrunedMoves      int
-	ProvisoFallbacks int
+	AmpleStates      int `json:"ample_states"`
+	PrunedMoves      int `json:"pruned_moves"`
+	ProvisoFallbacks int `json:"proviso_fallbacks"`
 	// SeenBytes is the visited-state storage footprint at the end of the
 	// run (slot tables, key arenas, hash/id records) — the number
 	// CompactSeen shrinks. PeakFrontierBytes is the frontier's resident
 	// high-water mark under the drivers' deterministic per-entry
 	// accounting model; MemBudget bounds it.
-	SeenBytes         int64
-	PeakFrontierBytes int64
+	SeenBytes         int64 `json:"seen_bytes"`
+	PeakFrontierBytes int64 `json:"peak_frontier_bytes"`
 	// ExactPromotions counts membership answers resolved by the compact
 	// seen set's verifying tier overruling a colliding discriminator
 	// (zero for the exact default and for full-width compact hashing).
 	// SpilledChunks counts frontier chunks written to the spill file
 	// under MemBudget.
-	ExactPromotions int64
-	SpilledChunks   int64
+	ExactPromotions int64 `json:"exact_promotions"`
+	SpilledChunks   int64 `json:"spilled_chunks"`
 	// OK is true when every property is conclusive and none is violated.
-	OK bool
+	OK bool `json:"ok"`
 }
 
 // Property returns the named property's outcome.
