@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all fmt vet build test race bench bench-par verify apicheck examples bipd-smoke
+.PHONY: all fmt vet build test race bench bench-par verify apicheck examples bipd-smoke lint-models
 
 all: verify
 
@@ -52,12 +52,7 @@ bench-par:
 # black-box (package prop_test over the public surface), so that every
 # prop feature is demonstrably reachable from outside the module.
 apicheck:
-	@if grep -rn "bip/internal" cmd examples; then \
-		echo "bip/internal imports leaked into cmd/ or examples/"; exit 1; \
-	else echo "apicheck: cmd/ and examples/ use only the public API"; fi
-	@if grep -n '"bip/internal' prop/*_test.go; then \
-		echo "prop tests must exercise the public surface only"; exit 1; \
-	else echo "apicheck: prop tests are black-box over the public API"; fi
+	@$(GO) run ./cmd/apicheck
 
 # examples builds and runs every example as a smoke test of the public
 # API surface (small sizes; each exits 0 on success), plus a bipc run
@@ -73,6 +68,20 @@ examples:
 		-prop 'after(hit, until(l.n >= 1, back))' \
 		-prop 'never(at(l, b) & at(r, a))' \
 		examples/pingpong.bip
+
+# lint-models runs the static analyzer over every shipped model with
+# warnings promoted to errors: the examples and the zoo are the
+# analyzer's no-false-positives fixture, so a red lint-models means
+# either a real model defect or a lint regression. (UnsafeElevator is
+# deliberately absent: it drops two port bindings by design, and
+# lint/lint_test.go asserts those exact findings instead.)
+lint-models:
+	$(GO) run ./cmd/bipc -lint -Werror examples/pingpong.bip
+	@for m in philosophers philosophers2p tokenring gasstation elevator prodcons; do \
+		echo "dfinder -model $$m -lint"; \
+		$(GO) run ./cmd/dfinder -model $$m -n 4 -m 3 -lint -Werror >/dev/null || exit 1; \
+	done
+	@echo "lint-models: all shipped models are warning-free"
 
 # bipd-smoke drives the verification service over real HTTP: start
 # bipd, verify examples/pingpong.bip with textual properties, assert

@@ -151,6 +151,47 @@ func TestE21ServiceFloor(t *testing.T) {
 	}
 }
 
+// BenchmarkE22Lint drives the E22 table at smoke sizes: the fully
+// explorable counter grid plus the astronomical lint-only row. The
+// philosophers rows are left to bipbench/TestE22LintFloor — their data
+// growth hits the explorer's 2^20 truncation bound, ~8s per row, which
+// would dwarf every other benchmark in the `-benchtime=1x` smoke.
+func BenchmarkE22Lint(b *testing.B) {
+	run(b, func() (*bench.Table, error) { return bench.E22Lint(nil, 5, 4, 12, 1<<20) })
+}
+
+// TestE22LintFloor is the CI gate on the static analyzer's cost model:
+// lint must be at least 10x cheaper than exploration on philosophers-6
+// (the real gap is four orders of magnitude even at the explorer's
+// DefaultMaxStates truncation bound — 10x leaves generous CI-noise
+// headroom), with zero warnings on the clean model (E22Ratio errors
+// out on any false positive). The second half pins the stronger claim
+// behind the ratio: a counter grid of (2^20)^12 states — unexplorable
+// by construction — lints to completion, which is only possible
+// because lint.Analyze never expands the state space.
+func TestE22LintFloor(t *testing.T) {
+	ratio, err := bench.E22Ratio(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio < 10 {
+		t.Fatalf("explore/lint ratio %.1fx on philosophers-8, want >= 10x", ratio)
+	}
+	astro, err := models.CounterGrid(12, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := bip.Lint(astro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		if d.Severity != "info" {
+			t.Fatalf("false positive on the astronomical grid: %+v", d)
+		}
+	}
+}
+
 // TestE20MemoryFloor is the CI gate on seen-set compaction: on the
 // CounterGrid workload (wide 78-byte keys, every state live) the
 // compact seen set must use at least 3x fewer seen-set bytes per

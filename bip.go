@@ -33,6 +33,7 @@ import (
 	"bip/internal/behavior"
 	"bip/internal/core"
 	"bip/internal/dsl"
+	"bip/lint"
 	"bip/prop"
 )
 
@@ -98,6 +99,20 @@ func Trig(comp, port string) ConnectorEnd { return core.Trig(comp, port) }
 // Parse elaborates a program in the textual BIP dialect into a validated
 // System.
 func Parse(src string) (*System, error) { return dsl.Parse(src) }
+
+// Diagnostic is one static-analysis finding from Lint, re-exported from
+// bip/lint: a stable code (BIP001…), a severity, and — for DSL-built
+// models — a source position.
+type Diagnostic = lint.Diagnostic
+
+// Lint statically analyzes a validated system without exploring it:
+// unreachable locations, dead transitions and interactions,
+// contradictory guards, disconnected ports, unused variables, dominated
+// priorities, and reduction explainability. See bip/lint for the pass
+// catalogue and code reference. Run it before Verify — it is orders of
+// magnitude cheaper than exploration and catches defects that would
+// otherwise burn a full state-space search.
+func Lint(sys *System) ([]Diagnostic, error) { return lint.Analyze(sys) }
 
 // ParseProp parses a textual property into the bip/prop algebra — the
 // same syntax prop values render with String:

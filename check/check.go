@@ -19,6 +19,7 @@ import (
 	"bip"
 	"bip/internal/invariant"
 	"bip/internal/lts"
+	"bip/lint"
 )
 
 // Streaming exploration surface.
@@ -184,6 +185,14 @@ type (
 func Compositional(sys *bip.System, opts CompositionalOptions) (*CompositionalResult, error) {
 	return invariant.Verify(sys, opts)
 }
+
+// Diagnostic is one static-analysis finding from Lint (bip/lint).
+type Diagnostic = lint.Diagnostic
+
+// Lint statically analyzes a validated system without exploring it —
+// the cheap admission filter to run before Stream/Explore/Compositional.
+// See bip/lint for the pass catalogue and diagnostic code reference.
+func Lint(sys *bip.System) ([]Diagnostic, error) { return lint.Analyze(sys) }
 
 // FormatCompositional renders a compositional result for tool output.
 func FormatCompositional(r *CompositionalResult) string { return invariant.FormatResult(r) }

@@ -1,0 +1,112 @@
+// Command apicheck enforces the repo's API-visibility contract using
+// real import graphs instead of text matching:
+//
+//   - cmd/ and examples/ may use only the public surface — any import
+//     of bip/internal/... is a violation (aliased and dot imports
+//     included, which a grep for the literal string would miss; a
+//     string constant mentioning "bip/internal", which a grep would
+//     falsely flag, is fine).
+//   - prop/ tests must be black-box: package prop_test, no
+//     bip/internal/... imports.
+//
+// It prints each violation as file:line:col and exits non-zero if any
+// exist. Run from the repository root (make apicheck does).
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// internalPrefix marks the packages hidden from external consumers.
+const internalPrefix = "bip/internal"
+
+func main() {
+	var violations []string
+
+	for _, root := range []string{"cmd", "examples"} {
+		violations = append(violations, checkTree(root)...)
+	}
+	violations = append(violations, checkPropTests()...)
+
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, v)
+		}
+		fmt.Fprintf(os.Stderr, "apicheck: %d violation(s)\n", len(violations))
+		os.Exit(1)
+	}
+	fmt.Println("apicheck: cmd/ and examples/ use only the public API")
+	fmt.Println("apicheck: prop tests are black-box over the public API")
+}
+
+// checkTree walks every .go file under root and flags imports of the
+// internal tree.
+func checkTree(root string) []string {
+	var out []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		out = append(out, checkFile(path, "")...)
+		return nil
+	})
+	if err != nil {
+		fatal(err)
+	}
+	return out
+}
+
+// checkPropTests flags prop test files that are not package prop_test
+// or that import the internal tree.
+func checkPropTests() []string {
+	paths, err := filepath.Glob("prop/*_test.go")
+	if err != nil {
+		fatal(err)
+	}
+	var out []string
+	for _, path := range paths {
+		out = append(out, checkFile(path, "prop_test")...)
+	}
+	return out
+}
+
+// checkFile parses one file's imports and returns its violations. A
+// non-empty wantPkg additionally pins the package clause.
+func checkFile(path, wantPkg string) []string {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+	if err != nil {
+		fatal(err)
+	}
+	var out []string
+	if wantPkg != "" && f.Name.Name != wantPkg {
+		out = append(out, fmt.Sprintf("%s: package %s, want %s (tests here must be black-box)",
+			fset.Position(f.Name.Pos()), f.Name.Name, wantPkg))
+	}
+	for _, imp := range f.Imports {
+		ip, err := strconv.Unquote(imp.Path.Value)
+		if err != nil {
+			continue
+		}
+		if ip == internalPrefix || strings.HasPrefix(ip, internalPrefix+"/") {
+			out = append(out, fmt.Sprintf("%s: import of %s outside the internal tree",
+				fset.Position(imp.Pos()), ip))
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "apicheck:", err)
+	os.Exit(1)
+}

@@ -3,8 +3,8 @@
 // the E16 streaming-memory comparison, the E17 property-algebra
 // checking costs, the E18 work-stealing exploration sweep, the E19
 // partial-order-reduction table, the E20 seen-set-compaction /
-// frontier-spill memory table and the E21 bipd service load table) and
-// prints them;
+// frontier-spill memory table, the E21 bipd service load table and the
+// E22 static-analysis cost table) and prints them;
 // EXPERIMENTS.md records a reference run.
 //
 // Usage:
@@ -24,7 +24,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("e", "all", "experiment id (e1..e21) or all")
+	exp := flag.String("e", "all", "experiment id (e1..e22) or all")
 	quick := flag.Bool("quick", false, "reduced problem sizes")
 	flag.Parse()
 	if err := run(*exp, *quick); err != nil {
@@ -50,6 +50,8 @@ func run(exp string, quick bool) error {
 	gridN, redRings, redRingSize, redPhils := 9, 4, 4, 8
 	memGridN, memGridK, memWorkers := 7, 5, 4
 	svcJobs, svcPool, svcGridN, svcGridK := 16, 4, 6, 5
+	lintPhils, lintGridN, lintGridK := []int{4, 6, 8}, 6, 5
+	lintAstroN, lintAstroK := 12, 1<<20
 	if quick {
 		rings = 4
 		enginePairs = []int{1, 2}
@@ -63,6 +65,7 @@ func run(exp string, quick bool) error {
 		gridN, redRings, redRingSize, redPhils = 6, 3, 3, 6
 		memGridN, memGridK = 5, 4
 		svcJobs, svcPool, svcGridN, svcGridK = 8, 2, 4, 4
+		lintPhils, lintGridN, lintGridK = []int{4}, 5, 4
 	}
 	drivers := []driver{
 		{"e1", func() (*bench.Table, error) { return bench.E1DFinderVsMonolithic(rings) }},
@@ -86,6 +89,9 @@ func run(exp string, quick bool) error {
 		{"e19", func() (*bench.Table, error) { return bench.E19Reduction(gridN, redRings, redRingSize, redPhils) }},
 		{"e20", func() (*bench.Table, error) { return bench.E20Memory(memGridN, memGridK, memWorkers, 8) }},
 		{"e21", func() (*bench.Table, error) { return bench.E21Service(svcJobs, svcPool, svcGridN, svcGridK) }},
+		{"e22", func() (*bench.Table, error) {
+			return bench.E22Lint(lintPhils, lintGridN, lintGridK, lintAstroN, lintAstroK)
+		}},
 	}
 	want := strings.ToLower(exp)
 	found := false
@@ -101,7 +107,7 @@ func run(exp string, quick bool) error {
 		fmt.Println(t.String())
 	}
 	if !found {
-		return fmt.Errorf("unknown experiment %q (want e1..e21 or all)", exp)
+		return fmt.Errorf("unknown experiment %q (want e1..e22 or all)", exp)
 	}
 	return nil
 }

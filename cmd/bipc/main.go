@@ -24,6 +24,7 @@ import (
 
 	"bip"
 	"bip/check"
+	"bip/lint"
 	"bip/prop"
 )
 
@@ -48,14 +49,16 @@ func main() {
 	seen := flag.String("seen", "exact", "visited-state storage: exact (full keys) | compact (hash-compacted, ~12 B/state)")
 	mem := flag.Int64("mem", 0, "frontier memory budget in bytes (0 = unbounded; spills to disk under -order fast)")
 	timeout := flag.Duration("timeout", 0, "wall-clock bound on each analysis (0 = none); timed-out runs exit non-zero")
+	lintFlag := flag.Bool("lint", false, "run static model analysis (bip/lint) before any exploration and print the diagnostics")
+	werror := flag.Bool("Werror", false, "with -lint (implied): exit non-zero when lint reports any warning")
 	var props propFlags
 	flag.Var(&props, "prop", "textual property to check on the fly (repeatable): always/never/until/after/between/reachable/deadlockfree")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: bipc [-verify] [-check] [-prop p]... [-explore] [-reduce] [-workers n] [-order det|fast] [-seen exact|compact] [-mem bytes] [-timeout d] file.bip")
+		fmt.Fprintln(os.Stderr, "usage: bipc [-lint [-Werror]] [-verify] [-check] [-prop p]... [-explore] [-reduce] [-workers n] [-order det|fast] [-seen exact|compact] [-mem bytes] [-timeout d] file.bip")
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *verify, *chk, *explore, *reduce, *maxStates, *workers, *order, *seen, *mem, *timeout, props); err != nil {
+	if err := run(flag.Arg(0), *verify, *chk, *explore, *reduce, *lintFlag || *werror, *werror, *maxStates, *workers, *order, *seen, *mem, *timeout, props); err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {
 			err = fmt.Errorf("timed out after %s (-timeout): %w", *timeout, err)
 		}
@@ -90,7 +93,7 @@ func orderOptions(order string) ([]bip.Option, error) {
 	}
 }
 
-func run(path string, verify, chk, explore, reduce bool, maxStates, workers int, order, seen string, mem int64, timeout time.Duration, props []string) error {
+func run(path string, verify, chk, explore, reduce, lintModel, werror bool, maxStates, workers int, order, seen string, mem int64, timeout time.Duration, props []string) error {
 	ordOpts, err := orderOptions(order)
 	if err != nil {
 		return err
@@ -134,6 +137,25 @@ func run(path string, verify, chk, explore, reduce bool, maxStates, workers int,
 		fmt.Println("  priority", p.String())
 	}
 
+	if lintModel {
+		diags, err := bip.Lint(sys)
+		if err != nil {
+			return err
+		}
+		warnings := 0
+		for _, d := range diags {
+			fmt.Println(d.Render(path))
+			if d.Severity != lint.SeverityInfo {
+				warnings++
+			}
+		}
+		if len(diags) == 0 {
+			fmt.Printf("lint: %s is clean\n", path)
+		}
+		if werror && warnings > 0 {
+			return fmt.Errorf("%s: lint reported %d warning(s) (-Werror)", path, warnings)
+		}
+	}
 	if verify {
 		res, err := check.Compositional(sys, check.CompositionalOptions{})
 		if err != nil {

@@ -24,6 +24,7 @@ import (
 
 	"bip"
 	"bip/check"
+	"bip/lint"
 	"bip/models"
 )
 
@@ -40,10 +41,12 @@ func main() {
 	seen := flag.String("seen", "exact", "visited-state storage for -prop/-mono: exact (full keys) | compact (hash-compacted, ~12 B/state)")
 	mem := flag.Int64("mem", 0, "frontier memory budget in bytes for -prop/-mono (0 = unbounded; spills to disk under -order fast)")
 	timeout := flag.Duration("timeout", 0, "wall-clock bound on the -prop/-mono explorations (0 = none); timed-out runs exit non-zero")
+	lintFlag := flag.Bool("lint", false, "run static model analysis (bip/lint) on the built model before any verification")
+	werror := flag.Bool("Werror", false, "with -lint (implied): exit non-zero when lint reports any warning")
 	var props propFlags
 	flag.Var(&props, "prop", "textual property to check on the built model (repeatable)")
 	flag.Parse()
-	if err := run(*model, *n, *m, *mono, *reduce, *traps, *workers, *maxStates, *order, *seen, *mem, *timeout, props); err != nil {
+	if err := run(*model, *n, *m, *mono, *reduce, *lintFlag || *werror, *werror, *traps, *workers, *maxStates, *order, *seen, *mem, *timeout, props); err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {
 			err = fmt.Errorf("timed out after %s (-timeout): %w", *timeout, err)
 		}
@@ -81,7 +84,7 @@ func buildModel(model string, n, m int) (*bip.System, error) {
 	}
 }
 
-func run(model string, n, m int, mono, reduce bool, maxTraps, workers, maxStates int, order, seen string, mem int64, timeout time.Duration, props []string) error {
+func run(model string, n, m int, mono, reduce, lintModel, werror bool, maxTraps, workers, maxStates int, order, seen string, mem int64, timeout time.Duration, props []string) error {
 	var ordOpts []bip.Option
 	if timeout > 0 {
 		// One budget shared by every exploration this invocation runs.
@@ -114,6 +117,28 @@ func run(model string, n, m int, mono, reduce bool, maxTraps, workers, maxStates
 		return err
 	}
 	fmt.Println(sys.Stats())
+
+	if lintModel {
+		// Built models carry no source positions; diagnostics render
+		// without line:col.
+		diags, err := bip.Lint(sys)
+		if err != nil {
+			return err
+		}
+		warnings := 0
+		for _, d := range diags {
+			fmt.Println("lint:", d)
+			if d.Severity != lint.SeverityInfo {
+				warnings++
+			}
+		}
+		if len(diags) == 0 {
+			fmt.Println("lint: model is clean")
+		}
+		if werror && warnings > 0 {
+			return fmt.Errorf("%s: lint reported %d warning(s) (-Werror)", model, warnings)
+		}
+	}
 
 	if len(props) > 0 {
 		opts := append([]bip.Option{bip.Workers(workers), bip.MaxStates(maxStates)}, ordOpts...)

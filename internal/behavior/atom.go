@@ -14,10 +14,32 @@ import (
 	"bip/internal/expr"
 )
 
+// Pos is a source position (1-based line and column) recorded on
+// declarations by the DSL front-end and threaded through to diagnostics
+// (bip/lint). The zero value means "unknown" — hand-built models carry
+// no positions and every consumer must tolerate that.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// Known reports whether the position was actually recorded.
+func (p Pos) Known() bool { return p.Line > 0 }
+
+// String renders "line:col" ("?" when unknown).
+func (p Pos) String() string {
+	if !p.Known() {
+		return "?"
+	}
+	return fmt.Sprintf("%d:%d", p.Line, p.Col)
+}
+
 // VarDecl declares a component variable with its initial value.
 type VarDecl struct {
 	Name string
 	Init expr.Value
+	// Pos is the declaration's source position (zero when hand-built).
+	Pos Pos
 }
 
 // Port is an interaction point of an atomic component. Vars lists the
@@ -26,6 +48,8 @@ type VarDecl struct {
 type Port struct {
 	Name string
 	Vars []string
+	// Pos is the declaration's source position (zero when hand-built).
+	Pos Pos
 }
 
 // Transition is a guarded, port-labelled control step. A transition with
@@ -36,6 +60,8 @@ type Transition struct {
 	Port     string
 	Guard    expr.Expr
 	Action   expr.Stmt
+	// Pos is the declaration's source position (zero when hand-built).
+	Pos Pos
 }
 
 // String renders the transition as source text.
@@ -60,6 +86,12 @@ type Atom struct {
 	Vars        []VarDecl
 	Ports       []Port
 	Transitions []Transition
+
+	// Pos is the source position of the declaration this atom came from
+	// (the atom type for DSL instances); LocPos, when non-nil, is
+	// parallel to Locations. Both are zero/nil for hand-built models.
+	Pos    Pos
+	LocPos []Pos
 
 	// Invariants are the designer-asserted state predicates of the
 	// component, checked by the verification packages (they are claims,
@@ -600,9 +632,11 @@ func (a *Atom) Rename(name string) *Atom {
 		Ports:       make([]Port, len(a.Ports)),
 		Transitions: append([]Transition(nil), a.Transitions...),
 		Invariants:  append([]expr.Expr(nil), a.Invariants...),
+		Pos:         a.Pos,
+		LocPos:      append([]Pos(nil), a.LocPos...),
 	}
 	for i, p := range a.Ports {
-		cp.Ports[i] = Port{Name: p.Name, Vars: append([]string(nil), p.Vars...)}
+		cp.Ports[i] = Port{Name: p.Name, Vars: append([]string(nil), p.Vars...), Pos: p.Pos}
 	}
 	// Re-validate to rebuild the indices of the copy.
 	if err := cp.Validate(); err != nil {

@@ -11,6 +11,9 @@ import (
 type Builder struct {
 	atom Atom
 	errs []error
+	// next is the source position staged by At for the next declaration;
+	// consumed (and reset) by the declaration methods.
+	next Pos
 }
 
 // NewBuilder starts building an atom with the given name.
@@ -18,14 +21,38 @@ func NewBuilder(name string) *Builder {
 	return &Builder{atom: Atom{Name: name}}
 }
 
+// At stages a source position for the next declaration (location,
+// variable, port or transition). The DSL parser threads token positions
+// through it so diagnostics can point at source; hand-built models never
+// call it and stay position-free.
+func (b *Builder) At(line, col int) *Builder {
+	b.next = Pos{Line: line, Col: col}
+	return b
+}
+
+// DeclaredAt records the source position of the atom declaration itself.
+func (b *Builder) DeclaredAt(line, col int) *Builder {
+	b.atom.Pos = Pos{Line: line, Col: col}
+	return b
+}
+
+// take consumes the staged position.
+func (b *Builder) take() Pos {
+	p := b.next
+	b.next = Pos{}
+	return p
+}
+
 // Location declares one or more control locations. The first location
 // ever declared becomes the initial location unless Initial overrides it.
 func (b *Builder) Location(names ...string) *Builder {
+	pos := b.take()
 	for _, n := range names {
 		if len(b.atom.Locations) == 0 && b.atom.Initial == "" {
 			b.atom.Initial = n
 		}
 		b.atom.Locations = append(b.atom.Locations, n)
+		b.atom.LocPos = append(b.atom.LocPos, pos)
 	}
 	return b
 }
@@ -38,19 +65,19 @@ func (b *Builder) Initial(name string) *Builder {
 
 // Int declares an integer variable with an initial value.
 func (b *Builder) Int(name string, init int64) *Builder {
-	b.atom.Vars = append(b.atom.Vars, VarDecl{Name: name, Init: expr.IntVal(init)})
+	b.atom.Vars = append(b.atom.Vars, VarDecl{Name: name, Init: expr.IntVal(init), Pos: b.take()})
 	return b
 }
 
 // Bool declares a boolean variable with an initial value.
 func (b *Builder) Bool(name string, init bool) *Builder {
-	b.atom.Vars = append(b.atom.Vars, VarDecl{Name: name, Init: expr.BoolVal(init)})
+	b.atom.Vars = append(b.atom.Vars, VarDecl{Name: name, Init: expr.BoolVal(init), Pos: b.take()})
 	return b
 }
 
 // Port declares a port exporting the listed variables.
 func (b *Builder) Port(name string, exported ...string) *Builder {
-	b.atom.Ports = append(b.atom.Ports, Port{Name: name, Vars: exported})
+	b.atom.Ports = append(b.atom.Ports, Port{Name: name, Vars: exported, Pos: b.take()})
 	return b
 }
 
@@ -63,7 +90,7 @@ func (b *Builder) Transition(from, port, to string) *Builder {
 // may be nil).
 func (b *Builder) TransitionG(from, port, to string, guard expr.Expr, action expr.Stmt) *Builder {
 	b.atom.Transitions = append(b.atom.Transitions, Transition{
-		From: from, To: to, Port: port, Guard: guard, Action: action,
+		From: from, To: to, Port: port, Guard: guard, Action: action, Pos: b.take(),
 	})
 	return b
 }
@@ -81,6 +108,7 @@ func (b *Builder) Build() (*Atom, error) {
 	}
 	a := b.atom // copy; the builder can be reused for variants
 	a.Locations = append([]string(nil), b.atom.Locations...)
+	a.LocPos = append([]Pos(nil), b.atom.LocPos...)
 	a.Vars = append([]VarDecl(nil), b.atom.Vars...)
 	a.Ports = append([]Port(nil), b.atom.Ports...)
 	a.Transitions = append([]Transition(nil), b.atom.Transitions...)

@@ -13,6 +13,9 @@ import (
 type SystemBuilder struct {
 	sys  System
 	errs []error
+	// next is the source position staged by At for the next declaration;
+	// consumed (and reset) by the declaration methods.
+	next behavior.Pos
 }
 
 // NewSystem starts building a system.
@@ -20,16 +23,37 @@ func NewSystem(name string) *SystemBuilder {
 	return &SystemBuilder{sys: System{Name: name}}
 }
 
+// At stages a source position for the next declaration (instance,
+// interaction, connector or priority). The DSL parser threads token
+// positions through it; hand-built models never call it.
+func (b *SystemBuilder) At(line, col int) *SystemBuilder {
+	b.next = behavior.Pos{Line: line, Col: col}
+	return b
+}
+
+// take consumes the staged position.
+func (b *SystemBuilder) take() behavior.Pos {
+	p := b.next
+	b.next = behavior.Pos{}
+	return p
+}
+
 // Add installs a component instance under its own name.
 func (b *SystemBuilder) Add(a *behavior.Atom) *SystemBuilder {
+	b.take()
 	b.sys.Atoms = append(b.sys.Atoms, a)
 	return b
 }
 
 // AddAs installs a renamed copy of an atom, allowing one atom type to be
-// instantiated several times.
+// instantiated several times. A staged position (the instance declaration
+// site) overrides the atom type's own position on the copy.
 func (b *SystemBuilder) AddAs(name string, a *behavior.Atom) *SystemBuilder {
-	b.sys.Atoms = append(b.sys.Atoms, a.Rename(name))
+	cp := a.Rename(name)
+	if p := b.take(); p.Known() {
+		cp.Pos = p
+	}
+	b.sys.Atoms = append(b.sys.Atoms, cp)
 	return b
 }
 
@@ -43,13 +67,16 @@ func (b *SystemBuilder) Connect(name string, ports ...PortRef) *SystemBuilder {
 // (either may be nil).
 func (b *SystemBuilder) ConnectGD(name string, guard expr.Expr, action expr.Stmt, ports ...PortRef) *SystemBuilder {
 	b.sys.Interactions = append(b.sys.Interactions, &Interaction{
-		Name: name, Ports: ports, Guard: guard, Action: action,
+		Name: name, Ports: ports, Guard: guard, Action: action, Pos: b.take(),
 	})
 	return b
 }
 
 // Interaction adds a pre-built interaction.
 func (b *SystemBuilder) Interaction(in *Interaction) *SystemBuilder {
+	if p := b.take(); p.Known() && !in.Pos.Known() {
+		in.Pos = p
+	}
 	b.sys.Interactions = append(b.sys.Interactions, in)
 	return b
 }
@@ -62,23 +89,32 @@ func (b *SystemBuilder) Singleton(comp, port string) *SystemBuilder {
 
 // Priority adds the rule low < high (low suppressed while high enabled).
 func (b *SystemBuilder) Priority(low, high string) *SystemBuilder {
-	b.sys.Priorities = append(b.sys.Priorities, Priority{Low: low, High: high})
+	b.sys.Priorities = append(b.sys.Priorities, Priority{Low: low, High: high, Pos: b.take()})
 	return b
 }
 
 // PriorityWhen adds a conditional priority rule.
 func (b *SystemBuilder) PriorityWhen(low, high string, when expr.Expr) *SystemBuilder {
-	b.sys.Priorities = append(b.sys.Priorities, Priority{Low: low, High: high, When: when})
+	b.sys.Priorities = append(b.sys.Priorities, Priority{Low: low, High: high, When: when, Pos: b.take()})
 	return b
 }
 
 // Connector expands a connector into its feasible interactions and the
-// maximal-progress priorities among them.
+// maximal-progress priorities among them. A staged position (the
+// connector declaration site) is stamped on every expanded interaction
+// and priority.
 func (b *SystemBuilder) Connector(c Connector) *SystemBuilder {
+	pos := b.take()
 	inters, prios, err := c.Expand()
 	if err != nil {
 		b.errs = append(b.errs, err)
 		return b
+	}
+	for _, in := range inters {
+		in.Pos = pos
+	}
+	for i := range prios {
+		prios[i].Pos = pos
 	}
 	b.sys.Interactions = append(b.sys.Interactions, inters...)
 	b.sys.Priorities = append(b.sys.Priorities, prios...)

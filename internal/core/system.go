@@ -45,6 +45,8 @@ type Interaction struct {
 	Ports  []PortRef
 	Guard  expr.Expr
 	Action expr.Stmt
+	// Pos is the declaration's source position (zero when hand-built).
+	Pos behavior.Pos
 }
 
 // Participants returns the distinct component names in declaration order.
@@ -84,6 +86,8 @@ type Priority struct {
 	Low  string
 	High string
 	When expr.Expr
+	// Pos is the declaration's source position (zero when hand-built).
+	Pos behavior.Pos
 }
 
 // String renders the rule.

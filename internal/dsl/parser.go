@@ -104,7 +104,7 @@ func (p *parser) system() (*core.System, error) {
 			if !ok {
 				return nil, p.errf(typ, "unknown atom type %q", typ.text)
 			}
-			b.AddAs(inst.text, a)
+			b.At(inst.line, inst.col).AddAs(inst.text, a)
 		case "connector":
 			if err := p.connector(b); err != nil {
 				return nil, err
@@ -129,7 +129,7 @@ func (p *parser) system() (*core.System, error) {
 					return nil, err
 				}
 			}
-			b.PriorityWhen(lo.text, hi.text, when)
+			b.At(t.line, t.col).PriorityWhen(lo.text, hi.text, when)
 		default:
 			return nil, p.errf(t, "expected atom/instance/connector/priority, got %q", t.text)
 		}
@@ -147,7 +147,7 @@ func (p *parser) atom() (*behavior.Atom, error) {
 	if err := p.expect("{"); err != nil {
 		return nil, err
 	}
-	nb := behavior.NewBuilder(name.text)
+	nb := behavior.NewBuilder(name.text).DeclaredAt(name.line, name.col)
 	sawInit := false
 	for !p.accept("}") {
 		t := p.peek()
@@ -182,14 +182,14 @@ func (p *parser) atom() (*behavior.Atom, error) {
 				if neg {
 					iv = -iv
 				}
-				nb.Int(v.text, iv)
+				nb.At(v.line, v.col).Int(v.text, iv)
 			case "bool":
 				val := p.next()
 				switch val.text {
 				case "true":
-					nb.Bool(v.text, true)
+					nb.At(v.line, v.col).Bool(v.text, true)
 				case "false":
-					nb.Bool(v.text, false)
+					nb.At(v.line, v.col).Bool(v.text, false)
 				default:
 					return nil, p.errf(val, "expected true/false initializer")
 				}
@@ -219,7 +219,7 @@ func (p *parser) atom() (*behavior.Atom, error) {
 						return nil, err
 					}
 				}
-				nb.Port(pn.text, exported...)
+				nb.At(pn.line, pn.col).Port(pn.text, exported...)
 				if !p.accept(",") {
 					break
 				}
@@ -231,7 +231,7 @@ func (p *parser) atom() (*behavior.Atom, error) {
 				if err != nil {
 					return nil, err
 				}
-				nb.Location(ln.text)
+				nb.At(ln.line, ln.col).Location(ln.text)
 				if !p.accept(",") {
 					break
 				}
@@ -278,7 +278,7 @@ func (p *parser) atom() (*behavior.Atom, error) {
 					return nil, err
 				}
 			}
-			nb.TransitionG(from.text, port.text, to.text, guard, action)
+			nb.At(t.line, t.col).TransitionG(from.text, port.text, to.text, guard, action)
 		case "invariant":
 			p.next()
 			inv, err := p.expr()
@@ -346,14 +346,14 @@ func (p *parser) connector(b *core.SystemBuilder) error {
 		if guard != nil || action != nil {
 			return p.errf(name, "connector %s: trigger connectors cannot carry when/do", name.text)
 		}
-		b.Connector(core.Connector{Name: name.text, Ends: ends})
+		b.At(name.line, name.col).Connector(core.Connector{Name: name.text, Ends: ends})
 		return nil
 	}
 	refs := make([]core.PortRef, len(ends))
 	for i, e := range ends {
 		refs[i] = e.Ref
 	}
-	b.ConnectGD(name.text, guard, action, refs...)
+	b.At(name.line, name.col).ConnectGD(name.text, guard, action, refs...)
 	return nil
 }
 

@@ -290,6 +290,12 @@ type Stats struct {
 	AmpleStates      int `json:"ample_states"`
 	PrunedMoves      int `json:"pruned_moves"`
 	ProvisoFallbacks int `json:"proviso_fallbacks"`
+
+	// ReductionDegradedBy names the property whose visibility forced a
+	// reduction request back to full expansion. The drivers never set
+	// it — bip.Verify stamps it on progress snapshots and the final
+	// report, so the wire shape carries the cause wherever Stats goes.
+	ReductionDegradedBy string `json:"reduction_degraded_by,omitempty"`
 }
 
 // Stream explores the reachable state space of sys breadth-first and

@@ -1,0 +1,398 @@
+package lint
+
+import (
+	"fmt"
+	"strings"
+
+	"bip/internal/expr"
+	"bip/internal/sat"
+)
+
+// System-level passes: interaction enabledness (BIP006/BIP007), variable
+// usage (BIP008/BIP009), priority domination (BIP010), and reduction
+// explainability (BIP011).
+
+// lintInteractions flags interactions whose guard is statically false
+// (BIP007) and interactions whose trigger set is unsatisfiable at the
+// control level (BIP006): encoding one-hot location choice per
+// participant — restricted to locally reachable locations — plus the
+// requirement that every port is offered, an UNSAT answer means no
+// reachable control state offers all ports simultaneously. The encoding
+// over-approximates global reachability and ignores data, so a BIP006
+// finding is sound (the interaction truly never fires) while silence
+// proves nothing.
+func (a *analysis) lintInteractions() []Diagnostic {
+	var out []Diagnostic
+	for ii, in := range a.sys.Interactions {
+		if staticallyFalse(in.Guard) {
+			out = append(out, withPos(Diagnostic{
+				Code:     CodeFalseInteraction,
+				Severity: SeverityWarning,
+				Item:     in.Name,
+				Message: fmt.Sprintf("interaction %s can never fire: guard %s is statically false",
+					in.Name, in.Guard),
+			}, in.Pos))
+			continue // subsumes the SAT check
+		}
+		if d, dead := a.deadInteraction(ii); dead {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// deadInteraction runs the BIP006 control-level SAT query for
+// interaction ii.
+func (a *analysis) deadInteraction(ii int) (Diagnostic, bool) {
+	sys := a.sys
+	in := sys.Interactions[ii]
+	diag := func(why string) Diagnostic {
+		return withPos(Diagnostic{
+			Code:     CodeDeadInteraction,
+			Severity: SeverityWarning,
+			Item:     in.Name,
+			Message:  fmt.Sprintf("interaction %s can never be enabled: %s", in.Name, why),
+		}, in.Pos)
+	}
+	// Short-circuit: a port nobody ever offers kills the interaction
+	// without a solver.
+	for pi, pr := range in.Ports {
+		ai := sys.PortAtoms(ii)[pi]
+		if len(a.offer[ai][pr.Port]) == 0 {
+			return diag(fmt.Sprintf("port %s is never offered at any reachable location of %s",
+				pr, pr.Comp)), true
+		}
+	}
+	s := sat.New()
+	locVar, ok := a.addOneHot(s, sys.PortAtoms(ii))
+	if !ok {
+		return Diagnostic{}, false
+	}
+	for pi, pr := range in.Ports {
+		ai := sys.PortAtoms(ii)[pi]
+		var cl []sat.Lit
+		for _, li := range a.offer[ai][pr.Port] {
+			cl = append(cl, sat.Lit(locVar[locKey{ai, li}]))
+		}
+		if s.AddClause(cl...) != nil {
+			return Diagnostic{}, false
+		}
+	}
+	if _, satisfiable := s.Solve(); !satisfiable {
+		return diag("no reachable control state offers all its ports simultaneously"), true
+	}
+	return Diagnostic{}, false
+}
+
+type locKey struct{ atom, loc int }
+
+// addOneHot introduces, for every distinct atom among the given
+// (possibly repeated) atom indices, one variable per locally reachable
+// location plus the exactly-one constraint. Returns false when a
+// constraint cannot be added (conservative bail-out: the caller skips
+// its check).
+func (a *analysis) addOneHot(s *sat.Solver, atomIdx []int) (map[locKey]int, bool) {
+	locVar := make(map[locKey]int)
+	done := make(map[int]bool)
+	for _, ai := range atomIdx {
+		if done[ai] {
+			continue
+		}
+		done[ai] = true
+		atom := a.sys.Atoms[ai]
+		var vars []int
+		for li, name := range atom.Locations {
+			if !a.reach[ai][li] {
+				continue
+			}
+			v := s.NewNamedVar(atom.Name + "@" + name)
+			locVar[locKey{ai, li}] = v
+			vars = append(vars, v)
+		}
+		if len(vars) == 0 {
+			return nil, false
+		}
+		if s.AtLeastOne(vars) != nil || s.AtMostOne(vars) != nil {
+			return nil, false
+		}
+	}
+	return locVar, true
+}
+
+// lintVariables flags atom variables that are never read (BIP008) and
+// variables read but never written (BIP009, informational: the variable
+// is a named constant). Reads and writes are collected across the whole
+// system: local transitions and invariants, plus interaction guards,
+// data transfers, and priority conditions through their qualified
+// "comp.var" names.
+func (a *analysis) lintVariables() []Diagnostic {
+	sys := a.sys
+	reads := make([]map[string]bool, len(sys.Atoms))
+	writes := make([]map[string]bool, len(sys.Atoms))
+	for i := range reads {
+		reads[i] = make(map[string]bool)
+		writes[i] = make(map[string]bool)
+	}
+	markQualified := func(set []map[string]bool, qualified []string) {
+		for _, q := range qualified {
+			i := strings.LastIndexByte(q, '.')
+			if i <= 0 {
+				continue
+			}
+			if ai := sys.AtomIndex(q[:i]); ai >= 0 {
+				set[ai][q[i+1:]] = true
+			}
+		}
+	}
+	for ai, atom := range sys.Atoms {
+		for _, t := range atom.Transitions {
+			for _, v := range expr.Vars(t.Guard) {
+				reads[ai][v] = true
+			}
+			for _, v := range expr.Reads(t.Action) {
+				reads[ai][v] = true
+			}
+			for _, v := range expr.Writes(t.Action) {
+				writes[ai][v] = true
+			}
+		}
+		for _, inv := range atom.Invariants {
+			for _, v := range expr.Vars(inv) {
+				reads[ai][v] = true
+			}
+		}
+	}
+	for _, in := range sys.Interactions {
+		markQualified(reads, expr.Vars(in.Guard))
+		markQualified(reads, expr.Reads(in.Action))
+		markQualified(writes, expr.Writes(in.Action))
+	}
+	for _, p := range sys.Priorities {
+		markQualified(reads, expr.Vars(p.When))
+	}
+	var out []Diagnostic
+	for ai, atom := range sys.Atoms {
+		for _, vd := range atom.Vars {
+			r, w := reads[ai][vd.Name], writes[ai][vd.Name]
+			switch {
+			case !r && w:
+				out = append(out, withPos(Diagnostic{
+					Code:     CodeUnreadVariable,
+					Severity: SeverityWarning,
+					Atom:     atom.Name,
+					Item:     vd.Name,
+					Message: fmt.Sprintf("atom %s: variable %q is written but never read",
+						atom.Name, vd.Name),
+				}, vd.Pos))
+			case !r && !w:
+				out = append(out, withPos(Diagnostic{
+					Code:     CodeUnreadVariable,
+					Severity: SeverityWarning,
+					Atom:     atom.Name,
+					Item:     vd.Name,
+					Message: fmt.Sprintf("atom %s: variable %q is never read or written",
+						atom.Name, vd.Name),
+				}, vd.Pos))
+			case r && !w:
+				out = append(out, withPos(Diagnostic{
+					Code:     CodeUnwrittenVariable,
+					Severity: SeverityInfo,
+					Atom:     atom.Name,
+					Item:     vd.Name,
+					Message: fmt.Sprintf("atom %s: variable %q is read but never written: it is the constant %s",
+						atom.Name, vd.Name, vd.Init),
+				}, vd.Pos))
+			}
+		}
+	}
+	return out
+}
+
+// lintPriorities flags interactions a priority rule makes permanently
+// unfireable (BIP010): for an unconditional rule low < high where
+// high's guard is statically true, if — at every reachable control
+// state where low's ports are all offered — high's ports are all
+// unconditionally offered, then high is always enabled whenever low is,
+// and low never fires. The query asks SAT for a counterexample state
+// (low offered ∧ some high port not unconditionally offered); UNSAT
+// means domination. Within a single connector's expansion (names share
+// the "name#" prefix) domination is the intended maximal-progress
+// semantics and is reported as info, not warning.
+func (a *analysis) lintPriorities() []Diagnostic {
+	sys := a.sys
+	var out []Diagnostic
+	flagged := make(map[string]bool)
+	for _, p := range sys.Priorities {
+		if p.When != nil || flagged[p.Low] {
+			continue
+		}
+		lo, hi := sys.InteractionIndex(p.Low), sys.InteractionIndex(p.High)
+		if lo < 0 || hi < 0 {
+			continue
+		}
+		if !staticallyTrue(sys.Interactions[hi].Guard) {
+			continue // high may be data-disabled; cannot prove domination
+		}
+		if !a.dominated(lo, hi) {
+			continue
+		}
+		flagged[p.Low] = true
+		sev := SeverityWarning
+		msg := fmt.Sprintf("interaction %s never fires: priority %s < %s suppresses it at every reachable control state where it is offered",
+			p.Low, p.Low, p.High)
+		if fam, same := sameConnectorFamily(p.Low, p.High); same {
+			sev = SeverityInfo
+			msg += fmt.Sprintf(" (maximal progress within connector %s)", fam)
+		}
+		out = append(out, withPos(Diagnostic{
+			Code:     CodeDominated,
+			Severity: sev,
+			Item:     p.Low,
+			Message:  msg,
+		}, p.Pos))
+	}
+	return out
+}
+
+// sameConnectorFamily reports whether both interaction names come from
+// the same connector expansion ("conn#a.p+b.q" style names).
+func sameConnectorFamily(lo, hi string) (string, bool) {
+	i, j := strings.IndexByte(lo, '#'), strings.IndexByte(hi, '#')
+	if i <= 0 || j <= 0 || i != j || lo[:i] != hi[:j] {
+		return "", false
+	}
+	return lo[:i], true
+}
+
+// dominated runs the BIP010 SAT query for rule lo < hi.
+func (a *analysis) dominated(lo, hi int) bool {
+	sys := a.sys
+	inLo, inHi := sys.Interactions[lo], sys.Interactions[hi]
+	for pi, pr := range inLo.Ports {
+		if len(a.offer[sys.PortAtoms(lo)[pi]][pr.Port]) == 0 {
+			return false // lo is already dead; BIP006 reports that
+		}
+	}
+	for pi, pr := range inHi.Ports {
+		if len(a.uncond[sys.PortAtoms(hi)[pi]][pr.Port]) == 0 {
+			return false // hi is never unconditionally offered on pr
+		}
+	}
+	s := sat.New()
+	locVar, ok := a.addOneHot(s, append(append([]int(nil), sys.PortAtoms(lo)...), sys.PortAtoms(hi)...))
+	if !ok {
+		return false
+	}
+	for pi, pr := range inLo.Ports {
+		ai := sys.PortAtoms(lo)[pi]
+		var cl []sat.Lit
+		for _, li := range a.offer[ai][pr.Port] {
+			cl = append(cl, sat.Lit(locVar[locKey{ai, li}]))
+		}
+		if s.AddClause(cl...) != nil {
+			return false
+		}
+	}
+	// Some high port is not unconditionally offered: auxiliary
+	// "missing_q" variables, at least one true, each implying the
+	// atom sits outside q's unconditional-offer locations.
+	var aux []sat.Lit
+	for pi, pr := range inHi.Ports {
+		ai := sys.PortAtoms(hi)[pi]
+		m := s.NewNamedVar("missing:" + pr.String())
+		aux = append(aux, sat.Lit(m))
+		for _, li := range a.uncond[ai][pr.Port] {
+			if s.AddClause(-sat.Lit(m), -sat.Lit(locVar[locKey{ai, li}])) != nil {
+				return false
+			}
+		}
+	}
+	if s.AddClause(aux...) != nil {
+		return false
+	}
+	_, satisfiable := s.Solve()
+	return !satisfiable
+}
+
+// lintReduction explains the partial-order reduction structure
+// (BIP011, informational): why `Reduce` cannot prune this model — a
+// single connector cluster, or clusters poisoned by priority
+// entanglement — naming the responsible interaction and priority rule.
+// Models where reduction simply works stay silent.
+func (a *analysis) lintReduction() []Diagnostic {
+	sys := a.sys
+	if len(sys.Atoms) < 2 {
+		return nil
+	}
+	nc := sys.NumClusters()
+	var out []Diagnostic
+	if nc == 1 {
+		msg := fmt.Sprintf("partial-order reduction cannot prune this model: all %d atoms form a single cluster through shared interactions, so the only ample set is the full move set",
+			len(sys.Atoms))
+		if !sys.ClusterReducible(0) {
+			if ii, rule := a.entanglement(0); ii >= 0 {
+				msg += fmt.Sprintf("; the cluster is also priority-entangled (interaction %s via rule %s)",
+					sys.Interactions[ii].Name, rule)
+			}
+		}
+		return append(out, Diagnostic{
+			Code:     CodeReduction,
+			Severity: SeverityInfo,
+			Message:  msg,
+		})
+	}
+	for ci := 0; ci < nc; ci++ {
+		if sys.ClusterReducible(ci) {
+			continue
+		}
+		ii, rule := a.entanglement(ci)
+		if ii < 0 {
+			continue
+		}
+		var members []int
+		for ai := range sys.Atoms {
+			if sys.AtomCluster(ai) == ci {
+				members = append(members, ai)
+			}
+		}
+		out = append(out, Diagnostic{
+			Code:     CodeReduction,
+			Severity: SeverityInfo,
+			Item:     sys.Interactions[ii].Name,
+			Message: fmt.Sprintf("cluster {%s} is excluded from partial-order reduction: interaction %s is priority-entangled (rule %s)",
+				strings.Join(a.sortedAtomSet(members), ", "), sys.Interactions[ii].Name, rule),
+		})
+	}
+	return out
+}
+
+// entanglement finds the first priority-entangled interaction of
+// cluster ci and the rule that entangles it: the first rule naming it
+// as Low or High, else the first rule whose When condition reads a
+// variable of one of its participants.
+func (a *analysis) entanglement(ci int) (int, string) {
+	sys := a.sys
+	for ii, in := range sys.Interactions {
+		if sys.InteractionCluster(ii) != ci || !sys.PriorityEntangled(ii) {
+			continue
+		}
+		for _, p := range sys.Priorities {
+			if p.Low == in.Name || p.High == in.Name {
+				return ii, p.String()
+			}
+		}
+		participants := make(map[string]bool)
+		for _, comp := range in.Participants() {
+			participants[comp] = true
+		}
+		for _, p := range sys.Priorities {
+			for _, v := range expr.Vars(p.When) {
+				if i := strings.LastIndexByte(v, '.'); i > 0 && participants[v[:i]] {
+					return ii, p.String()
+				}
+			}
+		}
+		return ii, "unknown"
+	}
+	return -1, ""
+}

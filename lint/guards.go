@@ -1,0 +1,236 @@
+package lint
+
+import (
+	"math"
+
+	"bip/internal/expr"
+)
+
+// Static guard analysis over the boolean fragment: decide, without any
+// variable valuation, whether a guard can never hold (staticallyFalse)
+// or must always hold (staticallyTrue). Both are conservative — "don't
+// know" answers false — so the passes built on them never produce false
+// positives: a guard reported contradictory truly is, a transition
+// treated as possibly-enabled may still be dead for data reasons lint
+// does not see.
+
+// staticallyTrue reports whether the guard holds in every environment.
+// nil is BIP's constant-true guard; otherwise only closed expressions
+// that evaluate to true qualify.
+func staticallyTrue(e expr.Expr) bool {
+	if e == nil {
+		return true
+	}
+	if v, ok := constBool(e); ok {
+		return v
+	}
+	return false
+}
+
+// staticallyFalse reports whether the guard can never hold: a closed
+// expression evaluating to false, a disjunction of statically-false
+// branches, or a conjunction whose integer-interval / boolean-forcing
+// constraints contradict (e.g. `x < 2 && x > 5`, `b && !b`).
+func staticallyFalse(e expr.Expr) bool {
+	if e == nil {
+		return false
+	}
+	if v, ok := constBool(e); ok {
+		return !v
+	}
+	switch b := e.(type) {
+	case expr.Binary:
+		switch b.Op {
+		case expr.OpOr:
+			return staticallyFalse(b.X) && staticallyFalse(b.Y)
+		case expr.OpAnd:
+			if staticallyFalse(b.X) || staticallyFalse(b.Y) {
+				return true
+			}
+			return contradictoryConjunction(e)
+		}
+	}
+	return false
+}
+
+// constBool evaluates a closed boolean expression. Any free variable
+// (or type error) makes the expression non-constant.
+func constBool(e expr.Expr) (val, ok bool) {
+	v, err := expr.EvalBool(e, expr.MapEnv{})
+	if err != nil {
+		return false, false
+	}
+	return v, true
+}
+
+// varRange is the interval/forcing state accumulated for one variable
+// across the conjuncts of a guard.
+type varRange struct {
+	lo, hi     int64 // integer interval (inclusive)
+	hasBool    bool
+	forcedBool bool
+}
+
+// contradictoryConjunction flattens a conjunction and intersects the
+// per-variable constraints of its atomic comparisons. Conjuncts it
+// cannot interpret (arithmetic on both sides, disjunctions, !=) are
+// skipped, keeping the check conservative.
+func contradictoryConjunction(e expr.Expr) bool {
+	ranges := make(map[string]*varRange)
+	bad := false
+	var visit func(expr.Expr)
+	visit = func(c expr.Expr) {
+		if bad {
+			return
+		}
+		if b, ok := c.(expr.Binary); ok && b.Op == expr.OpAnd {
+			visit(b.X)
+			visit(b.Y)
+			return
+		}
+		if staticallyFalse(c) {
+			bad = true
+			return
+		}
+		name, rng, boolVal, kind := conjunctConstraint(c)
+		if kind == constraintNone {
+			return
+		}
+		r, ok := ranges[name]
+		if !ok {
+			r = &varRange{lo: math.MinInt64, hi: math.MaxInt64}
+			ranges[name] = r
+		}
+		switch kind {
+		case constraintInt:
+			if rng.lo > r.lo {
+				r.lo = rng.lo
+			}
+			if rng.hi < r.hi {
+				r.hi = rng.hi
+			}
+			if r.lo > r.hi {
+				bad = true
+			}
+		case constraintBool:
+			if r.hasBool && r.forcedBool != boolVal {
+				bad = true
+			}
+			r.hasBool = true
+			r.forcedBool = boolVal
+		}
+	}
+	visit(e)
+	return bad
+}
+
+type constraintKind int
+
+const (
+	constraintNone constraintKind = iota
+	constraintInt
+	constraintBool
+)
+
+// conjunctConstraint interprets one conjunct as a constraint on a single
+// variable: var ⊙ intConst (either side), a bare boolean variable, its
+// negation, or var ==/!= boolConst.
+func conjunctConstraint(c expr.Expr) (name string, rng varRange, boolVal bool, kind constraintKind) {
+	switch t := c.(type) {
+	case expr.Var:
+		return t.Name, varRange{}, true, constraintBool
+	case expr.Unary:
+		if t.Op == expr.OpNot {
+			if v, ok := t.X.(expr.Var); ok {
+				return v.Name, varRange{}, false, constraintBool
+			}
+		}
+	case expr.Binary:
+		v, c64, isBool, bval, op, ok := splitComparison(t)
+		if !ok {
+			return "", varRange{}, false, constraintNone
+		}
+		if isBool {
+			switch op {
+			case expr.OpEq:
+				return v, varRange{}, bval, constraintBool
+			case expr.OpNe:
+				return v, varRange{}, !bval, constraintBool
+			}
+			return "", varRange{}, false, constraintNone
+		}
+		r := varRange{lo: math.MinInt64, hi: math.MaxInt64}
+		switch op {
+		case expr.OpEq:
+			r.lo, r.hi = c64, c64
+		case expr.OpLt:
+			if c64 == math.MinInt64 {
+				return "", varRange{}, false, constraintNone
+			}
+			r.hi = c64 - 1
+		case expr.OpLe:
+			r.hi = c64
+		case expr.OpGt:
+			if c64 == math.MaxInt64 {
+				return "", varRange{}, false, constraintNone
+			}
+			r.lo = c64 + 1
+		case expr.OpGe:
+			r.lo = c64
+		default: // OpNe constrains nothing representable as one interval
+			return "", varRange{}, false, constraintNone
+		}
+		return v, r, false, constraintInt
+	}
+	return "", varRange{}, false, constraintNone
+}
+
+// splitComparison normalizes `x ⊙ const` / `const ⊙ x` to variable-
+// on-the-left form, flipping the operator when the constant is on the
+// left.
+func splitComparison(b expr.Binary) (name string, intVal int64, isBool, boolVal bool, op expr.Op, ok bool) {
+	switch b.Op {
+	case expr.OpEq, expr.OpNe, expr.OpLt, expr.OpLe, expr.OpGt, expr.OpGe:
+	default:
+		return "", 0, false, false, 0, false
+	}
+	if v, okv := b.X.(expr.Var); okv {
+		if iv, bv, isb, okc := constOperand(b.Y); okc {
+			return v.Name, iv, isb, bv, b.Op, true
+		}
+	}
+	if v, okv := b.Y.(expr.Var); okv {
+		if iv, bv, isb, okc := constOperand(b.X); okc {
+			return v.Name, iv, isb, bv, flip(b.Op), true
+		}
+	}
+	return "", 0, false, false, 0, false
+}
+
+func constOperand(e expr.Expr) (intVal int64, boolVal, isBool, ok bool) {
+	l, okl := e.(expr.Lit)
+	if !okl {
+		return 0, false, false, false
+	}
+	if iv, oki := l.Val.Int(); oki {
+		return iv, false, false, true
+	}
+	if bv, okb := l.Val.Bool(); okb {
+		return 0, bv, true, true
+	}
+	return 0, false, false, false
+}
+
+func flip(op expr.Op) expr.Op {
+	switch op {
+	case expr.OpLt:
+		return expr.OpGt
+	case expr.OpLe:
+		return expr.OpGe
+	case expr.OpGt:
+		return expr.OpLt
+	case expr.OpGe:
+		return expr.OpLe
+	}
+	return op // Eq/Ne are symmetric
+}

@@ -1,0 +1,215 @@
+// Package lint statically analyzes a validated BIP system and reports
+// model defects *before* any state-space exploration: unreachable
+// locations, dead transitions, contradictory guards, disconnected ports
+// and atoms, interactions that can never be enabled, priority rules that
+// permanently dominate an interaction, unused variables, and an
+// explanation of why partial-order reduction will (or will not) help.
+//
+// Every finding is a Diagnostic with a stable code (BIP001…), a
+// severity, and — for models built by the DSL front-end, which records
+// source spans on declarations — a line/column position. Diagnostics are
+// deterministic: the same system yields the same list in the same order.
+//
+// All passes are structural or SAT-over-control queries; none of them
+// enumerate global states, so lint cost is polynomial in model size (and
+// in practice orders of magnitude below exploration — pinned by the E22
+// floor test). The SAT passes over-approximate reachability, so a "never
+// enabled" or "always dominated" verdict is sound: lint has no false
+// positives on those codes by construction.
+package lint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"bip/internal/core"
+)
+
+// Severity classifies a diagnostic.
+type Severity string
+
+// Severities, from informational to fatal. Lint itself never emits
+// SeverityError today (a model that validates is runnable); the level
+// exists so -Werror promotion and future passes have a place to go.
+const (
+	SeverityInfo    Severity = "info"
+	SeverityWarning Severity = "warning"
+	SeverityError   Severity = "error"
+)
+
+// Diagnostic codes. Codes are stable across releases: tools and tests
+// match on them, so a pass may be improved but a code never changes
+// meaning or gets reused.
+const (
+	CodeUnreachableLocation = "BIP001" // location unreachable in the atom's control graph
+	CodeDeadTransition      = "BIP002" // transition whose source location is unreachable
+	CodeFalseGuard          = "BIP003" // transition guard statically false (source reachable)
+	CodeUnboundPort         = "BIP004" // port bound to no interaction
+	CodeUntouchedAtom       = "BIP005" // atom participates in no interaction
+	CodeDeadInteraction     = "BIP006" // interaction never enabled (control-level SAT)
+	CodeFalseInteraction    = "BIP007" // interaction guard statically false
+	CodeUnreadVariable      = "BIP008" // variable never read
+	CodeUnwrittenVariable   = "BIP009" // variable read but never written (constant)
+	CodeDominated           = "BIP010" // interaction suppressed by priority at every offering state
+	CodeReduction           = "BIP011" // reduction explainability (why POR can/cannot prune)
+	CodeReductionDegraded   = "BIP012" // a property's visibility forced full expansion
+)
+
+// Diagnostic is one lint finding. The wire shape is JSON-stable: bipd
+// attaches diagnostics to job views and serves them from /v1/lint.
+// Atom/Item/Line/Col are contextual and omitted when unknown (hand-built
+// models carry no source positions).
+type Diagnostic struct {
+	Code     string   `json:"code"`
+	Severity Severity `json:"severity"`
+	// Atom is the owning component instance, when the finding is local
+	// to one.
+	Atom string `json:"atom,omitempty"`
+	// Item names the specific declaration: a location, port, variable,
+	// transition ("from->to on port"), interaction, or priority rule.
+	Item    string `json:"item,omitempty"`
+	Line    int    `json:"line,omitempty"`
+	Col     int    `json:"col,omitempty"`
+	Message string `json:"message"`
+}
+
+// Render formats the diagnostic compiler-style:
+//
+//	path:line:col: severity: CODE: message
+//
+// omitting the position when unknown and the path when empty.
+func (d Diagnostic) Render(path string) string {
+	var b strings.Builder
+	if path != "" {
+		b.WriteString(path)
+		if d.Line > 0 {
+			fmt.Fprintf(&b, ":%d:%d", d.Line, d.Col)
+		}
+		b.WriteString(": ")
+	} else if d.Line > 0 {
+		fmt.Fprintf(&b, "%d:%d: ", d.Line, d.Col)
+	}
+	fmt.Fprintf(&b, "%s: %s: %s", d.Severity, d.Code, d.Message)
+	return b.String()
+}
+
+// String renders without a file path.
+func (d Diagnostic) String() string { return d.Render("") }
+
+// HasWarnings reports whether any diagnostic is warning severity or
+// above — the -Werror / service admission predicate. Infos never fail a
+// build.
+func HasWarnings(diags []Diagnostic) bool {
+	for _, d := range diags {
+		if d.Severity != SeverityInfo {
+			return true
+		}
+	}
+	return false
+}
+
+// ReductionDegraded builds the BIP012 diagnostic naming the property
+// whose visibility forced `Reduce` to degrade to full expansion. It is
+// emitted by the verification path (which knows the compiled
+// properties), not by Analyze (which sees only the system).
+func ReductionDegraded(property string) Diagnostic {
+	return Diagnostic{
+		Code:     CodeReductionDegraded,
+		Severity: SeverityInfo,
+		Item:     property,
+		Message: fmt.Sprintf("partial-order reduction degraded to full expansion: property %q observes the whole state (opaque or step-counting form)",
+			property),
+	}
+}
+
+// Analyze runs every lint pass over the system and returns the findings
+// in deterministic order: per-atom control-graph passes first (in atom
+// declaration order), then connectivity, interaction enabledness,
+// variable usage, priority domination, and reduction explainability.
+//
+// The system is validated first (Validate is idempotent); an invalid
+// system is an error, not a diagnostic — lint analyzes models the
+// engine would accept.
+func Analyze(sys *core.System) ([]Diagnostic, error) {
+	if sys == nil {
+		return nil, fmt.Errorf("lint: nil system")
+	}
+	if err := sys.Validate(); err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
+	}
+	a := newAnalysis(sys)
+	var out []Diagnostic
+	out = append(out, a.lintAtoms()...)
+	out = append(out, a.lintConnectivity()...)
+	out = append(out, a.lintInteractions()...)
+	out = append(out, a.lintVariables()...)
+	out = append(out, a.lintPriorities()...)
+	out = append(out, a.lintReduction()...)
+	return out, nil
+}
+
+// analysis carries the per-atom control-graph facts shared by the
+// passes: reachable locations and, per port, the set of reachable
+// source locations offering it.
+type analysis struct {
+	sys *core.System
+	// reach[ai][li] — location li of atom ai is reachable from the
+	// initial location through transitions whose guards are not
+	// statically false (an over-approximation of global reachability).
+	reach [][]bool
+	// offer[ai][port] — reachable source locations (indices) with a
+	// not-statically-false transition on port: the control states where
+	// the port *may* be offered.
+	offer []map[string][]int
+	// uncond[ai][port] — the subset of offer with a statically-true
+	// (unguarded) transition: control states where the port is
+	// *certainly* offered regardless of data.
+	uncond []map[string][]int
+}
+
+func newAnalysis(sys *core.System) *analysis {
+	a := &analysis{
+		sys:    sys,
+		reach:  make([][]bool, len(sys.Atoms)),
+		offer:  make([]map[string][]int, len(sys.Atoms)),
+		uncond: make([]map[string][]int, len(sys.Atoms)),
+	}
+	for ai, atom := range sys.Atoms {
+		a.reach[ai] = reachableLocations(atom)
+		a.offer[ai] = make(map[string][]int)
+		a.uncond[ai] = make(map[string][]int)
+		for _, t := range atom.Transitions {
+			li, ok := atom.LocationIndex(t.From)
+			if !ok || !a.reach[ai][li] || staticallyFalse(t.Guard) {
+				continue
+			}
+			if !containsInt(a.offer[ai][t.Port], li) {
+				a.offer[ai][t.Port] = append(a.offer[ai][t.Port], li)
+			}
+			if staticallyTrue(t.Guard) && !containsInt(a.uncond[ai][t.Port], li) {
+				a.uncond[ai][t.Port] = append(a.uncond[ai][t.Port], li)
+			}
+		}
+	}
+	return a
+}
+
+func containsInt(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// sortedAtomSet renders a set of atom indices as sorted names.
+func (a *analysis) sortedAtomSet(idx []int) []string {
+	names := make([]string, len(idx))
+	for i, ai := range idx {
+		names[i] = a.sys.Atoms[ai].Name
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,230 @@
+// Black-box tests of the static analyzer over a seeded-defect corpus:
+// every diagnostic code has a minimal model in testdata/ that triggers
+// it, with the rendered output pinned in a .golden file (refresh with
+// go test ./lint -update). The zoo and the shipped examples are
+// asserted warning-free — the analyzer's no-false-positives contract.
+package lint_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"bip"
+	"bip/lint"
+	"bip/models"
+)
+
+var update = flag.Bool("update", false, "rewrite the .golden files")
+
+// corpus parses every testdata model and returns name → system.
+func corpus(t *testing.T) map[string]*bip.System {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join("testdata", "*.bip"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("empty corpus")
+	}
+	out := make(map[string]*bip.System, len(paths))
+	for _, path := range paths {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys, err := bip.Parse(string(src))
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		out[filepath.Base(path)] = sys
+	}
+	return out
+}
+
+// TestGoldenCorpus pins the exact rendered diagnostics for each seeded
+// defect, and that the code named in the filename (bipNNN_*.bip) is
+// among them with a source position — the span plumbing from the DSL
+// through behavior and core to the diagnostic.
+func TestGoldenCorpus(t *testing.T) {
+	for name, sys := range corpus(t) {
+		t.Run(name, func(t *testing.T) {
+			diags, err := lint.Analyze(sys)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var b strings.Builder
+			for _, d := range diags {
+				b.WriteString(d.Render(name))
+				b.WriteByte('\n')
+			}
+			golden := filepath.Join("testdata", strings.TrimSuffix(name, ".bip")+".golden")
+			if *update {
+				if err := os.WriteFile(golden, []byte(b.String()), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if b.String() != string(want) {
+				t.Errorf("diagnostics changed (run with -update to accept):\n got:\n%s\nwant:\n%s", b.String(), want)
+			}
+
+			// bipNNN from the filename is the code this model seeds.
+			code := "BIP" + name[3:6]
+			found := false
+			for _, d := range diags {
+				if d.Code != code {
+					continue
+				}
+				found = true
+				// Reduction explainability (BIP011) is a whole-model
+				// fact with no single source span; everything else must
+				// carry the defect's position.
+				if code != lint.CodeReduction && d.Line == 0 {
+					t.Errorf("%s carries no source position: %+v", code, d)
+				}
+			}
+			if !found {
+				t.Errorf("seeded defect %s not reported; got %+v", code, diags)
+			}
+		})
+	}
+}
+
+// TestAnalyzeDeterministic: same system in, same diagnostics out —
+// byte-for-byte, across repeated runs (ordering comes from model
+// declaration order, never map iteration).
+func TestAnalyzeDeterministic(t *testing.T) {
+	for name, sys := range corpus(t) {
+		first, err := lint.Analyze(sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 5; i++ {
+			again, err := lint.Analyze(sys)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(first, again) {
+				t.Fatalf("%s: run %d diverged:\n got %+v\nwant %+v", name, i, again, first)
+			}
+		}
+	}
+}
+
+// TestZooClean: the model zoo is the no-false-positives fixture — every
+// shipped model lints without warnings (informational findings such as
+// reduction explainability are expected and allowed). UnsafeElevator is
+// the deliberate exception: it drops two port bindings by design, and
+// lint must say exactly that.
+func TestZooClean(t *testing.T) {
+	zoo := map[string]func() (*bip.System, error){
+		"philosophers":    func() (*bip.System, error) { return models.Philosophers(4) },
+		"philosophers-dl": func() (*bip.System, error) { return models.PhilosophersDeadlocking(4) },
+		"tokenring":       func() (*bip.System, error) { return models.TokenRing(5) },
+		"gasstation":      func() (*bip.System, error) { return models.GasStation(2, 3) },
+		"elevator":        func() (*bip.System, error) { return models.Elevator(4) },
+		"prodcons":        func() (*bip.System, error) { return models.ProducerConsumer(3) },
+		"countergrid":     func() (*bip.System, error) { return models.CounterGrid(3, 4) },
+		"diamond":         func() (*bip.System, error) { return models.DiamondGrid(4) },
+		"gcd":             func() (*bip.System, error) { return models.GCD(18, 12) },
+		"temperature":     func() (*bip.System, error) { return models.Temperature(1, 10, 3) },
+		"philrings":       func() (*bip.System, error) { return models.PhilosopherRings(2, 3) },
+		"deepchain":       func() (*bip.System, error) { return models.DeepChain(6) },
+	}
+	for name, build := range zoo {
+		t.Run(name, func(t *testing.T) {
+			sys, err := build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			diags, err := lint.Analyze(sys)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if lint.HasWarnings(diags) {
+				t.Fatalf("false positive on a shipped model: %+v", diags)
+			}
+		})
+	}
+	t.Run("unsafe-elevator", func(t *testing.T) {
+		sys, err := models.UnsafeElevator(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		diags, err := lint.Analyze(sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var unbound int
+		for _, d := range diags {
+			if d.Severity != lint.SeverityInfo && d.Code != lint.CodeUnboundPort {
+				t.Fatalf("unexpected warning class: %+v", d)
+			}
+			if d.Code == lint.CodeUnboundPort {
+				unbound++
+			}
+		}
+		if unbound != 2 {
+			t.Fatalf("UnsafeElevator drops exactly 2 bindings, lint found %d: %+v", unbound, diags)
+		}
+	})
+}
+
+// TestExamplesClean: every .bip file shipped under examples/ lints
+// without warnings.
+func TestExamplesClean(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("..", "examples", "*.bip"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no example models found")
+	}
+	for _, path := range paths {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys, err := bip.Parse(string(src))
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		diags, err := lint.Analyze(sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lint.HasWarnings(diags) {
+			t.Fatalf("%s: false positive: %+v", path, diags)
+		}
+	}
+}
+
+// FuzzLint pins total robustness: any source the parser accepts must
+// analyze without panicking — lint sits in front of bipd's network
+// input.
+func FuzzLint(f *testing.F) {
+	paths, _ := filepath.Glob(filepath.Join("testdata", "*.bip"))
+	for _, path := range paths {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(src))
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		sys, err := bip.Parse(src)
+		if err != nil {
+			return
+		}
+		if _, err := lint.Analyze(sys); err != nil {
+			t.Skip() // validation rejected it; only panics are failures
+		}
+	})
+}

@@ -1,0 +1,154 @@
+package lint
+
+import (
+	"fmt"
+
+	"bip/internal/behavior"
+)
+
+// Per-atom control-graph passes: BIP001 (unreachable location), BIP002
+// (dead transition), BIP003 (statically false guard).
+
+// reachableLocations runs BFS over the atom's control graph from the
+// initial location, following transitions whose guards are not
+// statically false. Because it ignores data and interaction
+// availability, the result over-approximates the locations the atom can
+// occupy in any global run — so "unreachable" here is definitive.
+func reachableLocations(a *behavior.Atom) []bool {
+	reach := make([]bool, len(a.Locations))
+	init, ok := a.LocationIndex(a.Initial)
+	if !ok {
+		return reach
+	}
+	// succ[li] — successor locations via viable transitions.
+	succ := make([][]int, len(a.Locations))
+	for _, t := range a.Transitions {
+		if staticallyFalse(t.Guard) {
+			continue
+		}
+		fi, okf := a.LocationIndex(t.From)
+		ti, okt := a.LocationIndex(t.To)
+		if okf && okt {
+			succ[fi] = append(succ[fi], ti)
+		}
+	}
+	queue := []int{init}
+	reach[init] = true
+	for len(queue) > 0 {
+		li := queue[0]
+		queue = queue[1:]
+		for _, ni := range succ[li] {
+			if !reach[ni] {
+				reach[ni] = true
+				queue = append(queue, ni)
+			}
+		}
+	}
+	return reach
+}
+
+// transItem names a transition for diagnostics.
+func transItem(t behavior.Transition) string {
+	return fmt.Sprintf("%s->%s on %s", t.From, t.To, t.Port)
+}
+
+// posOf fills Line/Col from a behavior position when known.
+func withPos(d Diagnostic, p behavior.Pos) Diagnostic {
+	if p.Known() {
+		d.Line, d.Col = p.Line, p.Col
+	}
+	return d
+}
+
+func (a *analysis) lintAtoms() []Diagnostic {
+	var out []Diagnostic
+	for ai, atom := range a.sys.Atoms {
+		reach := a.reach[ai]
+		for li, name := range atom.Locations {
+			if reach[li] {
+				continue
+			}
+			var pos behavior.Pos
+			if li < len(atom.LocPos) {
+				pos = atom.LocPos[li]
+			}
+			out = append(out, withPos(Diagnostic{
+				Code:     CodeUnreachableLocation,
+				Severity: SeverityWarning,
+				Atom:     atom.Name,
+				Item:     name,
+				Message: fmt.Sprintf("atom %s: location %q is unreachable from initial location %q",
+					atom.Name, name, atom.Initial),
+			}, pos))
+		}
+		for _, t := range atom.Transitions {
+			fi, ok := atom.LocationIndex(t.From)
+			if ok && !reach[fi] {
+				out = append(out, withPos(Diagnostic{
+					Code:     CodeDeadTransition,
+					Severity: SeverityWarning,
+					Atom:     atom.Name,
+					Item:     transItem(t),
+					Message: fmt.Sprintf("atom %s: transition %s is dead: source location %q is unreachable",
+						atom.Name, transItem(t), t.From),
+				}, t.Pos))
+				continue // the unreachable source subsumes a false guard
+			}
+			if staticallyFalse(t.Guard) {
+				out = append(out, withPos(Diagnostic{
+					Code:     CodeFalseGuard,
+					Severity: SeverityWarning,
+					Atom:     atom.Name,
+					Item:     transItem(t),
+					Message: fmt.Sprintf("atom %s: transition %s can never fire: guard %s is statically false",
+						atom.Name, transItem(t), t.Guard),
+				}, t.Pos))
+			}
+		}
+	}
+	return out
+}
+
+// lintConnectivity reports atoms no interaction touches (BIP005) and,
+// for connected atoms, ports no interaction binds (BIP004). An
+// untouched atom suppresses its per-port findings — one diagnostic
+// states the stronger fact.
+func (a *analysis) lintConnectivity() []Diagnostic {
+	sys := a.sys
+	bound := make([]map[string]bool, len(sys.Atoms))
+	for i := range bound {
+		bound[i] = make(map[string]bool)
+	}
+	for ii, in := range sys.Interactions {
+		for pi, pr := range in.Ports {
+			bound[sys.PortAtoms(ii)[pi]][pr.Port] = true
+		}
+	}
+	var out []Diagnostic
+	for ai, atom := range sys.Atoms {
+		if len(sys.IncidentTo(ai)) == 0 {
+			out = append(out, withPos(Diagnostic{
+				Code:     CodeUntouchedAtom,
+				Severity: SeverityWarning,
+				Atom:     atom.Name,
+				Message: fmt.Sprintf("atom %s participates in no interaction: it can never move",
+					atom.Name),
+			}, atom.Pos))
+			continue
+		}
+		for _, p := range atom.Ports {
+			if bound[ai][p.Name] {
+				continue
+			}
+			out = append(out, withPos(Diagnostic{
+				Code:     CodeUnboundPort,
+				Severity: SeverityWarning,
+				Atom:     atom.Name,
+				Item:     p.Name,
+				Message: fmt.Sprintf("atom %s: port %q is bound to no interaction: transitions on it can never fire",
+					atom.Name, p.Name),
+			}, p.Pos))
+		}
+	}
+	return out
+}

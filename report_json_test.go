@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"bip"
+	"bip/models"
 )
 
 // TestReportJSONRoundTrip pins the wire shape bipd serves and caches:
@@ -25,18 +26,19 @@ func TestReportJSONRoundTrip(t *testing.T) {
 			},
 			{Name: "always#2", Conclusive: false},
 		},
-		States:            625,
-		Transitions:       2000,
-		Truncated:         true,
-		Reduced:           true,
-		AmpleStates:       100,
-		PrunedMoves:       50,
-		ProvisoFallbacks:  3,
-		SeenBytes:         1 << 20,
-		PeakFrontierBytes: 1 << 16,
-		ExactPromotions:   7,
-		SpilledChunks:     2,
-		OK:                false,
+		States:              625,
+		Transitions:         2000,
+		Truncated:           true,
+		Reduced:             true,
+		AmpleStates:         100,
+		PrunedMoves:         50,
+		ProvisoFallbacks:    3,
+		SeenBytes:           1 << 20,
+		PeakFrontierBytes:   1 << 16,
+		ExactPromotions:     7,
+		SpilledChunks:       2,
+		ReductionDegradedBy: "invariant",
+		OK:                  false,
 	}
 	data, err := json.Marshal(&rep)
 	if err != nil {
@@ -54,7 +56,8 @@ func TestReportJSONRoundTrip(t *testing.T) {
 		`"conclusive"`, `"states"`, `"transitions"`, `"truncated"`,
 		`"reduced"`, `"ample_states"`, `"pruned_moves"`,
 		`"proviso_fallbacks"`, `"seen_bytes"`, `"peak_frontier_bytes"`,
-		`"exact_promotions"`, `"spilled_chunks"`, `"ok"`,
+		`"exact_promotions"`, `"spilled_chunks"`,
+		`"reduction_degraded_by"`, `"ok"`,
 	} {
 		if !strings.Contains(string(data), key) {
 			t.Fatalf("wire key %s missing from %s", key, data)
@@ -62,22 +65,53 @@ func TestReportJSONRoundTrip(t *testing.T) {
 	}
 }
 
+// TestReductionDegradedBySurfaced pins that a Reduce() run forced back
+// to full expansion by an opaque property names the culprit in the
+// report instead of degrading silently — and that a reduction-friendly
+// run leaves the field empty.
+func TestReductionDegradedBySurfaced(t *testing.T) {
+	sys, err := models.Philosophers(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := bip.Verify(sys, bip.Reduce(),
+		bip.Invariant(func(bip.State) bool { return true }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Reduced {
+		t.Fatal("opaque invariant must degrade reduction to full expansion")
+	}
+	if rep.ReductionDegradedBy != "invariant" {
+		t.Fatalf("ReductionDegradedBy = %q, want %q", rep.ReductionDegradedBy, "invariant")
+	}
+	rep, err = bip.Verify(sys, bip.Reduce(), bip.Deadlock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Reduced || rep.ReductionDegradedBy != "" {
+		t.Fatalf("deadlock check should reduce cleanly: reduced=%v degradedBy=%q",
+			rep.Reduced, rep.ReductionDegradedBy)
+	}
+}
+
 // TestStatsJSONRoundTrip does the same for the progress snapshot shape
 // streamed over SSE.
 func TestStatsJSONRoundTrip(t *testing.T) {
 	st := bip.Stats{
-		States:            1000,
-		Transitions:       4000,
-		PeakFrontier:      128,
-		PeakFrontierBytes: 4096,
-		SeenBytes:         1 << 18,
-		ExactPromotions:   5,
-		SpilledChunks:     1,
-		Truncated:         true,
-		Stopped:           true,
-		AmpleStates:       12,
-		PrunedMoves:       34,
-		ProvisoFallbacks:  1,
+		States:              1000,
+		Transitions:         4000,
+		PeakFrontier:        128,
+		PeakFrontierBytes:   4096,
+		SeenBytes:           1 << 18,
+		ExactPromotions:     5,
+		SpilledChunks:       1,
+		Truncated:           true,
+		Stopped:             true,
+		AmpleStates:         12,
+		PrunedMoves:         34,
+		ProvisoFallbacks:    1,
+		ReductionDegradedBy: "always",
 	}
 	data, err := json.Marshal(&st)
 	if err != nil {

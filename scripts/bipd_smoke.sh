@@ -46,4 +46,34 @@ curl -fsS "http://$ADDR/metrics" | grep -q '^bipd_cache_hits 1$'
 CODE=$(curl -s -o /dev/null -w '%{http_code}' -d '{"model":"system ("}' "http://$ADDR/v1/jobs")
 test "$CODE" = 400
 
-echo "bipd smoke: ok (job $ID verified, resubmission cache hit)"
+# Auto-lint at submission: the pingpong job view carries the model's
+# static-analysis findings (info-level reduction explainability).
+test "$(jq -r '.lint[0].code' <<<"$VIEW")" = BIP011
+
+# POST /v1/lint: a seeded defect (location "island" is unreachable)
+# comes back as a positioned BIP001 warning and the model is not clean;
+# the clean example lints clean; garbage is a 400.
+DEFECT='system flawed
+atom A {
+  port go
+  location a, b, island
+  init a
+  from a to b on go
+  from b to a on go
+}
+instance x : A
+connector go = x.go'
+LINT=$(jq -n --arg model "$DEFECT" '{model: $model}' | curl -fsS -d @- "http://$ADDR/v1/lint")
+test "$(jq -r .clean <<<"$LINT")" = false
+test "$(jq -r '[.diagnostics[] | select(.code == "BIP001")] | length' <<<"$LINT")" = 1
+test "$(jq -r '.diagnostics[] | select(.code == "BIP001") | .line > 0' <<<"$LINT")" = true
+
+CLEAN=$(jq -n --rawfile model examples/pingpong.bip '{model: $model}' |
+  curl -fsS -d @- "http://$ADDR/v1/lint")
+test "$(jq -r .clean <<<"$CLEAN")" = true
+
+CODE=$(curl -s -o /dev/null -w '%{http_code}' -d '{"model":"system ("}' "http://$ADDR/v1/lint")
+test "$CODE" = 400
+curl -fsS "http://$ADDR/metrics" | grep -q '^bipd_lint_requests 2$'
+
+echo "bipd smoke: ok (job $ID verified, resubmission cache hit, lint diagnostics served)"

@@ -107,6 +107,10 @@ type JobView struct {
 	StatesPerSec float64     `json:"states_per_sec,omitempty"`
 	Progress     *bip.Stats  `json:"progress,omitempty"`
 	Report       *bip.Report `json:"report,omitempty"`
+	// Lint carries the static-analysis findings for the submitted
+	// model (submissions are auto-linted; see POST /v1/lint for the
+	// standalone endpoint). Advisory: warnings never block a job.
+	Lint []bip.Diagnostic `json:"lint,omitempty"`
 }
 
 // Event is one SSE payload on GET /v1/jobs/{id}/events: progress
@@ -130,6 +134,9 @@ type job struct {
 	sys     *bip.System
 	opts    []bip.Option // semantic options; ctx/progress added per run
 	timeout time.Duration
+	// lint holds the submission's auto-lint findings; set once before
+	// the job is published, then read-only.
+	lint []bip.Diagnostic
 
 	mu           sync.Mutex
 	state        string
@@ -161,6 +168,7 @@ func (jb *job) view() JobView {
 	return JobView{
 		ID: jb.id, State: jb.state, Cached: jb.cached, Error: jb.errMsg,
 		StatesPerSec: jb.statesPerSec, Progress: jb.progress, Report: jb.report,
+		Lint: jb.lint,
 	}
 }
 

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"bip"
+	"bip/lint"
 	"bip/prop"
 )
 
@@ -93,6 +94,7 @@ type Server struct {
 	done     atomic.Int64
 	failed   atomic.Int64
 	canceled atomic.Int64
+	linted   atomic.Int64
 }
 
 // New starts a Server's worker pool and returns it.
@@ -168,6 +170,7 @@ func (s *Server) CacheStats() (hits, misses int64, size int) {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("POST /v1/lint", s.handleLint)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
@@ -196,6 +199,46 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 // maxRequestBytes bounds a submission body; models are text, a megabyte
 // is generous.
 const maxRequestBytes = 1 << 20
+
+// LintRequest is the POST /v1/lint body: just a textual model.
+type LintRequest struct {
+	Model string `json:"model"`
+}
+
+// LintResponse is the POST /v1/lint answer. Clean means no diagnostic
+// of warning severity or above — informational findings (reduction
+// explainability, named constants) do not dirty a model.
+type LintResponse struct {
+	Diagnostics []bip.Diagnostic `json:"diagnostics"`
+	Clean       bool             `json:"clean"`
+}
+
+// handleLint runs static analysis only: no job, no queue slot, no
+// exploration — the cheap admission filter clients can call before
+// submitting an expensive verification.
+func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) {
+	var req LintRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	sys, err := bip.Parse(req.Model)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "model: %v", err)
+		return
+	}
+	diags, err := bip.Lint(sys)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "lint: %v", err)
+		return
+	}
+	s.linted.Add(1)
+	if diags == nil {
+		diags = []bip.Diagnostic{}
+	}
+	writeJSON(w, http.StatusOK, LintResponse{Diagnostics: diags, Clean: !lint.HasWarnings(diags)})
+}
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req JobRequest
@@ -235,6 +278,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	fp := fingerprint(req.Model, props, req.Options)
 	id := "j" + strconv.FormatInt(s.nextID.Add(1), 10)
 	jb := newJob(id, fp, sys, opts, timeout)
+	// Auto-lint every accepted submission: the diagnostics ride the job
+	// view (cache hits included) so clients see model defects alongside
+	// the verdict without a second request. Advisory only — warnings
+	// never block a job.
+	if diags, lerr := bip.Lint(sys); lerr == nil {
+		jb.lint = diags
+	}
 
 	if rep, ok := s.cache.get(fp); ok {
 		// Answered without an exploration: the job is born terminal.
@@ -357,4 +407,5 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "bipd_cache_hits %d\n", hits)
 	fmt.Fprintf(w, "bipd_cache_misses %d\n", misses)
 	fmt.Fprintf(w, "bipd_cache_size %d\n", size)
+	fmt.Fprintf(w, "bipd_lint_requests %d\n", s.linted.Load())
 }

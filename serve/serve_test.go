@@ -11,6 +11,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"bip"
 )
 
 // pingpong is examples/pingpong.bip inline: a 22-state rally, done in
@@ -431,6 +433,111 @@ func TestBadSubmissions(t *testing.T) {
 func jsonQuote(s string) string {
 	b, _ := json.Marshal(s)
 	return string(b)
+}
+
+// defective is a model with a seeded flaw: location c can never be
+// reached, so lint must report BIP001 at its declaration site.
+const defective = `system flawed
+atom A {
+  port go
+  location a, b, c
+  init a
+  from a to b on go
+  from b to a on go
+}
+instance x : A
+connector go = x.go
+`
+
+// TestLintEndpoint: POST /v1/lint runs static analysis without
+// touching the job queue — a seeded defect comes back as a positioned
+// diagnostic, a clean model comes back clean, and garbage is a 400.
+func TestLintEndpoint(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	post := func(body string) (*http.Response, LintResponse) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/lint", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		var lr LintResponse
+		if resp.StatusCode == http.StatusOK {
+			if err := json.NewDecoder(resp.Body).Decode(&lr); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return resp, lr
+	}
+
+	resp, lr := post(`{"model": ` + jsonQuote(defective) + `}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("lint status %d, want 200", resp.StatusCode)
+	}
+	if lr.Clean {
+		t.Fatalf("defective model reported clean: %+v", lr.Diagnostics)
+	}
+	found := false
+	for _, d := range lr.Diagnostics {
+		if d.Code == "BIP001" {
+			found = true
+			if d.Line == 0 {
+				t.Fatalf("BIP001 without a source position: %+v", d)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no BIP001 for the unreachable location: %+v", lr.Diagnostics)
+	}
+
+	// pingpong is warning-free (its priority entanglement is info-level),
+	// and a clean answer still carries a non-null diagnostics array.
+	resp, lr = post(`{"model": ` + jsonQuote(pingpong) + `}`)
+	if resp.StatusCode != http.StatusOK || !lr.Clean {
+		t.Fatalf("pingpong lint: status %d clean=%v diags=%+v",
+			resp.StatusCode, lr.Clean, lr.Diagnostics)
+	}
+	if lr.Diagnostics == nil {
+		t.Fatal("clean response must carry [] diagnostics, not null")
+	}
+
+	for _, bad := range []string{`{"model": `, `{"model": "system ("}`} {
+		if resp, _ := post(bad); resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("lint of %q: status %d, want 400", bad, resp.StatusCode)
+		}
+	}
+	if s.linted.Load() == 0 {
+		t.Fatal("lint counter never incremented")
+	}
+}
+
+// TestSubmitAttachesLint: every accepted job is auto-linted at
+// submission, and the findings ride along on the job view — advisory
+// only, so the defective model still verifies to completion.
+func TestSubmitAttachesLint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Tick: 10 * time.Millisecond})
+	v, status := submit(t, ts, JobRequest{Model: defective})
+	if status != http.StatusAccepted {
+		t.Fatalf("submit status %d", status)
+	}
+	hasBIP001 := func(diags []bip.Diagnostic) bool {
+		for _, d := range diags {
+			if d.Code == "BIP001" {
+				return true
+			}
+		}
+		return false
+	}
+	if !hasBIP001(v.Lint) {
+		t.Fatalf("fresh job view missing lint findings: %+v", v.Lint)
+	}
+	fin := waitTerminal(t, ts, v.ID, 10*time.Second)
+	if fin.State != StateDone {
+		t.Fatalf("lint warnings must not block the job: ended %s (%s)", fin.State, fin.Error)
+	}
+	if !hasBIP001(fin.Lint) {
+		t.Fatalf("terminal job view lost lint findings: %+v", fin.Lint)
+	}
 }
 
 // TestHealthzAndMetrics: the operational endpoints answer, and metrics

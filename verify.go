@@ -72,6 +72,8 @@ func Verify(sys *System, opts ...Option) (*Report, error) {
 		sinks[i] = p.sink
 	}
 	var expander lts.Expander
+	var degradedBy string
+	progress := cfg.progress
 	if cfg.reduce {
 		var vis lts.Visibility
 		for _, p := range props {
@@ -81,13 +83,30 @@ func Verify(sys *System, opts ...Option) (*Report, error) {
 		// explicit automata, step-counting event forms) cannot be checked
 		// on a reduced graph: degrade the whole run to full expansion
 		// rather than risk the verdict. Report.Reduced records what
-		// actually happened.
+		// actually happened, and ReductionDegradedBy names the first
+		// property responsible so the degradation is never silent.
 		if !vis.All {
 			exp, err := lts.NewAmpleExpander(sys, vis)
 			if err != nil {
 				return nil, fmt.Errorf("bip: verify %s: reduction: %w", sys.Name, err)
 			}
 			expander = exp
+		} else {
+			for i, p := range props {
+				if p.visible.All {
+					degradedBy = names[i]
+					break
+				}
+			}
+			if progress != nil {
+				// Progress snapshots are the wire shape bipd streams;
+				// stamp the degradation cause on each one too.
+				inner := progress
+				progress = func(s Stats) {
+					s.ReductionDegradedBy = degradedBy
+					inner(s)
+				}
+			}
 		}
 	}
 	stats, err := lts.Stream(sys, lts.Options{
@@ -99,25 +118,26 @@ func Verify(sys *System, opts ...Option) (*Report, error) {
 		Seen:          cfg.seen,
 		MemBudget:     cfg.memBudget,
 		Ctx:           cfg.ctx,
-		Progress:      cfg.progress,
+		Progress:      progress,
 		ProgressEvery: cfg.progressEvery,
 	}, lts.NewMulti(sinks...))
 	if err != nil {
 		return nil, fmt.Errorf("bip: verify %s: %w", sys.Name, err)
 	}
 	rep := &Report{
-		States:            stats.States,
-		Transitions:       stats.Transitions,
-		Truncated:         stats.Truncated,
-		Reduced:           expander != nil,
-		AmpleStates:       stats.AmpleStates,
-		PrunedMoves:       stats.PrunedMoves,
-		ProvisoFallbacks:  stats.ProvisoFallbacks,
-		SeenBytes:         stats.SeenBytes,
-		PeakFrontierBytes: stats.PeakFrontierBytes,
-		ExactPromotions:   stats.ExactPromotions,
-		SpilledChunks:     stats.SpilledChunks,
-		OK:                true,
+		States:              stats.States,
+		Transitions:         stats.Transitions,
+		Truncated:           stats.Truncated,
+		Reduced:             expander != nil,
+		AmpleStates:         stats.AmpleStates,
+		PrunedMoves:         stats.PrunedMoves,
+		ProvisoFallbacks:    stats.ProvisoFallbacks,
+		SeenBytes:           stats.SeenBytes,
+		PeakFrontierBytes:   stats.PeakFrontierBytes,
+		ExactPromotions:     stats.ExactPromotions,
+		SpilledChunks:       stats.SpilledChunks,
+		ReductionDegradedBy: degradedBy,
+		OK:                  true,
 	}
 	for i, p := range props {
 		res := p.result()
@@ -516,6 +536,11 @@ type Report struct {
 	// under MemBudget.
 	ExactPromotions int64 `json:"exact_promotions"`
 	SpilledChunks   int64 `json:"spilled_chunks"`
+	// ReductionDegradedBy names the first property whose full
+	// visibility forced a Reduce() run back to full expansion (empty
+	// when reduction ran, or was never requested) — the degradation is
+	// reported, never silent.
+	ReductionDegradedBy string `json:"reduction_degraded_by,omitempty"`
 	// OK is true when every property is conclusive and none is violated.
 	OK bool `json:"ok"`
 }
@@ -536,6 +561,9 @@ func (r *Report) String() string {
 	if r.Reduced {
 		out += fmt.Sprintf(" (reduced: %d ample states, %d moves pruned, %d proviso fallbacks)",
 			r.AmpleStates, r.PrunedMoves, r.ProvisoFallbacks)
+	}
+	if r.ReductionDegradedBy != "" {
+		out += fmt.Sprintf(" (reduction degraded to full expansion by property %s)", r.ReductionDegradedBy)
 	}
 	for _, p := range r.Properties {
 		switch {
