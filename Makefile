@@ -32,7 +32,7 @@ test:
 race:
 	$(GO) test -race ./...
 
-# bench prints one line per paper experiment (E1–E21); full tables via
+# bench prints one line per paper experiment (E1–E23); full tables via
 # `go run ./cmd/bipbench` (reference run recorded in EXPERIMENTS.md).
 bench:
 	$(GO) test -bench . -benchtime=1x -run '^$$' .
@@ -86,7 +86,9 @@ lint-models:
 # bipd-smoke drives the verification service over real HTTP: start
 # bipd, verify examples/pingpong.bip with textual properties, assert
 # the verdict, the cache hit on byte-identical resubmission, and the
-# 400 on malformed input. Needs curl + jq (present on CI runners).
+# 400 on malformed input; then kill -9 a persistent (-data) server
+# mid-flight and assert the restart recovers the interrupted jobs and
+# keeps pre-crash reports. Needs curl + jq (present on CI runners).
 bipd-smoke:
 	./scripts/bipd_smoke.sh
 

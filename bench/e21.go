@@ -71,13 +71,16 @@ func E21Service(jobs, pool, gridN, gridK int) (*Table, error) {
 			"p50", "p95", "p99", "wall", "contract"},
 	}
 
-	srv := serve.New(serve.Config{
+	srv, err := serve.New(serve.Config{
 		Pool:           pool,
 		Queue:          jobs,
 		CacheSize:      2 * jobs,
 		Tick:           10 * time.Millisecond,
 		DefaultTimeout: 2 * time.Minute,
 	})
+	if err != nil {
+		return nil, err
+	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, err

@@ -1,0 +1,316 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"bip/serve"
+	"bip/serve/client"
+)
+
+// E23FaultTolerance measures bipd's crash-recovery path end to end,
+// driven entirely through the retrying serve/client — the consumer the
+// fault-tolerance work exists for. Three phases:
+//
+//  1. LOAD: `jobs` distinct submissions (serviceModel grids) pour
+//     into a persistent server (DataDir-backed journal + report store)
+//     over a pool of `pool` workers. The first half are quick
+//     (gridK^gridN states) and run to completion; then `pool` larger
+//     holder jobs pin every worker while the remainder queue behind
+//     them, and the harness kills the server with Crash() — the
+//     in-process kill -9: no terminal journal records, queued and
+//     running work abandoned mid-flight.
+//  2. RECOVER: a new server opens the same data directory. The harness
+//     measures the replay (New returning means the journal is replayed,
+//     compacted, and every interrupted job re-queued) and then settles
+//     the contract per original job: jobs known-done before the crash
+//     must answer resubmission from the persisted store (zero lost
+//     reports — never re-explored), and every interrupted job must
+//     re-verify to done with the exact expected state count
+//     (re-execution is idempotent by content address).
+//  3. QUOTA: a burst of submissions through a tight per-client token
+//     bucket; the service must reject with 429 + Retry-After on the
+//     wire (the harness requires at least one rejection) while the
+//     client's backoff completes every submission.
+//
+// Any lost report, wrong verdict, failed recovery, or blown maxReplay
+// budget (0 disables the budget) is an error, not a table row.
+func E23FaultTolerance(jobs, pool, gridN, gridK int, maxReplay time.Duration) (*Table, error) {
+	if jobs < 2*(pool+1) || pool < 1 {
+		return nil, fmt.Errorf("bench: E23 needs pool >= 1 and jobs >= 2*(pool+1), got jobs=%d pool=%d", jobs, pool)
+	}
+	t := &Table{
+		ID:    "E23",
+		Title: fmt.Sprintf("bipd fault tolerance: crash with %d jobs in flight, pool %d (%d^%d states/job)", jobs, pool, gridK, gridN),
+		Headers: []string{"phase", "jobs", "done@crash", "recovered", "from store",
+			"re-verified", "quota 429s", "elapsed", "contract"},
+	}
+	wantStates := 1
+	for i := 0; i < gridN; i++ {
+		wantStates *= gridK
+	}
+	// Holder jobs pin the workers across the crash: big enough (>= 2^16
+	// states) that they are provably mid-flight when Crash() fires, small
+	// enough to re-verify after recovery.
+	holderN, holderStates := gridN, wantStates
+	for holderStates < 1<<16 {
+		holderN++
+		holderStates *= gridK
+	}
+	dir, err := os.MkdirTemp("", "bip-e23-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	cfg := serve.Config{
+		Pool:           pool,
+		Queue:          2 * jobs,
+		Tick:           5 * time.Millisecond,
+		DefaultTimeout: 2 * time.Minute,
+		DataDir:        dir,
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+
+	// Phase 1: load, then crash mid-flight.
+	srv1, hs1, base1, err := startService(cfg)
+	if err != nil {
+		return nil, err
+	}
+	c1 := &client.Client{Base: base1, BaseDelay: 5 * time.Millisecond}
+	loadStart := time.Now()
+	type jobSpec struct {
+		id, model string
+		want      int
+		preDone   bool
+	}
+	specs := make([]jobSpec, 0, jobs)
+	submit := func(model string, want int) error {
+		v, err := c1.Submit(ctx, serve.JobRequest{Model: model})
+		if err != nil {
+			return fmt.Errorf("bench: E23 load submit %d: %w", len(specs), err)
+		}
+		specs = append(specs, jobSpec{id: v.ID, model: model, want: want})
+		return nil
+	}
+	// Wave 1: quick jobs, run to completion — their reports are the
+	// zero-loss stake.
+	nQuick := jobs - pool
+	for i := 0; i < nQuick/2; i++ {
+		if err := submit(serviceModel(i, gridN, gridK), wantStates); err != nil {
+			return nil, err
+		}
+	}
+	for i := range specs {
+		fin, err := c1.Wait(ctx, specs[i].id, 5*time.Millisecond)
+		if err != nil {
+			return nil, fmt.Errorf("bench: E23 wave-1 job %s: %w", specs[i].id, err)
+		}
+		if fin.State != serve.StateDone {
+			return nil, fmt.Errorf("bench: E23 wave-1 job %s ended %s before crash", specs[i].id, fin.State)
+		}
+		specs[i].preDone = true
+	}
+	doneAtCrash := len(specs)
+	// Wave 2: holders pin every worker, the rest queue behind them.
+	for i := 0; i < pool; i++ {
+		if err := submit(serviceModel(1000+i, holderN, gridK), holderStates); err != nil {
+			return nil, err
+		}
+	}
+	for i := nQuick / 2; i < nQuick; i++ {
+		if err := submit(serviceModel(i, gridN, gridK), wantStates); err != nil {
+			return nil, err
+		}
+	}
+	// Crash the moment every holder is observably running: the queued
+	// remainder cannot have started, so the crash interrupts pool
+	// running + (jobs - doneAtCrash - pool) queued jobs.
+	for running := 0; running < pool; {
+		running = 0
+		for _, sp := range specs[doneAtCrash : doneAtCrash+pool] {
+			v, err := c1.Get(ctx, sp.id)
+			if err != nil {
+				return nil, fmt.Errorf("bench: E23 holder poll %s: %w", sp.id, err)
+			}
+			if v.State == serve.StateRunning {
+				running++
+			}
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		if running < pool {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	srv1.Crash()
+	hs1.Close()
+	loadElapsed := time.Since(loadStart)
+	t.Rows = append(t.Rows, []string{"load+crash", fmt.Sprint(jobs), fmt.Sprint(doneAtCrash),
+		"-", "-", "-", "-", loadElapsed.Round(time.Millisecond).String(), "ok"})
+
+	// Phase 2: recover on the same data directory.
+	replayStart := time.Now()
+	srv2, hs2, base2, err := startService(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("bench: E23 restart: %w", err)
+	}
+	replay := time.Since(replayStart)
+	defer func() {
+		sctx, scancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer scancel()
+		srv2.Shutdown(sctx)
+		hs2.Close()
+	}()
+	if maxReplay > 0 && replay > maxReplay {
+		return nil, fmt.Errorf("bench: E23 recovery replay took %s, budget %s", replay, maxReplay)
+	}
+	recovered := srv2.Recovered()
+	if recovered == 0 {
+		return nil, fmt.Errorf("bench: E23 crash interrupted nothing (recovered=0); workload too small")
+	}
+	c2 := &client.Client{Base: base2, BaseDelay: 5 * time.Millisecond}
+	fromStore, reverified := 0, 0
+	for _, sp := range specs {
+		if !sp.preDone {
+			// Interrupted (or completed inside the crash window): if the
+			// restarted server still tracks the id it must re-verify;
+			// otherwise it finished pre-crash and falls through to the
+			// zero-lost-reports check below.
+			v, err := c2.Get(ctx, sp.id)
+			if err == nil {
+				fin, err := c2.Wait(ctx, v.ID, 5*time.Millisecond)
+				if err != nil {
+					return nil, fmt.Errorf("bench: E23 recovered job %s: %w", sp.id, err)
+				}
+				if fin.State != serve.StateDone || fin.Report == nil || fin.Report.States != sp.want {
+					return nil, fmt.Errorf("bench: E23 recovered job %s ended %s (err %q), want done with %d states",
+						sp.id, fin.State, fin.Error, sp.want)
+				}
+				if !fin.Recovered {
+					return nil, fmt.Errorf("bench: E23 job %s not flagged recovered", sp.id)
+				}
+				reverified++
+				continue
+			}
+		}
+		// Known done before the crash: its report must have survived —
+		// resubmission is answered from the store, never re-explored.
+		v, err := c2.Submit(ctx, serve.JobRequest{Model: sp.model})
+		if err != nil {
+			return nil, fmt.Errorf("bench: E23 resubmit %s: %w", sp.id, err)
+		}
+		if !v.Cached || v.Report == nil || v.Report.States != sp.want {
+			return nil, fmt.Errorf("bench: E23 LOST REPORT: pre-crash job %s not served from store (view %+v)", sp.id, v)
+		}
+		fromStore++
+	}
+	if fromStore+reverified != jobs {
+		return nil, fmt.Errorf("bench: E23 accounting: %d from store + %d re-verified != %d jobs",
+			fromStore, reverified, jobs)
+	}
+	if fromStore < doneAtCrash {
+		return nil, fmt.Errorf("bench: E23 lost reports: %d known done, only %d served from store",
+			doneAtCrash, fromStore)
+	}
+	t.Rows = append(t.Rows, []string{"recover", fmt.Sprint(jobs), fmt.Sprint(doneAtCrash),
+		fmt.Sprint(recovered), fmt.Sprint(fromStore), fmt.Sprint(reverified), "-",
+		replay.Round(time.Millisecond).String(), "ok"})
+
+	// Phase 3: quota burst through the retrying client.
+	rejections, quotaElapsed, err := quotaBurstRound(ctx, jobs)
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = append(t.Rows, []string{"quota", fmt.Sprint(jobs), "-", "-", "-", "-",
+		fmt.Sprint(rejections), quotaElapsed.Round(time.Millisecond).String(), "ok"})
+
+	t.Notes = append(t.Notes,
+		"crash = serve.Crash(): journal left as a SIGKILL would, queued+running jobs abandoned, no terminal records",
+		fmt.Sprintf("recover replay (restart New on the same -data dir) took %s for %d interrupted jobs", replay.Round(time.Millisecond), recovered),
+		"zero lost reports: every pre-crash completion answered from the content-addressed store; every interrupted job re-verified to the identical state count",
+		fmt.Sprintf("quota: burst of %d through a 2-token bucket at 5/s; %d rejected with 429+Retry-After, all completed by client backoff", jobs, rejections))
+	return t, nil
+}
+
+// startService stands one Server on a loopback listener.
+func startService(cfg serve.Config) (*serve.Server, *http.Server, string, error) {
+	srv, err := serve.New(cfg)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, nil, "", err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	return srv, hs, "http://" + ln.Addr().String(), nil
+}
+
+// quotaBurstRound bursts `n` tiny jobs through a 2-token bucket at 5
+// tokens/s: rejections are certain, completions must be too.
+func quotaBurstRound(ctx context.Context, n int) (rejections int64, elapsed time.Duration, err error) {
+	srv, hs, base, err := startService(serve.Config{
+		Pool:  2,
+		Tick:  5 * time.Millisecond,
+		Quota: serve.QuotaConfig{Rate: 5, Burst: 2},
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	defer func() {
+		sctx, scancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer scancel()
+		srv.Shutdown(sctx)
+		hs.Close()
+	}()
+	c := &client.Client{Base: base, APIKey: "e23-burst",
+		BaseDelay: 5 * time.Millisecond, MaxDelay: 250 * time.Millisecond, MaxRetries: 100}
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		v, err := c.Verify(ctx, serve.JobRequest{Model: serviceModel(i, 2, 2)}, 5*time.Millisecond)
+		if err != nil {
+			return 0, 0, fmt.Errorf("bench: E23 quota burst %d: %w", i, err)
+		}
+		if v.State != serve.StateDone {
+			return 0, 0, fmt.Errorf("bench: E23 quota burst %d ended %s", i, v.State)
+		}
+	}
+	elapsed = time.Since(start)
+	rejections, err = scrapeCounter(base, "bipd_quota_rejections")
+	if err != nil {
+		return 0, 0, err
+	}
+	if rejections == 0 {
+		return 0, 0, fmt.Errorf("bench: E23 quota burst of %d saw no 429s; bucket not exercised", n)
+	}
+	return rejections, elapsed, nil
+}
+
+// scrapeCounter reads one counter off /metrics.
+func scrapeCounter(base, name string) (int64, error) {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		var v int64
+		if _, err := fmt.Sscanf(line, name+" %d", &v); err == nil {
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("bench: metric %s not found", name)
+}

@@ -1,5 +1,5 @@
 // This file holds the root benchmark harness: one Go benchmark per
-// experiment of DESIGN.md's paper↔experiment index (E1–E21). Each
+// experiment of DESIGN.md's paper↔experiment index (E1–E23). Each
 // benchmark drives the same code as `bipbench -e <id>`, so the numbers
 // printed by `go test -bench` regenerate the tables of EXPERIMENTS.md.
 package bip_test
@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"runtime/debug"
 	"testing"
+	"time"
 
 	"bip"
 	"bip/bench"
@@ -147,6 +148,36 @@ func TestE21ServiceFloor(t *testing.T) {
 	for _, row := range tab.Rows {
 		if row[len(row)-1] != "ok" {
 			t.Fatalf("E21 row %v failed its contract", row)
+		}
+	}
+}
+
+func BenchmarkE23FaultTolerance(b *testing.B) {
+	run(b, func() (*bench.Table, error) { return bench.E23FaultTolerance(8, 2, 4, 4, 0) })
+}
+
+// TestE23RecoveryFloor is the CI gate on bipd fault tolerance: a
+// persistent server is killed (Crash — SIGKILL semantics: no terminal
+// journal records) with half of an 8-job workload still in flight, and
+// a restart on the same data directory must lose zero completed
+// reports (pre-crash completions answered from the content-addressed
+// store, never re-explored), re-verify every interrupted job to the
+// exact expected state count, replay the journal within a 30s budget,
+// and complete a quota-throttled burst through the retrying client
+// with at least one real 429 on the wire. E23FaultTolerance errors out
+// on any violation, so a green run certifies the journal, the report
+// store, recovery re-queueing, and the client's backoff end to end.
+func TestE23RecoveryFloor(t *testing.T) {
+	tab, err := bench.E23FaultTolerance(8, 2, 4, 3, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("E23 rows = %d, want load+crash, recover, quota", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if row[len(row)-1] != "ok" {
+			t.Fatalf("E23 row %v failed its contract", row)
 		}
 	}
 }

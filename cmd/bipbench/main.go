@@ -3,8 +3,9 @@
 // the E16 streaming-memory comparison, the E17 property-algebra
 // checking costs, the E18 work-stealing exploration sweep, the E19
 // partial-order-reduction table, the E20 seen-set-compaction /
-// frontier-spill memory table, the E21 bipd service load table and the
-// E22 static-analysis cost table) and prints them;
+// frontier-spill memory table, the E21 bipd service load table, the
+// E22 static-analysis cost table and the E23 fault-tolerance
+// crash-recovery table) and prints them;
 // EXPERIMENTS.md records a reference run.
 //
 // Usage:
@@ -19,12 +20,13 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"bip/bench"
 )
 
 func main() {
-	exp := flag.String("e", "all", "experiment id (e1..e22) or all")
+	exp := flag.String("e", "all", "experiment id (e1..e23) or all")
 	quick := flag.Bool("quick", false, "reduced problem sizes")
 	flag.Parse()
 	if err := run(*exp, *quick); err != nil {
@@ -50,6 +52,7 @@ func run(exp string, quick bool) error {
 	gridN, redRings, redRingSize, redPhils := 9, 4, 4, 8
 	memGridN, memGridK, memWorkers := 7, 5, 4
 	svcJobs, svcPool, svcGridN, svcGridK := 16, 4, 6, 5
+	ftJobs, ftPool, ftGridN, ftGridK := 12, 2, 6, 5
 	lintPhils, lintGridN, lintGridK := []int{4, 6, 8}, 6, 5
 	lintAstroN, lintAstroK := 12, 1<<20
 	if quick {
@@ -65,6 +68,7 @@ func run(exp string, quick bool) error {
 		gridN, redRings, redRingSize, redPhils = 6, 3, 3, 6
 		memGridN, memGridK = 5, 4
 		svcJobs, svcPool, svcGridN, svcGridK = 8, 2, 4, 4
+		ftJobs, ftPool, ftGridN, ftGridK = 8, 2, 4, 4
 		lintPhils, lintGridN, lintGridK = []int{4}, 5, 4
 	}
 	drivers := []driver{
@@ -92,6 +96,9 @@ func run(exp string, quick bool) error {
 		{"e22", func() (*bench.Table, error) {
 			return bench.E22Lint(lintPhils, lintGridN, lintGridK, lintAstroN, lintAstroK)
 		}},
+		{"e23", func() (*bench.Table, error) {
+			return bench.E23FaultTolerance(ftJobs, ftPool, ftGridN, ftGridK, 30*time.Second)
+		}},
 	}
 	want := strings.ToLower(exp)
 	found := false
@@ -107,7 +114,7 @@ func run(exp string, quick bool) error {
 		fmt.Println(t.String())
 	}
 	if !found {
-		return fmt.Errorf("unknown experiment %q (want e1..e22 or all)", exp)
+		return fmt.Errorf("unknown experiment %q (want e1..e23 or all)", exp)
 	}
 	return nil
 }

@@ -19,6 +19,15 @@
 // SIGINT/SIGTERM drains gracefully: new submissions get 503, accepted
 // jobs run to completion (bounded by -drain, after which they are
 // canceled).
+//
+// With -data DIR the service is crash-safe: accepted jobs are
+// journaled before they are acknowledged and completed reports persist
+// on disk, so a restart on the same directory re-queues interrupted
+// jobs and serves finished ones from the store (kill -9 included —
+// scripts/bipd_smoke.sh exercises exactly that). -quota-rate and
+// -quota-burst cap per-client submissions with a token bucket; clients
+// get 429 + Retry-After, which the bip/serve/client package honors
+// automatically.
 package main
 
 import (
@@ -43,25 +52,34 @@ func main() {
 	tick := flag.Duration("tick", 100*time.Millisecond, "progress interval (stats refresh, SSE events, cancellation latency)")
 	timeout := flag.Duration("timeout", time.Minute, "default per-job wall clock (overridable per job via timeout_ms; <0 disables)")
 	drain := flag.Duration("drain", 30*time.Second, "shutdown grace: running jobs beyond this are canceled")
+	data := flag.String("data", "", "data directory for crash-safe persistence (journal + report store); empty runs in-memory")
+	quotaRate := flag.Float64("quota-rate", 0, "per-client sustained submissions/sec (0 disables quotas)")
+	quotaBurst := flag.Int("quota-burst", 0, "per-client submission burst size (0 disables quotas)")
 	flag.Parse()
 	if flag.NArg() != 0 {
-		fmt.Fprintln(os.Stderr, "usage: bipd [-addr host:port] [-pool n] [-queue n] [-cache n] [-tick d] [-timeout d] [-drain d]")
+		fmt.Fprintln(os.Stderr, "usage: bipd [-addr host:port] [-pool n] [-queue n] [-cache n] [-tick d] [-timeout d] [-drain d] [-data dir] [-quota-rate r -quota-burst n]")
 		os.Exit(2)
 	}
-	if err := run(*addr, *pool, *queue, *cache, *tick, *timeout, *drain); err != nil {
+	cfg := serve.Config{
+		Pool:           *pool,
+		Queue:          *queue,
+		CacheSize:      *cache,
+		Tick:           *tick,
+		DefaultTimeout: *timeout,
+		DataDir:        *data,
+		Quota:          serve.QuotaConfig{Rate: *quotaRate, Burst: *quotaBurst},
+	}
+	if err := run(*addr, cfg, *drain); err != nil {
 		fmt.Fprintln(os.Stderr, "bipd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, pool, queue, cache int, tick, timeout, drain time.Duration) error {
-	s := serve.New(serve.Config{
-		Pool:           pool,
-		Queue:          queue,
-		CacheSize:      cache,
-		Tick:           tick,
-		DefaultTimeout: timeout,
-	})
+func run(addr string, cfg serve.Config, drain time.Duration) error {
+	s, err := serve.New(cfg)
+	if err != nil {
+		return err
+	}
 	hs := &http.Server{Addr: addr, Handler: s.Handler()}
 	errCh := make(chan error, 1)
 	go func() {
@@ -71,7 +89,11 @@ func run(addr string, pool, queue, cache int, tick, timeout, drain time.Duration
 	}()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	fmt.Fprintf(os.Stderr, "bipd: listening on %s (pool %d, queue %d)\n", addr, pool, queue)
+	persist := "in-memory"
+	if cfg.DataDir != "" {
+		persist = "data " + cfg.DataDir
+	}
+	fmt.Fprintf(os.Stderr, "bipd: listening on %s (pool %d, queue %d, %s)\n", addr, cfg.Pool, cfg.Queue, persist)
 	select {
 	case err := <-errCh:
 		return err

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"bip/internal/core"
+	"bip/internal/faultfs"
 )
 
 // Edge is an outgoing transition of an explored state.
@@ -131,6 +132,21 @@ type Options struct {
 	// ProgressEvery is the minimum interval between Progress calls;
 	// 0 means DefaultProgressEvery.
 	ProgressEvery time.Duration
+	// FS overrides the filesystem behind the spill layer; nil means the
+	// real one (faultfs.OS). It is the fault-injection seam: the spill
+	// hygiene tests route CreateTemp/WriteAt/ReadAt through
+	// faultfs.Hooks to prove an injected disk fault surfaces as the
+	// run's clean terminal error — never a panic, a hang, or a leaked
+	// temp file.
+	FS faultfs.FS
+}
+
+// fs resolves the spill filesystem, defaulting to the real one.
+func (o *Options) fs() faultfs.FS {
+	if o.FS == nil {
+		return faultfs.OS
+	}
+	return o.FS
 }
 
 // seenSets resolves the dedup factory, defaulting to exact storage.

@@ -2,10 +2,10 @@ package lts
 
 import (
 	"fmt"
-	"os"
 	"sync"
 
 	"bip/internal/core"
+	"bip/internal/faultfs"
 )
 
 // This file implements the work-stealing driver's disk-spilled frontier
@@ -38,19 +38,24 @@ type wsSpillRec struct {
 }
 
 // wsSpill is the spill file of one exploration, created lazily on the
-// first over-budget publish and removed when the run returns.
+// first over-budget publish and removed when the run returns. All file
+// operations go through the injected faultfs.FS, so tests can fail any
+// CreateTemp/WriteAt/ReadAt and pin that the fault becomes the run's
+// clean terminal error with the temp file still closed and removed
+// (spill_fault_test.go).
 type wsSpill struct {
 	width int
+	fs    faultfs.FS
 
 	mu      sync.Mutex
-	f       *os.File
+	f       faultfs.File
 	off     int64
 	recs    []*wsSpillRec
 	nWrites int64
 }
 
-func newWsSpill(keyWidth int) *wsSpill {
-	return &wsSpill{width: keyWidth}
+func newWsSpill(keyWidth int, fs faultfs.FS) *wsSpill {
+	return &wsSpill{width: keyWidth, fs: fs}
 }
 
 // write serializes one chunk: every entry is reduced to its binary key
@@ -70,7 +75,7 @@ func (s *wsSpill) write(sys *core.System, c *wsChunk, w *wsWorker) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.f == nil {
-		f, err := os.CreateTemp("", "bip-spill-*")
+		f, err := s.fs.CreateTemp("", "bip-spill-*")
 		if err != nil {
 			return fmt.Errorf("lts: frontier spill: %w", err)
 		}
@@ -123,8 +128,11 @@ func (s *wsSpill) written() int64 {
 	return s.nWrites
 }
 
-// close removes the spill file; undrained records (early stop, error)
-// go with it.
+// close removes the spill file; undrained records (early stop, error,
+// cancellation) go with it. It runs on every exit path of the
+// work-stealing driver — streamWorkSteal defers it before the first
+// publish can possibly spill — so the temp file cannot outlive the run
+// whatever ended it.
 func (s *wsSpill) close() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -133,6 +141,7 @@ func (s *wsSpill) close() {
 	}
 	name := s.f.Name()
 	s.f.Close()
-	os.Remove(name)
+	s.fs.Remove(name)
 	s.f = nil
+	s.recs = nil
 }

@@ -670,7 +670,7 @@ func streamWorkSteal(sys *core.System, opts Options, workers, maxStates int, sin
 	d.cond = sync.NewCond(&d.idleMu)
 	d.shards, d.mask = newShards(workers, opts.seenSets(), sys.BinaryKeyWidth())
 	if d.memBudget > 0 {
-		d.spill = newWsSpill(sys.BinaryKeyWidth())
+		d.spill = newWsSpill(sys.BinaryKeyWidth(), opts.fs())
 		defer d.spill.close()
 	}
 	d.states.Store(1)

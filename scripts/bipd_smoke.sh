@@ -4,6 +4,9 @@
 # with two textual properties, poll the job to completion, assert the
 # verdict, assert the byte-identical resubmission is answered from the
 # content-addressed report cache, and assert malformed input is a 400.
+# A second round starts a persistent server (-data), kills it with
+# SIGKILL mid-flight, restarts it on the same directory, and asserts
+# the interrupted jobs recover and pre-crash reports survive.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -12,7 +15,8 @@ BIN=$(mktemp -d)/bipd
 go build -o "$BIN" ./cmd/bipd
 "$BIN" -addr "$ADDR" -pool 2 &
 BIPD_PID=$!
-trap 'kill "$BIPD_PID" 2>/dev/null || true' EXIT
+BIPD2_PID=
+trap 'kill "$BIPD_PID" 2>/dev/null || true; [ -n "$BIPD2_PID" ] && kill "$BIPD2_PID" 2>/dev/null || true' EXIT
 
 for _ in $(seq 1 50); do
   curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1 && break
@@ -76,4 +80,83 @@ CODE=$(curl -s -o /dev/null -w '%{http_code}' -d '{"model":"system ("}' "http://
 test "$CODE" = 400
 curl -fsS "http://$ADDR/metrics" | grep -q '^bipd_lint_requests 2$'
 
-echo "bipd smoke: ok (job $ID verified, resubmission cache hit, lint diagnostics served)"
+# ---- crash-restart round: persistence survives kill -9 ----
+DATA=$(mktemp -d)
+ADDR2=${BIPD_ADDR2:-127.0.0.1:18100}
+"$BIN" -addr "$ADDR2" -pool 1 -data "$DATA" &
+BIPD2_PID=$!
+for _ in $(seq 1 50); do
+  curl -fsS "http://$ADDR2/healthz" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+curl -fsS "http://$ADDR2/healthz" | jq -e '.persistent == true' >/dev/null
+
+# A quick job completes before the crash: its report must survive.
+PRE_ID=$(curl -fsS -d "$REQ" "http://$ADDR2/v1/jobs" | jq -r .id)
+for _ in $(seq 1 100); do
+  PRE_STATE=$(curl -fsS "http://$ADDR2/v1/jobs/$PRE_ID" | jq -r .state)
+  [ "$PRE_STATE" = done ] && break
+  sleep 0.1
+done
+test "$PRE_STATE" = done
+
+# A huge job pins the single worker; a moderate one queues behind it.
+BLOCK_MODEL='system blk
+atom C {
+  var c: int = 0
+  port inc
+  location s
+  init s
+  from s to s on inc do c := (c + 1) % 6
+}'
+for i in $(seq 0 11); do BLOCK_MODEL+=$'\n'"instance t$i : C"; done
+for i in $(seq 0 11); do BLOCK_MODEL+=$'\n'"connector inc$i = t$i.inc"; done
+Q_MODEL='system mod
+atom C {
+  var c: int = 0
+  port inc
+  location s
+  init s
+  from s to s on inc do c := (c + 1) % 3
+}'
+for i in $(seq 0 3); do Q_MODEL+=$'\n'"instance t$i : C"; done
+for i in $(seq 0 3); do Q_MODEL+=$'\n'"connector inc$i = t$i.inc"; done
+
+BLOCK_ID=$(jq -n --arg model "$BLOCK_MODEL" \
+  '{model: $model, options: {max_states: 1073741824, timeout_ms: 120000}}' |
+  curl -fsS -d @- "http://$ADDR2/v1/jobs" | jq -r .id)
+for _ in $(seq 1 100); do
+  [ "$(curl -fsS "http://$ADDR2/v1/jobs/$BLOCK_ID" | jq -r .state)" = running ] && break
+  sleep 0.1
+done
+Q_ID=$(jq -n --arg model "$Q_MODEL" '{model: $model}' |
+  curl -fsS -d @- "http://$ADDR2/v1/jobs" | jq -r .id)
+
+kill -9 "$BIPD2_PID"
+wait "$BIPD2_PID" 2>/dev/null || true
+
+"$BIN" -addr "$ADDR2" -pool 1 -data "$DATA" &
+BIPD2_PID=$!
+for _ in $(seq 1 50); do
+  curl -fsS "http://$ADDR2/healthz" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+# The running blocker and the queued job both come back, same ids.
+curl -fsS "http://$ADDR2/healthz" | jq -e '.jobs_recovered == 2' >/dev/null
+test "$(curl -fsS "http://$ADDR2/v1/jobs/$BLOCK_ID" | jq -r .recovered)" = true
+# Free the worker so the recovered queued job can run to completion.
+curl -fsS -X DELETE "http://$ADDR2/v1/jobs/$BLOCK_ID" >/dev/null
+for _ in $(seq 1 100); do
+  Q_STATE=$(curl -fsS "http://$ADDR2/v1/jobs/$Q_ID" | jq -r .state)
+  [ "$Q_STATE" = done ] && break
+  sleep 0.1
+done
+test "$Q_STATE" = done
+test "$(curl -fsS "http://$ADDR2/v1/jobs/$Q_ID" | jq -r .report.states)" = 81
+# The pre-crash report outlived the kill: resubmission is a hit, no
+# re-exploration.
+VIEW3=$(curl -fsS -d "$REQ" "http://$ADDR2/v1/jobs")
+test "$(jq -r .cached <<<"$VIEW3")" = true
+test "$(jq -r .state <<<"$VIEW3")" = done
+
+echo "bipd smoke: ok (job $ID verified, resubmission cache hit, lint diagnostics served, crash-restart recovered 2 jobs with reports intact)"

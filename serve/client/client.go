@@ -1,0 +1,281 @@
+// Package client is a fault-tolerant Go client for bipd (bip/serve).
+// It wraps the HTTP/JSON job API with the retry discipline the service
+// is designed for: transient failures — 429 from a full queue or an
+// exhausted quota, 503 during a drain, connection errors while the
+// server restarts — are retried with exponential backoff and full
+// jitter, honoring the server's Retry-After hint when one is sent.
+// Client errors (4xx other than 429) are returned immediately: a
+// malformed model does not become less malformed by retrying.
+//
+// The zero Client (plus a Base URL) is usable:
+//
+//	c := &client.Client{Base: "http://localhost:8080"}
+//	view, err := c.Verify(ctx, serve.JobRequest{Model: src}, 0)
+//
+// Verify submits and polls to a terminal state; Submit/Get/Wait/Cancel
+// expose the individual steps. All methods are context-aware — the
+// context bounds the whole retry loop, sleeps included.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"strconv"
+	"time"
+
+	"bip/serve"
+)
+
+// Client calls one bipd instance. Fields configure the retry policy;
+// zero values pick the defaults.
+type Client struct {
+	// Base is the service root, e.g. "http://localhost:8080".
+	Base string
+	// HTTP is the transport; nil uses http.DefaultClient.
+	HTTP *http.Client
+	// APIKey, when set, rides every request as X-Api-Key — the identity
+	// the server's per-client quotas key on.
+	APIKey string
+	// MaxRetries bounds retry attempts after the first try (default 8;
+	// negative disables retries).
+	MaxRetries int
+	// BaseDelay seeds the exponential backoff (default 100ms). Attempt
+	// n sleeps a uniformly random duration in (0, min(MaxDelay,
+	// BaseDelay·2ⁿ)] — full jitter, so a burst of rejected clients does
+	// not re-synchronize into the next burst. A Retry-After from the
+	// server replaces the computed cap for that attempt.
+	BaseDelay time.Duration
+	// MaxDelay caps a single backoff sleep (default 5s).
+	MaxDelay time.Duration
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP == nil {
+		return http.DefaultClient
+	}
+	return c.HTTP
+}
+
+func (c *Client) maxRetries() int {
+	if c.MaxRetries == 0 {
+		return 8
+	}
+	if c.MaxRetries < 0 {
+		return 0
+	}
+	return c.MaxRetries
+}
+
+func (c *Client) baseDelay() time.Duration {
+	if c.BaseDelay <= 0 {
+		return 100 * time.Millisecond
+	}
+	return c.BaseDelay
+}
+
+func (c *Client) maxDelay() time.Duration {
+	if c.MaxDelay <= 0 {
+		return 5 * time.Second
+	}
+	return c.MaxDelay
+}
+
+// APIError is a non-2xx answer from the service.
+type APIError struct {
+	Status  int
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("bipd: %d: %s", e.Status, e.Message)
+}
+
+// retryable reports whether the failure is transient: overload (429),
+// unavailability (503), or a transport error (err != nil, e.g. the
+// server is restarting).
+func retryable(status int, err error) bool {
+	if err != nil {
+		return true
+	}
+	return status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable
+}
+
+// do runs the retry loop around one logical request. body is
+// re-materialized per attempt. The decoded JSON lands in out when the
+// status is 2xx.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) error {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		status, retryAfter, err := c.once(ctx, method, path, body, out)
+		switch {
+		case status/100 == 2 && err == nil:
+			return nil
+		case status/100 == 2:
+			// The exchange worked but the payload didn't decode —
+			// retrying won't fix a protocol mismatch.
+			return err
+		case status == 0:
+			// Transport error: the server may be down or restarting.
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			lastErr = err
+		default:
+			if err == nil {
+				err = &APIError{Status: status, Message: http.StatusText(status)}
+			}
+			if !retryable(status, nil) {
+				return err
+			}
+			lastErr = err
+		}
+		if attempt >= c.maxRetries() {
+			return lastErr
+		}
+		if serr := c.sleep(ctx, attempt, retryAfter); serr != nil {
+			return serr
+		}
+	}
+}
+
+// once performs a single attempt. It returns the status, the parsed
+// Retry-After (0 when absent), and any transport error.
+func (c *Client) once(ctx context.Context, method, path string, body []byte, out any) (int, time.Duration, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.Base+path, rd)
+	if err != nil {
+		return 0, 0, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.APIKey != "" {
+		req.Header.Set("X-Api-Key", c.APIKey)
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	retryAfter := parseRetryAfter(resp.Header.Get("Retry-After"))
+	if resp.StatusCode/100 != 2 {
+		// Surface the server's reason when it sent one.
+		var ae struct {
+			Error string `json:"error"`
+		}
+		if json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&ae) == nil && ae.Error != "" {
+			return resp.StatusCode, retryAfter, &APIError{Status: resp.StatusCode, Message: ae.Error}
+		}
+		return resp.StatusCode, retryAfter, nil
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return resp.StatusCode, 0, fmt.Errorf("bipd: decoding response: %w", err)
+		}
+	}
+	return resp.StatusCode, 0, nil
+}
+
+// sleep blocks for the attempt's backoff: the server's Retry-After when
+// given, otherwise exponential-with-full-jitter. Context cancellation
+// cuts it short.
+func (c *Client) sleep(ctx context.Context, attempt int, retryAfter time.Duration) error {
+	ceil := c.baseDelay() << uint(attempt)
+	if limit := c.maxDelay(); ceil > limit || ceil <= 0 {
+		ceil = limit
+	}
+	if retryAfter > 0 {
+		ceil = retryAfter
+	}
+	// Full jitter over (0, ceil]: desynchronizes a rejected burst.
+	d := time.Duration(rand.Int64N(int64(ceil))) + 1
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs <= 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// Submit posts a job and returns its initial view (terminal already on
+// a cache hit). Overload rejections are retried per the client policy.
+func (c *Client) Submit(ctx context.Context, req serve.JobRequest) (serve.JobView, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return serve.JobView{}, err
+	}
+	var v serve.JobView
+	return v, c.do(ctx, http.MethodPost, "/v1/jobs", body, &v)
+}
+
+// Get polls one job.
+func (c *Client) Get(ctx context.Context, id string) (serve.JobView, error) {
+	var v serve.JobView
+	return v, c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &v)
+}
+
+// Cancel requests cancellation and returns the resulting view.
+func (c *Client) Cancel(ctx context.Context, id string) (serve.JobView, error) {
+	var v serve.JobView
+	return v, c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &v)
+}
+
+// Wait polls the job every poll interval (default 50ms) until it
+// reaches a terminal state or ctx expires.
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (serve.JobView, error) {
+	if poll <= 0 {
+		poll = 50 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		v, err := c.Get(ctx, id)
+		if err != nil {
+			return v, err
+		}
+		switch v.State {
+		case serve.StateDone, serve.StateFailed, serve.StateCanceled:
+			return v, nil
+		}
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			return v, ctx.Err()
+		}
+	}
+}
+
+// Verify is Submit followed by Wait: the one-call path from a textual
+// model to its terminal job view. A cache hit skips the wait entirely.
+func (c *Client) Verify(ctx context.Context, req serve.JobRequest, poll time.Duration) (serve.JobView, error) {
+	v, err := c.Submit(ctx, req)
+	if err != nil {
+		return v, err
+	}
+	switch v.State {
+	case serve.StateDone, serve.StateFailed, serve.StateCanceled:
+		return v, nil
+	}
+	return c.Wait(ctx, v.ID, poll)
+}

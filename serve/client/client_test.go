@@ -1,0 +1,184 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bip/serve"
+)
+
+// newListener rebinds the host:port of a base URL — how the restart
+// test brings "the same server" back on the address the client knows.
+func newListener(baseURL string) (net.Listener, error) {
+	return net.Listen("tcp", strings.TrimPrefix(baseURL, "http://"))
+}
+
+// fakeBipd scripts a sequence of responses so the retry loop's
+// decisions are observable without a real engine.
+type fakeBipd struct {
+	t        *testing.T
+	attempts atomic.Int64
+	// script[i] answers attempt i; the last entry repeats.
+	script []func(w http.ResponseWriter, r *http.Request)
+}
+
+func (f *fakeBipd) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	n := int(f.attempts.Add(1)) - 1
+	if n >= len(f.script) {
+		n = len(f.script) - 1
+	}
+	f.script[n](w, r)
+}
+
+func reject(status int, retryAfter string) func(http.ResponseWriter, *http.Request) {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if retryAfter != "" {
+			w.Header().Set("Retry-After", retryAfter)
+		}
+		w.WriteHeader(status)
+		json.NewEncoder(w).Encode(map[string]string{"error": http.StatusText(status)})
+	}
+}
+
+func accept(view serve.JobView) func(http.ResponseWriter, *http.Request) {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(view)
+	}
+}
+
+func newClient(url string) *Client {
+	return &Client{Base: url, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond}
+}
+
+// TestSubmitRetriesTransientFailures: 429 and 503 are retried until the
+// service admits the job.
+func TestSubmitRetriesTransientFailures(t *testing.T) {
+	f := &fakeBipd{t: t, script: []func(http.ResponseWriter, *http.Request){
+		reject(http.StatusTooManyRequests, "1"),
+		reject(http.StatusServiceUnavailable, ""),
+		accept(serve.JobView{ID: "j1", State: serve.StateQueued}),
+	}}
+	ts := httptest.NewServer(f)
+	defer ts.Close()
+
+	// A scripted Retry-After of 1s would slow the test; the jittered
+	// sleep is capped by it, so bound the whole call instead.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	v, err := newClient(ts.URL).Submit(ctx, serve.JobRequest{Model: "m"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.ID != "j1" || f.attempts.Load() != 3 {
+		t.Fatalf("view %+v after %d attempts, want j1 after 3", v, f.attempts.Load())
+	}
+}
+
+// TestSubmitDoesNotRetryClientErrors: a 400 is the caller's bug; the
+// client must surface it on the first attempt.
+func TestSubmitDoesNotRetryClientErrors(t *testing.T) {
+	f := &fakeBipd{t: t, script: []func(http.ResponseWriter, *http.Request){
+		reject(http.StatusBadRequest, ""),
+	}}
+	ts := httptest.NewServer(f)
+	defer ts.Close()
+
+	_, err := newClient(ts.URL).Submit(context.Background(), serve.JobRequest{Model: "broken"})
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusBadRequest {
+		t.Fatalf("err = %v, want APIError 400", err)
+	}
+	if n := f.attempts.Load(); n != 1 {
+		t.Fatalf("400 was attempted %d times, want 1", n)
+	}
+}
+
+// TestRetryBudgetExhausts: a permanently overloaded server eventually
+// yields the last rejection, not an infinite loop.
+func TestRetryBudgetExhausts(t *testing.T) {
+	f := &fakeBipd{t: t, script: []func(http.ResponseWriter, *http.Request){
+		reject(http.StatusServiceUnavailable, ""),
+	}}
+	ts := httptest.NewServer(f)
+	defer ts.Close()
+
+	c := newClient(ts.URL)
+	c.MaxRetries = 2
+	_, err := c.Submit(context.Background(), serve.JobRequest{Model: "m"})
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusServiceUnavailable {
+		t.Fatalf("err = %v, want APIError 503", err)
+	}
+	if n := f.attempts.Load(); n != 3 {
+		t.Fatalf("%d attempts with MaxRetries=2, want 3", n)
+	}
+}
+
+// TestRetrySurvivesServerRestart: a connection error mid-sequence (the
+// window where bipd is down between crash and restart) is retried like
+// any transient fault.
+func TestRetrySurvivesServerRestart(t *testing.T) {
+	f := &fakeBipd{t: t, script: []func(http.ResponseWriter, *http.Request){
+		accept(serve.JobView{ID: "j2", State: serve.StateQueued}),
+	}}
+	ts := httptest.NewServer(f)
+	addr := ts.URL
+	ts.Close() // server "down": first attempts hit a dead socket
+
+	c := newClient(addr)
+	c.MaxRetries = 50
+	done := make(chan struct{})
+	var v serve.JobView
+	var err error
+	go func() {
+		defer close(done)
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		v, err = c.Submit(ctx, serve.JobRequest{Model: "m"})
+	}()
+	time.Sleep(50 * time.Millisecond) // let a few attempts fail on the dead socket
+	l, lerr := newListener(addr)
+	if lerr != nil {
+		t.Fatal(lerr)
+	}
+	hs := &http.Server{Handler: f}
+	go hs.Serve(l)
+	defer hs.Close()
+	<-done
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.ID != "j2" {
+		t.Fatalf("view %+v, want j2", v)
+	}
+}
+
+// TestContextCancelsRetryLoop: cancellation cuts the backoff sleep
+// short instead of serving it out.
+func TestContextCancelsRetryLoop(t *testing.T) {
+	f := &fakeBipd{t: t, script: []func(http.ResponseWriter, *http.Request){
+		reject(http.StatusServiceUnavailable, "60"),
+	}}
+	ts := httptest.NewServer(f)
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := newClient(ts.URL).Submit(ctx, serve.JobRequest{Model: "m"})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %s; the 60s Retry-After was served out", elapsed)
+	}
+}

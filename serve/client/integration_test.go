@@ -1,0 +1,68 @@
+package client
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"bip/serve"
+)
+
+// TestClientCompletesQuotaBurst drives a real bipd with tight quotas:
+// a burst well past the bucket gets 429s on the wire, but the client's
+// Retry-After-honoring backoff completes every submission within the
+// deadline — the end-to-end contract the quota + Retry-After + client
+// trio exists for.
+func TestClientCompletesQuotaBurst(t *testing.T) {
+	s, err := serve.New(serve.Config{
+		Pool:  2,
+		Tick:  5 * time.Millisecond,
+		Quota: serve.QuotaConfig{Rate: 50, Burst: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	}()
+
+	c := &Client{
+		Base:       ts.URL,
+		APIKey:     "burster",
+		BaseDelay:  5 * time.Millisecond,
+		MaxDelay:   100 * time.Millisecond,
+		MaxRetries: 50,
+	}
+	const pingpong = `system pair
+atom Ping {
+  var n: int = 0
+  port hit(n), back
+  location a, b
+  init a
+  from a to b on hit when n < 10 do n := n + 1
+  from b to a on back
+}
+instance l : Ping
+instance r : Ping
+connector hit = l.hit + r.hit
+connector back = l.back + r.back
+priority back < hit
+`
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	const burst = 8 // 4x the bucket: rejections are certain at rate 50/s
+	for i := 0; i < burst; i++ {
+		v, err := c.Verify(ctx, serve.JobRequest{Model: pingpong}, 5*time.Millisecond)
+		if err != nil {
+			t.Fatalf("burst submission %d failed through retries: %v", i, err)
+		}
+		if v.State != serve.StateDone || v.Report == nil {
+			t.Fatalf("burst submission %d ended %s", i, v.State)
+		}
+	}
+}

@@ -1,0 +1,309 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"bip"
+)
+
+// This file holds the fault-tolerance regressions: crash-restart
+// recovery, cancellation of recovered jobs, SSE subscriber hygiene
+// under client disconnect, quota rejections with Retry-After, and
+// engine-panic isolation.
+
+// crashServer is newTestServer without the graceful cleanup: the test
+// kills it with Crash() itself.
+func crashServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// TestCrashRecoveryLifecycle is the tentpole regression: a server with
+// a data dir is killed (Crash — no terminal records, like SIGKILL) with
+// one job running and two queued. A new server on the same directory
+// must re-queue all three, finish the ones allowed to finish with
+// correct reports, and keep serving pre-crash completed work from the
+// persisted store as cache hits.
+func TestCrashRecoveryLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Pool: 1, Tick: 5 * time.Millisecond, DataDir: dir}
+	s1, ts1 := crashServer(t, cfg)
+
+	// A quick job that completes before the crash: its report must
+	// survive on disk.
+	donePre, _ := submit(t, ts1, JobRequest{Model: pingpong})
+	finPre := waitTerminal(t, ts1, donePre.ID, 10*time.Second)
+	if finPre.State != StateDone {
+		t.Fatalf("pre-crash job ended %s", finPre.State)
+	}
+	// One job occupying the single worker, two stuck behind it.
+	running, _ := submit(t, ts1, longJob())
+	waitState(t, ts1, running.ID, StateRunning, 5*time.Second)
+	q1, _ := submit(t, ts1, JobRequest{Model: gridModel(4, 3)})
+	q2, _ := submit(t, ts1, JobRequest{Model: gridModel(3, 4)})
+
+	s1.Crash()
+	ts1.Close()
+
+	s2, ts2 := crashServer(t, cfg)
+	defer func() {
+		cancelJob(t, ts2, running.ID)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s2.Shutdown(ctx)
+	}()
+
+	if got := s2.Recovered(); got != 3 {
+		t.Fatalf("recovered %d jobs, want 3 (1 running + 2 queued at crash)", got)
+	}
+	// Same ids, flagged recovered, alive again.
+	for _, id := range []string{running.ID, q1.ID, q2.ID} {
+		v := getJob(t, ts2, id)
+		if !v.Recovered {
+			t.Fatalf("job %s not flagged recovered: %+v", id, v)
+		}
+		if isTerminal(v.State) {
+			t.Fatalf("recovered job %s born terminal: %s", id, v.State)
+		}
+	}
+	// The long job holds the worker again; free it so the queued pair
+	// can run to completion.
+	waitState(t, ts2, running.ID, StateRunning, 10*time.Second)
+	cancelJob(t, ts2, running.ID)
+	for _, c := range []struct {
+		id     string
+		states int
+	}{{q1.ID, 3 * 3 * 3 * 3}, {q2.ID, 4 * 4 * 4}} {
+		fin := waitTerminal(t, ts2, c.id, 30*time.Second)
+		if fin.State != StateDone || fin.Report == nil {
+			t.Fatalf("recovered job %s ended %s (err %q), want done", c.id, fin.State, fin.Error)
+		}
+		if fin.Report.States != c.states {
+			t.Fatalf("recovered job %s explored %d states, want %d", c.id, fin.Report.States, c.states)
+		}
+	}
+	// Pre-crash completed work survives as a hit: same request, 200,
+	// identical report, no exploration.
+	again, status := submit(t, ts2, JobRequest{Model: pingpong})
+	if status != http.StatusOK || !again.Cached || again.Report == nil {
+		t.Fatalf("pre-crash report not served from store: status %d view %+v", status, again)
+	}
+	if again.Report.States != finPre.Report.States {
+		t.Fatalf("stored report diverged: %d states vs %d", again.Report.States, finPre.Report.States)
+	}
+	// New ids never collide with journaled ones.
+	if again.ID == donePre.ID || again.ID == q2.ID {
+		t.Fatalf("id %s reused after recovery", again.ID)
+	}
+}
+
+// TestRecoveredJobCancelSurvivesRestart: DELETE on a recovered job that
+// has not restarted yet works exactly like on a fresh queued job — and
+// because the cancellation is journaled, a second crash-restart must
+// NOT resurrect it.
+func TestRecoveredJobCancelSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Pool: 1, Tick: 5 * time.Millisecond, DataDir: dir}
+	s1, ts1 := crashServer(t, cfg)
+
+	blocker, _ := submit(t, ts1, longJob())
+	waitState(t, ts1, blocker.ID, StateRunning, 5*time.Second)
+	queued, _ := submit(t, ts1, JobRequest{Model: gridModel(4, 3)})
+	s1.Crash()
+	ts1.Close()
+
+	s2, ts2 := crashServer(t, cfg)
+	if got := s2.Recovered(); got != 2 {
+		t.Fatalf("first restart recovered %d, want 2", got)
+	}
+	// The blocker occupies the only worker, so the recovered job is
+	// queued and has not restarted — DELETE must finish it on the spot.
+	if v := cancelJob(t, ts2, queued.ID); v.State != StateCanceled {
+		t.Fatalf("recovered queued job after DELETE: %s, want canceled", v.State)
+	}
+	s2.Crash()
+	ts2.Close()
+
+	s3, ts3 := crashServer(t, cfg)
+	defer func() {
+		cancelJob(t, ts3, blocker.ID)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s3.Shutdown(ctx)
+	}()
+	// Only the blocker comes back: the canceled job's terminal record
+	// was journaled by the DELETE handler.
+	if got := s3.Recovered(); got != 1 {
+		t.Fatalf("second restart recovered %d, want 1 (canceled job resurrected?)", got)
+	}
+	resp, err := http.Get(ts3.URL + "/v1/jobs/" + queued.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("canceled job still present after second restart: status %d", resp.StatusCode)
+	}
+}
+
+// TestSSEDisconnectLeaksNothing: a client that vanishes mid-stream must
+// take its subscriber channel out of the job's fan-out set and its
+// handler goroutine with it.
+func TestSSEDisconnectLeaksNothing(t *testing.T) {
+	s, ts := newTestServer(t, Config{Tick: 5 * time.Millisecond})
+	v, _ := submit(t, ts, longJob())
+	waitState(t, ts, v.ID, StateRunning, 5*time.Second)
+	defer cancelJob(t, ts, v.ID)
+
+	before := runtime.NumGoroutine()
+	const streams = 4
+	for i := 0; i < streams; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		req, _ := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/v1/jobs/"+v.ID+"/events", nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Prove the stream is live (at least the snapshot arrives), then
+		// vanish without saying goodbye.
+		buf := make([]byte, 1)
+		if _, err := io.ReadFull(resp.Body, buf); err != nil {
+			t.Fatal(err)
+		}
+		cancel()
+		resp.Body.Close()
+	}
+
+	s.mu.Lock()
+	jb := s.jobs[v.ID]
+	s.mu.Unlock()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		jb.mu.Lock()
+		subs := len(jb.subs)
+		jb.mu.Unlock()
+		goroutines := runtime.NumGoroutine()
+		if subs == 0 && goroutines <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("after %d disconnects: %d subscribers, %d goroutines (baseline %d)",
+				streams, subs, goroutines, before)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestQuotaRejectsWithRetryAfter: a client bursting past its bucket
+// gets 429 with a sane Retry-After; distinct clients (different
+// X-Api-Key) have independent buckets.
+func TestQuotaRejectsWithRetryAfter(t *testing.T) {
+	_, ts := newTestServer(t, Config{
+		Tick:  5 * time.Millisecond,
+		Quota: QuotaConfig{Rate: 0.5, Burst: 2},
+	})
+	body := func() *strings.Reader {
+		b, _ := json.Marshal(JobRequest{Model: pingpong})
+		return strings.NewReader(string(b))
+	}
+	post := func(key string) *http.Response {
+		req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/jobs", body())
+		req.Header.Set("X-Api-Key", key)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+	for i := 0; i < 2; i++ {
+		if resp := post("alice"); resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+			t.Fatalf("burst submit %d: status %d", i, resp.StatusCode)
+		}
+	}
+	resp := post("alice")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-burst status %d, want 429", resp.StatusCode)
+	}
+	ra := resp.Header.Get("Retry-After")
+	secs := 0
+	if _, err := fmt.Sscanf(ra, "%d", &secs); err != nil || secs < 1 || secs > 60 {
+		t.Fatalf("Retry-After %q, want integer seconds in [1,60]", ra)
+	}
+	// Another identity is unaffected.
+	if resp := post("bob"); resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		t.Fatalf("second client rejected: status %d", resp.StatusCode)
+	}
+	// The rejection is counted.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	metrics, _ := io.ReadAll(mresp.Body)
+	if !strings.Contains(string(metrics), "bipd_quota_rejections 1") {
+		t.Fatalf("metrics missing quota rejection:\n%s", metrics)
+	}
+}
+
+// TestPanicIsolation: an engine panic fails exactly that job — stack
+// attached, counters bumped — and the worker keeps serving.
+func TestPanicIsolation(t *testing.T) {
+	s, err := New(Config{Pool: 1, Tick: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := true
+	s.verify = func(sys *bip.System, opts ...bip.Option) (*bip.Report, error) {
+		if first {
+			first = false
+			panic("engine bug: index out of range")
+		}
+		return bip.Verify(sys, opts...)
+	}
+	ts := newHTTPServer(t, s)
+
+	v, _ := submit(t, ts, JobRequest{Model: pingpong})
+	fin := waitTerminal(t, ts, v.ID, 10*time.Second)
+	if fin.State != StateFailed {
+		t.Fatalf("panicking job ended %s, want failed", fin.State)
+	}
+	if !strings.Contains(fin.Error, "panic") || !strings.Contains(fin.Error, "engine bug") ||
+		!strings.Contains(fin.Error, "goroutine") {
+		t.Fatalf("panic error lacks cause or stack: %q", fin.Error)
+	}
+
+	// The pool survived: the next job runs normally on the same worker.
+	v2, _ := submit(t, ts, JobRequest{Model: pingpong})
+	if fin := waitTerminal(t, ts, v2.ID, 10*time.Second); fin.State != StateDone {
+		t.Fatalf("post-panic job ended %s, want done", fin.State)
+	}
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h healthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.RecoveredPanics != 1 {
+		t.Fatalf("healthz after panic: %+v, want ok with 1 recovered panic", h)
+	}
+}

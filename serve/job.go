@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -101,8 +102,12 @@ type JobView struct {
 	State string `json:"state"`
 	// Cached marks a job answered from the report cache without an
 	// exploration.
-	Cached bool   `json:"cached,omitempty"`
-	Error  string `json:"error,omitempty"`
+	Cached bool `json:"cached,omitempty"`
+	// Recovered marks a job restored from the journal after a restart:
+	// either re-queued (it was queued or running at the crash) or served
+	// directly from the on-disk report store.
+	Recovered bool   `json:"recovered,omitempty"`
+	Error     string `json:"error,omitempty"`
 	// StatesPerSec is the exploration rate over the last progress tick.
 	StatesPerSec float64     `json:"states_per_sec,omitempty"`
 	Progress     *bip.Stats  `json:"progress,omitempty"`
@@ -137,10 +142,17 @@ type job struct {
 	// lint holds the submission's auto-lint findings; set once before
 	// the job is published, then read-only.
 	lint []bip.Diagnostic
+	// verify is the engine entry point, bip.Verify unless a test
+	// substitutes a misbehaving engine to exercise panic isolation. Set
+	// before the job is published, then read-only.
+	verify func(sys *bip.System, opts ...bip.Option) (*bip.Report, error)
+	// recovered marks a journal-restored job; set before publication.
+	recovered bool
 
 	mu           sync.Mutex
 	state        string
 	cached       bool
+	panicked     bool
 	errMsg       string
 	progress     *bip.Stats
 	statesPerSec float64
@@ -166,9 +178,9 @@ func (jb *job) view() JobView {
 	jb.mu.Lock()
 	defer jb.mu.Unlock()
 	return JobView{
-		ID: jb.id, State: jb.state, Cached: jb.cached, Error: jb.errMsg,
-		StatesPerSec: jb.statesPerSec, Progress: jb.progress, Report: jb.report,
-		Lint: jb.lint,
+		ID: jb.id, State: jb.state, Cached: jb.cached, Recovered: jb.recovered,
+		Error: jb.errMsg, StatesPerSec: jb.statesPerSec, Progress: jb.progress,
+		Report: jb.report, Lint: jb.lint,
 	}
 }
 
@@ -254,6 +266,35 @@ func (jb *job) requestCancel() bool {
 	return false
 }
 
+// callVerify runs the engine behind a recover barrier: a panicking
+// exploration must take down one job, not the worker that hosts it and
+// with it the whole pool. The captured stack rides the failed job's
+// error so the defect is debuggable from the job view alone.
+func (jb *job) callVerify(opts []bip.Option) (rep *bip.Report, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			jb.mu.Lock()
+			jb.panicked = true
+			jb.mu.Unlock()
+			rep = nil
+			err = fmt.Errorf("internal: panic during verification: %v\n%s", p, debug.Stack())
+		}
+	}()
+	verify := jb.verify
+	if verify == nil {
+		verify = bip.Verify
+	}
+	return verify(jb.sys, opts...)
+}
+
+// recoveredPanic reports whether the run ended in a recovered engine
+// panic; the worker feeds it into the service-level counter.
+func (jb *job) recoveredPanic() bool {
+	jb.mu.Lock()
+	defer jb.mu.Unlock()
+	return jb.panicked
+}
+
 // run executes the verification with cancellation and deadline wired
 // through bip.WithContext, reporting progress every tick. It returns
 // the terminal state it reached.
@@ -276,7 +317,7 @@ func (jb *job) run(tick time.Duration) string {
 	opts := make([]bip.Option, 0, len(jb.opts)+2)
 	opts = append(opts, jb.opts...)
 	opts = append(opts, bip.WithContext(ctx), bip.WithProgress(tick, jb.onProgress))
-	rep, err := bip.Verify(jb.sys, opts...)
+	rep, err := jb.callVerify(opts)
 	switch {
 	case err == nil:
 		jb.finish(StateDone, rep, "")

@@ -1,0 +1,93 @@
+package serve
+
+import (
+	"math"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// QuotaConfig enables per-client admission control on POST /v1/jobs: a
+// token bucket per client holding Burst tokens, refilled at Rate tokens
+// per second. A submission spends one token; an empty bucket is
+// answered with 429 and a Retry-After computed from the bucket's
+// deficit, which the serve/client retry loop honors. The zero value
+// disables quotas.
+type QuotaConfig struct {
+	// Rate is the sustained submissions/second allowed per client.
+	Rate float64
+	// Burst is the bucket capacity — how many submissions a client may
+	// make back-to-back before the rate limit bites.
+	Burst int
+}
+
+func (q QuotaConfig) enabled() bool { return q.Rate > 0 && q.Burst > 0 }
+
+// quotaKey identifies the client: the X-Api-Key header when present
+// (deployments fronting bipd with auth), otherwise the remote host.
+func quotaKey(r *http.Request) string {
+	if k := r.Header.Get("X-Api-Key"); k != "" {
+		return "key:" + k
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		host = r.RemoteAddr
+	}
+	return "addr:" + host
+}
+
+// quotaTable holds the per-client buckets. Stale buckets (refilled back
+// to capacity) are swept opportunistically once the table grows past
+// quotaSweepLen, so an address-churning client population cannot grow
+// it without bound.
+type quotaTable struct {
+	cfg QuotaConfig
+
+	mu      sync.Mutex
+	buckets map[string]*quotaBucket
+}
+
+type quotaBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+const quotaSweepLen = 4096
+
+func newQuotaTable(cfg QuotaConfig) *quotaTable {
+	return &quotaTable{cfg: cfg, buckets: make(map[string]*quotaBucket)}
+}
+
+// admit spends one token from key's bucket. When the bucket is empty it
+// returns false and how long until a token accrues — the Retry-After
+// the rejection carries.
+func (t *quotaTable) admit(key string, now time.Time) (bool, time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b, ok := t.buckets[key]
+	if !ok {
+		if len(t.buckets) >= quotaSweepLen {
+			t.sweepLocked(now)
+		}
+		b = &quotaBucket{tokens: float64(t.cfg.Burst), last: now}
+		t.buckets[key] = b
+	} else {
+		b.tokens = math.Min(float64(t.cfg.Burst), b.tokens+now.Sub(b.last).Seconds()*t.cfg.Rate)
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / t.cfg.Rate * float64(time.Second))
+	return false, wait
+}
+
+func (t *quotaTable) sweepLocked(now time.Time) {
+	for k, b := range t.buckets {
+		if b.tokens+now.Sub(b.last).Seconds()*t.cfg.Rate >= float64(t.cfg.Burst) {
+			delete(t.buckets, k)
+		}
+	}
+}

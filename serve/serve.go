@@ -9,7 +9,7 @@
 //	GET    /v1/jobs/{id}       poll state, progress, report
 //	DELETE /v1/jobs/{id}       cancel (queued or running)
 //	GET    /v1/jobs/{id}/events  SSE progress stream + terminal event
-//	GET    /healthz            liveness
+//	GET    /healthz            liveness + fault counters
 //	GET    /metrics            plain-text counters
 //
 // Completed reports are cached by a content address of the submission
@@ -18,12 +18,32 @@
 // package is intentionally engine-free — everything it knows about
 // verification it learns from the bip surface, so it exercises exactly
 // the API an external client would.
+//
+// The service is built to survive its failure modes (store.go holds the
+// persistence design):
+//
+//   - CRASHES: with Config.DataDir set, accepted jobs are journaled
+//     before they are acknowledged and completed reports are persisted
+//     under their fingerprint. A restart on the same directory replays
+//     the journal, re-queues whatever was queued or running at the
+//     crash (re-execution is idempotent — same fingerprint, same
+//     report), and serves already-completed work from the store.
+//   - ENGINE PANICS: each job runs behind a recover barrier; a panic
+//     fails that job (stack attached to its error) and the worker
+//     lives on. /healthz and /metrics count the recoveries.
+//   - OVERLOAD: a full queue and exhausted per-client quotas
+//     (Config.Quota) answer 429 with a Retry-After hint that
+//     serve/client's backoff honors.
+//   - DISK FAULTS: a persistence write error mid-run degrades the
+//     service to in-memory mode — logged and counted, never a failed
+//     job.
 package serve
 
 import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
 	"sync"
@@ -31,6 +51,7 @@ import (
 	"time"
 
 	"bip"
+	"bip/internal/faultfs"
 	"bip/lint"
 	"bip/prop"
 )
@@ -51,6 +72,13 @@ type Config struct {
 	// DefaultTimeout bounds each job's wall clock when the submission
 	// does not set timeout_ms (default 1 minute; <0 disables).
 	DefaultTimeout time.Duration
+	// DataDir, when non-empty, roots crash-safe persistence: the job
+	// journal and the content-addressed report store (see store.go).
+	// Empty keeps the service purely in-memory.
+	DataDir string
+	// Quota, when enabled, rate-limits submissions per client with a
+	// token bucket (see QuotaConfig).
+	Quota QuotaConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -78,8 +106,13 @@ func (c Config) withDefaults() Config {
 // Server is the verification service. Create with New, mount Handler
 // on an http.Server, and Shutdown to drain.
 type Server struct {
-	cfg   Config
-	cache *reportCache
+	cfg    Config
+	cache  *reportCache
+	store  *store      // nil without DataDir
+	quotas *quotaTable // nil without Quota
+	// verify substitutes the engine entry point in tests (panic
+	// isolation); nil means bip.Verify.
+	verify func(sys *bip.System, opts ...bip.Option) (*bip.Report, error)
 
 	mu     sync.Mutex
 	closed bool
@@ -87,45 +120,135 @@ type Server struct {
 	queue  chan *job
 	wg     sync.WaitGroup
 
-	nextID   atomic.Int64
-	running  atomic.Int64
-	queued   atomic.Int64
-	total    atomic.Int64
-	done     atomic.Int64
-	failed   atomic.Int64
-	canceled atomic.Int64
-	linted   atomic.Int64
+	// crashing makes workers drain the queue without running jobs — the
+	// Crash() harness hook (see below).
+	crashing atomic.Bool
+
+	nextID          atomic.Int64
+	running         atomic.Int64
+	queued          atomic.Int64
+	total           atomic.Int64
+	done            atomic.Int64
+	failed          atomic.Int64
+	canceled        atomic.Int64
+	linted          atomic.Int64
+	recoveredPanics atomic.Int64
+	jobsRecovered   atomic.Int64
+	quotaRejected   atomic.Int64
 }
 
-// New starts a Server's worker pool and returns it.
-func New(cfg Config) *Server {
+// New starts a Server — recovering journaled state first when
+// Config.DataDir is set — and returns it with the worker pool running.
+// It fails only on an unusable data directory: once the service is up,
+// persistence faults degrade it instead (see store.go).
+func New(cfg Config) (*Server, error) { return newServer(cfg, faultfs.OS) }
+
+// newServer is New with the filesystem injectable, the seam the
+// degradation tests use to fault journal and report writes.
+func newServer(cfg Config, fs faultfs.FS) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:   cfg,
 		cache: newReportCache(cfg.CacheSize),
 		jobs:  make(map[string]*job),
-		queue: make(chan *job, cfg.Queue),
+	}
+	if cfg.Quota.enabled() {
+		s.quotas = newQuotaTable(cfg.Quota)
+	}
+	var requeue []*job
+	if cfg.DataDir != "" {
+		st, pending, maxID, err := openStore(cfg.DataDir, fs)
+		if err != nil {
+			return nil, err
+		}
+		s.store = st
+		s.nextID.Store(maxID)
+		// Re-warm the LRU from the report store so resubmissions of
+		// pre-crash work are cache hits again.
+		st.loadReports(func(fp string, rep *bip.Report) { s.cache.put(fp, rep) })
+		var keep []journalRec
+		for _, rec := range pending {
+			p, err := s.prepare(*rec.Req)
+			if err != nil {
+				// Only a hand-edited journal can get here: the record was
+				// validated before it was written.
+				st.logf("bipd: dropping unreplayable journal entry %s: %v", rec.ID, err)
+				continue
+			}
+			jb := newJob(rec.ID, p.fp, p.sys, p.opts, p.timeout)
+			jb.lint, jb.verify, jb.recovered = p.lint, s.verify, true
+			if rep, ok := st.getReport(p.fp); ok {
+				// The crash hit between the report write and the journal's
+				// terminal record. The fingerprint proves the stored report
+				// answers this exact submission — born done, no re-run.
+				jb.cached, jb.state, jb.report = true, StateDone, rep
+				close(jb.done)
+				s.jobs[jb.id] = jb
+				s.total.Add(1)
+				s.done.Add(1)
+				s.jobsRecovered.Add(1)
+				continue
+			}
+			requeue = append(requeue, jb)
+			keep = append(keep, rec)
+		}
+		// Compact before the pool starts: the journal shrinks to the
+		// still-pending submissions and reopens for appending.
+		if err := st.compact(keep); err != nil {
+			return nil, err
+		}
+	}
+	// Recovered jobs ride along in queue capacity: recovery must never
+	// be rejected by the very overload protection it predates.
+	s.queue = make(chan *job, cfg.Queue+len(requeue))
+	for _, jb := range requeue {
+		s.jobs[jb.id] = jb
+		s.queue <- jb
+		s.queued.Add(1)
+		s.total.Add(1)
+		s.jobsRecovered.Add(1)
 	}
 	for i := 0; i < cfg.Pool; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
-	return s
+	return s, nil
 }
 
 func (s *Server) worker() {
 	defer s.wg.Done()
 	for jb := range s.queue {
 		s.queued.Add(-1)
+		if s.crashing.Load() {
+			// Crash(): drain without running, like a killed process.
+			continue
+		}
 		s.running.Add(1)
 		switch jb.run(s.cfg.Tick) {
 		case StateDone:
 			s.done.Add(1)
 			s.cache.put(jb.fp, jb.report)
+			if s.store != nil {
+				// Report first, terminal record second: a crash between the
+				// two re-queues the job, and recovery then finds the report
+				// by fingerprint — never a journal that promises a report
+				// the store does not have.
+				s.store.putReport(jb.fp, jb.report)
+				s.store.appendTerminal(StateDone, jb.id, "")
+			}
 		case StateFailed:
 			s.failed.Add(1)
+			if jb.recoveredPanic() {
+				s.recoveredPanics.Add(1)
+			}
+			if s.store != nil {
+				s.store.appendTerminal(StateFailed, jb.id, jb.view().Error)
+			}
 		case StateCanceled:
 			s.canceled.Add(1)
+			if s.store != nil {
+				s.store.appendTerminal(StateCanceled, jb.id, "")
+			}
 		}
 		s.running.Add(-1)
 	}
@@ -161,10 +284,48 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 }
 
+// Crash simulates kill -9 for recovery tests and the E23 harness: all
+// persistence writes stop immediately (no terminal records, exactly
+// what a killed process leaves behind), running jobs are canceled, and
+// queued jobs are discarded unrun. The journal on disk is left exactly
+// as the "crash" found it; a New on the same DataDir exercises the real
+// recovery path. The in-process Server is dead afterwards — submissions
+// are rejected — and must be discarded.
+func (s *Server) Crash() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.crashing.Store(true)
+	if s.store != nil {
+		s.store.goSilent()
+	}
+	close(s.queue)
+	live := make([]*job, 0, len(s.jobs))
+	for _, jb := range s.jobs {
+		live = append(live, jb)
+	}
+	s.mu.Unlock()
+	for _, jb := range live {
+		jb.requestCancel()
+	}
+	s.wg.Wait()
+}
+
 // CacheStats exposes the report cache counters for tests and harnesses.
 func (s *Server) CacheStats() (hits, misses int64, size int) {
 	return s.cache.stats()
 }
+
+// Recovered exposes the journal-recovery counter for tests and
+// harnesses: jobs re-queued or served from the store after a restart.
+func (s *Server) Recovered() int64 { return s.jobsRecovered.Load() }
+
+// Degraded reports whether a persistence fault has flipped the service
+// into in-memory mode.
+func (s *Server) Degraded() bool { return s.store != nil && s.store.isDegraded() }
 
 // Handler returns the service's HTTP routes.
 func (s *Server) Handler() http.Handler {
@@ -174,9 +335,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Write([]byte("ok\n"))
-	})
+	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
 }
@@ -240,53 +399,115 @@ func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, LintResponse{Diagnostics: diags, Clean: !lint.HasWarnings(diags)})
 }
 
+// prepared is a validated submission lowered to job ingredients. The
+// same path serves fresh submissions and journal recovery, so a record
+// that was accepted once replays identically.
+type prepared struct {
+	sys     *bip.System
+	opts    []bip.Option
+	timeout time.Duration
+	fp      string
+	lint    []bip.Diagnostic
+}
+
+// prepare validates a request up front — a malformed model or property
+// is the client's error and never becomes a job — and computes its
+// fingerprint and auto-lint findings.
+func (s *Server) prepare(req JobRequest) (prepared, error) {
+	var p prepared
+	sys, err := bip.Parse(req.Model)
+	if err != nil {
+		return p, fmt.Errorf("model: %v", err)
+	}
+	props := make([]prop.Prop, 0, len(req.Properties))
+	for i, src := range req.Properties {
+		pr, err := bip.ParseProp(src)
+		if err != nil {
+			return p, fmt.Errorf("property %d: %v", i, err)
+		}
+		props = append(props, pr)
+	}
+	opts, err := req.Options.compile()
+	if err != nil {
+		return p, fmt.Errorf("options: %v", err)
+	}
+	for _, pr := range props {
+		opts = append(opts, bip.Prop(pr))
+	}
+	p.sys, p.opts = sys, opts
+	p.timeout = s.cfg.DefaultTimeout
+	if req.Options.TimeoutMS > 0 {
+		p.timeout = time.Duration(req.Options.TimeoutMS) * time.Millisecond
+	}
+	p.fp = fingerprint(req.Model, props, req.Options)
+	// Auto-lint every accepted submission: the diagnostics ride the job
+	// view (cache hits included) so clients see model defects alongside
+	// the verdict without a second request. Advisory only — warnings
+	// never block a job.
+	if diags, lerr := bip.Lint(sys); lerr == nil {
+		p.lint = diags
+	}
+	return p, nil
+}
+
+// retrySeconds renders a wait as a Retry-After value: whole seconds,
+// clamped to [1, 60] so a client never spins and never stalls for
+// minutes on a hint.
+func retrySeconds(wait time.Duration) int {
+	secs := int(math.Ceil(wait.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
+}
+
+// queueRetryAfter estimates when a queue slot frees from pool depth:
+// pending work divided by the workers draining it, floored at a second.
+// A heuristic, not a promise — but it scales the client's backoff with
+// the actual backlog instead of a blind constant.
+func (s *Server) queueRetryAfter() int {
+	backlog := s.queued.Load() + s.running.Load()
+	return retrySeconds(time.Duration(backlog/int64(s.cfg.Pool)+1) * time.Second)
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.quotas != nil {
+		if ok, wait := s.quotas.admit(quotaKey(r), time.Now()); !ok {
+			s.quotaRejected.Add(1)
+			w.Header().Set("Retry-After", strconv.Itoa(retrySeconds(wait)))
+			writeError(w, http.StatusTooManyRequests, "quota exceeded")
+			return
+		}
+	}
 	var req JobRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
 	if err := dec.Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
-	// Validate everything up front: a malformed model or property is
-	// the client's error and never becomes a job.
-	sys, err := bip.Parse(req.Model)
+	p, err := s.prepare(req)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "model: %v", err)
+		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	props := make([]prop.Prop, 0, len(req.Properties))
-	for i, src := range req.Properties {
-		p, err := bip.ParseProp(src)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, "property %d: %v", i, err)
-			return
-		}
-		props = append(props, p)
-	}
-	opts, err := req.Options.compile()
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "options: %v", err)
-		return
-	}
-	for _, p := range props {
-		opts = append(opts, bip.Prop(p))
-	}
-	timeout := s.cfg.DefaultTimeout
-	if req.Options.TimeoutMS > 0 {
-		timeout = time.Duration(req.Options.TimeoutMS) * time.Millisecond
-	}
-	fp := fingerprint(req.Model, props, req.Options)
 	id := "j" + strconv.FormatInt(s.nextID.Add(1), 10)
-	jb := newJob(id, fp, sys, opts, timeout)
-	// Auto-lint every accepted submission: the diagnostics ride the job
-	// view (cache hits included) so clients see model defects alongside
-	// the verdict without a second request. Advisory only — warnings
-	// never block a job.
-	if diags, lerr := bip.Lint(sys); lerr == nil {
-		jb.lint = diags
-	}
+	jb := newJob(id, p.fp, p.sys, p.opts, p.timeout)
+	jb.lint, jb.verify = p.lint, s.verify
 
-	if rep, ok := s.cache.get(fp); ok {
+	rep, hit := s.cache.get(p.fp)
+	if !hit && s.store != nil {
+		// LRU miss but the report store may still hold it (evicted, or
+		// persisted by an earlier incarnation); a disk hit re-warms the
+		// LRU.
+		if drep, ok := s.store.getReport(p.fp); ok {
+			rep, hit = drep, true
+			s.cache.put(p.fp, drep)
+		}
+	}
+	if hit {
 		// Answered without an exploration: the job is born terminal.
 		jb.cached, jb.state, jb.report = true, StateDone, rep
 		close(jb.done)
@@ -310,17 +531,28 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "shutting down")
 		return
 	}
-	select {
-	case s.queue <- jb:
-		s.jobs[id] = jb
+	// Every send happens under s.mu, so len==cap is a reliable full
+	// check and the send below cannot block. Checking before journaling
+	// keeps rejected submissions out of the journal entirely.
+	if len(s.queue) == cap(s.queue) {
+		retry := s.queueRetryAfter()
 		s.mu.Unlock()
-		s.queued.Add(1)
-		s.total.Add(1)
-		writeJSON(w, http.StatusAccepted, jb.view())
-	default:
-		s.mu.Unlock()
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
 		writeError(w, http.StatusTooManyRequests, "queue full (%d pending)", s.cfg.Queue)
+		return
 	}
+	// Journal before acknowledging: once the client sees 202, a crash
+	// cannot lose the job. The fsync cost rides the submission path by
+	// design — accepting faster than surviving would be lying.
+	if s.store != nil {
+		s.store.appendSubmit(id, p.fp, req)
+	}
+	s.jobs[id] = jb
+	s.queue <- jb
+	s.mu.Unlock()
+	s.queued.Add(1)
+	s.total.Add(1)
+	writeJSON(w, http.StatusAccepted, jb.view())
 }
 
 func (s *Server) lookup(r *http.Request) (*job, bool) {
@@ -345,7 +577,17 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
 		return
 	}
-	jb.requestCancel()
+	if jb.requestCancel() && s.store != nil {
+		jb.mu.Lock()
+		canceled := jb.state == StateCanceled
+		jb.mu.Unlock()
+		if canceled {
+			// Canceled while queued: no worker will journal the terminal
+			// record, so the handler does — otherwise a restart would
+			// resurrect a job the client explicitly killed.
+			s.store.appendTerminal(StateCanceled, jb.id, "")
+		}
+	}
 	writeJSON(w, http.StatusOK, jb.view())
 }
 
@@ -364,6 +606,10 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Cache-Control", "no-store")
 	ch := make(chan Event, 8)
 	jb.subscribe(ch)
+	// The deferred unsubscribe is the whole leak story: whether the
+	// stream ends at the terminal event or the client vanishes
+	// mid-stream (r.Context() fires), the subscriber channel leaves the
+	// job's fan-out set and this handler goroutine returns with it.
 	defer jb.unsubscribe(ch)
 	writeSSE(w, "snapshot", Event{State: jb.view().State})
 	fl.Flush()
@@ -395,6 +641,33 @@ func writeSSE(w http.ResponseWriter, event string, v any) {
 	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
 }
 
+// healthResponse is the GET /healthz body. Status "degraded" means the
+// service is up but a persistence fault has flipped it to in-memory
+// mode; everything else about it still works.
+type healthResponse struct {
+	Status          string `json:"status"` // "ok" | "degraded"
+	Persistent      bool   `json:"persistent"`
+	RecoveredPanics int64  `json:"recovered_panics"`
+	JobsRecovered   int64  `json:"jobs_recovered"`
+	StoreErrors     int64  `json:"store_errors"`
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	h := healthResponse{
+		Status:          "ok",
+		Persistent:      s.store != nil,
+		RecoveredPanics: s.recoveredPanics.Load(),
+		JobsRecovered:   s.jobsRecovered.Load(),
+	}
+	if s.store != nil {
+		h.StoreErrors = s.store.errors.Load()
+		if s.store.isDegraded() {
+			h.Status = "degraded"
+		}
+	}
+	writeJSON(w, http.StatusOK, h)
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	hits, misses, size := s.cache.stats()
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -408,4 +681,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "bipd_cache_misses %d\n", misses)
 	fmt.Fprintf(w, "bipd_cache_size %d\n", size)
 	fmt.Fprintf(w, "bipd_lint_requests %d\n", s.linted.Load())
+	fmt.Fprintf(w, "bipd_recovered_panics %d\n", s.recoveredPanics.Load())
+	fmt.Fprintf(w, "bipd_jobs_recovered %d\n", s.jobsRecovered.Load())
+	fmt.Fprintf(w, "bipd_quota_rejections %d\n", s.quotaRejected.Load())
+	var storeErrs, degraded int64
+	if s.store != nil {
+		storeErrs = s.store.errors.Load()
+		if s.store.isDegraded() {
+			degraded = 1
+		}
+	}
+	fmt.Fprintf(w, "bipd_store_errors %d\n", storeErrs)
+	fmt.Fprintf(w, "bipd_persistence_degraded %d\n", degraded)
 }

@@ -63,7 +63,10 @@ func longJob() JobRequest {
 
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		// Cancel whatever is still live so the drain is prompt.
@@ -366,7 +369,10 @@ func TestJobTimeout(t *testing.T) {
 // TestShutdownDrainsAndRejects: Shutdown lets accepted work finish,
 // and the server refuses new submissions while (and after) draining.
 func TestShutdownDrainsAndRejects(t *testing.T) {
-	s := New(Config{Tick: 5 * time.Millisecond})
+	s, err := New(Config{Tick: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	v, status := submit(t, ts, JobRequest{Model: pingpong})
